@@ -1,0 +1,125 @@
+// E5 (paper claim C5): automatic construction works "although at a cost in
+// space and speed". Compares compiled PLA implementations of small logic
+// functions against the hand-crafted cell library: area ratio, device
+// ratio, and a stage-count proxy for speed.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "cells/cells.hpp"
+#include "extract/extract.hpp"
+#include "logic/logic.hpp"
+#include "pla/pla.hpp"
+
+namespace {
+
+using silc::logic::MultiFunction;
+using silc::logic::TruthTable;
+
+struct Row {
+  const char* name;
+  MultiFunction f;
+  silc::layout::Cell* manual;
+  int manual_stages;  // series logic stages input->output (speed proxy)
+};
+
+void print_table() {
+  std::printf("=== E5: compiled (PLA) vs hand layout — the 'cost in space "
+              "and speed' ===\n");
+  std::printf("%-8s %-12s %-12s %-7s %-10s %-10s %-7s %-8s\n", "func",
+              "pla area", "cell area", "ratio", "pla devs", "cell devs",
+              "ratio", "stages");
+
+  silc::layout::Library lib;
+  std::vector<Row> rows;
+  {
+    MultiFunction f;
+    f.num_inputs = 1;
+    f.outputs.push_back(
+        TruthTable::from_function(1, [](std::uint32_t r) { return r == 0; }));
+    rows.push_back({"not", std::move(f), &silc::cells::inverter(lib), 1});
+  }
+  {
+    MultiFunction f;
+    f.num_inputs = 2;
+    f.outputs.push_back(
+        TruthTable::from_function(2, [](std::uint32_t r) { return r != 3; }));
+    rows.push_back({"nand2", std::move(f), &silc::cells::nand2(lib), 1});
+  }
+  {
+    MultiFunction f;
+    f.num_inputs = 2;
+    f.outputs.push_back(
+        TruthTable::from_function(2, [](std::uint32_t r) { return r == 0; }));
+    rows.push_back({"nor2", std::move(f), &silc::cells::nor2(lib), 1});
+  }
+  {
+    // A full adder: two outputs, five products — the hand equivalent is a
+    // small gate network (9 nand2/inv equivalents, ~2 stages), built here
+    // as a reference cell row. The PLA's fixed costs amortize.
+    MultiFunction f;
+    f.num_inputs = 3;
+    f.outputs.push_back(TruthTable::from_function(
+        3, [](std::uint32_t r) { return (__builtin_popcount(r) & 1) != 0; }));
+    f.outputs.push_back(TruthTable::from_function(
+        3, [](std::uint32_t r) { return __builtin_popcount(r) >= 2; }));
+    silc::layout::Cell& ref = lib.create("fa_ref");
+    silc::layout::Cell& g = silc::cells::nand2(lib);
+    for (int i = 0; i < 9; ++i) {
+      ref.add_instance(g, {silc::geom::Orient::R0, {i * 36, 0}});
+    }
+    rows.push_back({"fulladd", std::move(f), &ref, 3});
+  }
+
+  double total_area_ratio = 0;
+  for (Row& row : rows) {
+    const silc::pla::PlaResult p =
+        silc::pla::generate(lib, row.f, {.name = std::string(row.name) + "_pla"});
+    const auto manual_bb = row.manual->bbox();
+    const std::int64_t manual_area = manual_bb.area();
+    const auto pla_devs = silc::extract::extract(*p.cell).transistors.size();
+    const auto cell_devs = silc::extract::extract(*row.manual).transistors.size();
+    const double area_ratio = static_cast<double>(p.stats.area()) /
+                              static_cast<double>(manual_area);
+    total_area_ratio += area_ratio;
+    // PLA path: input driver -> AND row -> OR row = 3 ratioed stages.
+    std::printf("%-8s %-12lld %-12lld %-7.1f %-10zu %-10zu %-7.1f %dvs%d\n",
+                row.name, static_cast<long long>(p.stats.area()),
+                static_cast<long long>(manual_area), area_ratio, pla_devs,
+                cell_devs,
+                static_cast<double>(pla_devs) / static_cast<double>(cell_devs),
+                3, row.manual_stages);
+  }
+  std::printf("mean area cost of automatic layout: %.1fx (the paper's "
+              "'cost in space')\n\n",
+              total_area_ratio / static_cast<double>(rows.size()));
+}
+
+void BM_CompileNand2AsPla(benchmark::State& state) {
+  MultiFunction f;
+  f.num_inputs = 2;
+  f.outputs.push_back(
+      TruthTable::from_function(2, [](std::uint32_t r) { return r != 3; }));
+  for (auto _ : state) {
+    silc::layout::Library lib;
+    benchmark::DoNotOptimize(silc::pla::generate(lib, f, {.name = "p"}));
+  }
+}
+BENCHMARK(BM_CompileNand2AsPla);
+
+void BM_HandNand2(benchmark::State& state) {
+  for (auto _ : state) {
+    silc::layout::Library lib;
+    benchmark::DoNotOptimize(&silc::cells::nand2(lib));
+  }
+}
+BENCHMARK(BM_HandNand2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// E8 (paper claims C8/C1): CIF as the interface to manufacturing, and the
+// scaling of the verification pipeline (write, parse, DRC, extract) with
+// design size.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "cells/cells.hpp"
+#include "cif/cif.hpp"
+#include "drc/drc.hpp"
+#include "extract/extract.hpp"
+
+namespace {
+
+silc::layout::Cell& shift_array(silc::layout::Library& lib, int n, int m) {
+  silc::layout::Cell& a = lib.create("array");
+  silc::layout::Cell& stage = silc::cells::shift_stage(lib);
+  for (int j = 0; j < m; ++j) {
+    for (int i = 0; i < n; ++i) {
+      a.add_instance(stage, {silc::geom::Orient::R0, {i * 76, j * 90}});
+    }
+  }
+  return a;
+}
+
+void print_table() {
+  std::printf("=== E8: CIF + verification pipeline scaling (shift arrays) ===\n");
+  std::printf("%-8s %-8s %-10s %-10s %-10s %-10s %-10s\n", "stages", "rects",
+              "CIF bytes", "write ms", "parse ms", "DRC ms", "extract ms");
+  for (const auto [n, m] : {std::pair{2, 2}, {4, 4}, {8, 4}, {8, 8}}) {
+    silc::layout::Library lib;
+    silc::layout::Cell& a = shift_array(lib, n, m);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::string text = silc::cif::write(a);
+    const auto t1 = std::chrono::steady_clock::now();
+    silc::layout::Library lib2;
+    silc::cif::parse(text, lib2);
+    const auto t2 = std::chrono::steady_clock::now();
+    const auto drc = silc::drc::check(a);
+    const auto t3 = std::chrono::steady_clock::now();
+    const auto nl = silc::extract::extract(a);
+    const auto t4 = std::chrono::steady_clock::now();
+    const auto ms = [](auto a_, auto b_) {
+      return std::chrono::duration<double, std::milli>(b_ - a_).count();
+    };
+    std::printf("%-8d %-8zu %-10zu %-10.2f %-10.2f %-10.2f %-10.2f%s\n", n * m,
+                a.flat_shape_count(), text.size(), ms(t0, t1), ms(t1, t2),
+                ms(t2, t3), ms(t3, t4), drc.ok() ? "" : "  DRC FAIL!");
+    (void)nl;
+  }
+  std::printf("\n");
+}
+
+void BM_CifWrite(benchmark::State& state) {
+  silc::layout::Library lib;
+  silc::layout::Cell& a =
+      shift_array(lib, static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) benchmark::DoNotOptimize(silc::cif::write(a));
+}
+BENCHMARK(BM_CifWrite)->RangeMultiplier(2)->Range(2, 16);
+
+void BM_CifParse(benchmark::State& state) {
+  silc::layout::Library lib;
+  const std::string text =
+      silc::cif::write(shift_array(lib, static_cast<int>(state.range(0)), 4));
+  for (auto _ : state) {
+    silc::layout::Library lib2;
+    benchmark::DoNotOptimize(&silc::cif::parse(text, lib2));
+  }
+}
+BENCHMARK(BM_CifParse)->RangeMultiplier(2)->Range(2, 16);
+
+void BM_Drc(benchmark::State& state) {
+  silc::layout::Library lib;
+  silc::layout::Cell& a =
+      shift_array(lib, static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) benchmark::DoNotOptimize(silc::drc::check(a));
+}
+BENCHMARK(BM_Drc)->RangeMultiplier(2)->Range(2, 8);
+
+void BM_Extract(benchmark::State& state) {
+  silc::layout::Library lib;
+  silc::layout::Cell& a =
+      shift_array(lib, static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) benchmark::DoNotOptimize(silc::extract::extract(a));
+}
+BENCHMARK(BM_Extract)->RangeMultiplier(2)->Range(2, 8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

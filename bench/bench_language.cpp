@@ -1,0 +1,83 @@
+// E3 (paper claim C3): the extensible language system. Interpreter
+// throughput, and the overhead of data-type extension (records) relative to
+// plain values — the cost of the abstraction the session advocates.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "lang/lang.hpp"
+
+namespace {
+
+void print_table() {
+  std::printf("=== E3: extensible language system (SILC) ===\n");
+  silc::layout::Library lib;
+  const auto fib = silc::lang::run_program(
+      "func fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); } "
+      "print(fib(18));",
+      lib);
+  std::printf("fib(18) -> %s  (%zu interpreter steps)\n",
+              fib.output.substr(0, fib.output.size() - 1).c_str(), fib.steps);
+  const auto rec = silc::lang::run_program(
+      "func pt(x, y) { return {x: x, y: y}; }\n"
+      "let acc = 0;\n"
+      "for i in 1 .. 2000 { let p = pt(i, i * 2); acc = acc + p.x + p.y; }\n"
+      "print(acc);",
+      lib);
+  std::printf("record loop -> %s  (%zu steps)\n",
+              rec.output.substr(0, rec.output.size() - 1).c_str(), rec.steps);
+  std::printf("\n");
+}
+
+void BM_IntegerLoop(benchmark::State& state) {
+  const std::string src =
+      "let acc = 0; for i in 1 .. 5000 { acc = acc + i * 3 - 1; }";
+  for (auto _ : state) {
+    silc::layout::Library lib;
+    benchmark::DoNotOptimize(silc::lang::run_program(src, lib));
+  }
+}
+BENCHMARK(BM_IntegerLoop);
+
+void BM_RecordLoop(benchmark::State& state) {
+  const std::string src =
+      "func pt(x, y) { return {x: x, y: y}; }\n"
+      "let acc = 0; for i in 1 .. 5000 { let p = pt(i, 3); acc = acc + p.x - "
+      "p.y; }";
+  for (auto _ : state) {
+    silc::layout::Library lib;
+    benchmark::DoNotOptimize(silc::lang::run_program(src, lib));
+  }
+}
+BENCHMARK(BM_RecordLoop);
+
+void BM_Fib(benchmark::State& state) {
+  const std::string src =
+      "func fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); } "
+      "fib(" + std::to_string(state.range(0)) + ");";
+  for (auto _ : state) {
+    silc::layout::Library lib;
+    benchmark::DoNotOptimize(silc::lang::run_program(src, lib));
+  }
+}
+BENCHMARK(BM_Fib)->DenseRange(10, 18, 4);
+
+void BM_LayoutGeneration(benchmark::State& state) {
+  const std::string src =
+      "let c = cell(\"g\"); let i = inv(8);\n"
+      "for k in 0 .. 99 { place(c, i, k * 36, 0); }";
+  for (auto _ : state) {
+    silc::layout::Library lib;
+    benchmark::DoNotOptimize(silc::lang::run_program(src, lib));
+  }
+}
+BENCHMARK(BM_LayoutGeneration);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

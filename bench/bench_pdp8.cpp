@@ -1,0 +1,120 @@
+// E1 (paper claim C5): "compile a PDP-8 from an ISP behavioral description
+// using standard modules with a chip count within 50% of a commercial
+// design". Prints the module inventory and the ratio, then times the
+// behavioral->structure flows.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "net/net.hpp"
+#include "rtl/rtl.hpp"
+#include "synth/synth.hpp"
+
+namespace {
+
+const char* kPdp8 = R"(
+  processor pdp8 (input mem_rdata<12>; input run;
+                  output mem_addr<12>; output mem_wdata<12>; output mem_we;
+                  output acc<12>; output halted;) {
+    reg AC<12>; reg L; reg PC<12>; reg IR<12>; reg MA<12>;
+    reg state<2>; reg halt;
+    wire op<3>;     op = IR[11:9];
+    wire ea<12>;    ea = {IR[7] ? PC[11:7] : 0, IR[6:0]};
+    wire sum13<13>; sum13 = {0, AC} + {0, mem_rdata};
+    wire cla_v<12>; cla_v = IR[7] ? 0 : AC;
+    wire cma_v<12>; cma_v = IR[5] ? ~cla_v : cla_v;
+    wire opr1<12>;  opr1 = IR[0] ? cma_v + 1 : cma_v;
+    wire l1;        l1 = IR[6] ? 0 : L;
+    wire l2;        l2 = IR[4] ? ~l1 : l1;
+    wire skip;      skip = (IR[6] & AC[11]) | (IR[5] & (AC == 0));
+    mem_addr  = (state == 0) ? PC : MA;
+    mem_we    = (state == 3) & ((op == 2) | (op == 3) | (op == 4));
+    mem_wdata = (op == 2) ? mem_rdata + 1 : ((op == 3) ? AC : PC);
+    acc       = AC;
+    halted    = halt;
+    always {
+      if (run & (halt == 0)) {
+        case (state) {
+          0: { IR := mem_rdata; PC := PC + 1; state := 1; }
+          1: { MA := ea; if ((op <= 5) & IR[8]) state := 2; else state := 3; }
+          2: { MA := mem_rdata; state := 3; }
+          3: { state := 0;
+               case (op) {
+                 0: AC := AC & mem_rdata;
+                 1: { AC := sum13[11:0]; L := L ^ sum13[12]; }
+                 2: if (mem_rdata + 1 == 0) PC := PC + 1;
+                 3: AC := 0;
+                 4: PC := MA + 1;
+                 5: PC := MA;
+                 6: { }
+                 7: { if (IR[8] == 0) { AC := opr1; L := l2; }
+                      else { if (skip) PC := PC + 1;
+                             if (IR[7]) AC := 0;
+                             if (IR[1]) halt := 1; } }
+               } }
+        }
+      }
+    }
+  })";
+
+constexpr int kCommercialChips = 100;  // PDP-8/E M8300+M8310+M8330 boards
+
+void print_table() {
+  const silc::rtl::Design d = silc::rtl::parse(kPdp8);
+  const silc::synth::ModuleReport r = silc::synth::map_to_modules(d);
+  const silc::net::Netlist gates = silc::synth::bit_blast(d);
+  std::printf("=== E1: PDP-8 from ISP via standard modules (paper: within "
+              "50%% of commercial) ===\n");
+  std::printf("%-22s %s\n", "module inventory", r.to_string().c_str());
+  std::printf("%-22s %d\n", "commercial baseline", kCommercialChips);
+  std::printf("%-22s %.2f\n", "chip-count ratio",
+              static_cast<double>(r.chip_count()) / kCommercialChips);
+  std::printf("%-22s %zu gates + %zu DFFs (gate-level reference)\n",
+              "bit-blasted size", gates.logic_gate_count(), gates.dff_count());
+  std::printf("claim 'within 50%%': %s\n\n",
+              r.chip_count() <= kCommercialChips * 3 / 2 &&
+                      r.chip_count() >= kCommercialChips / 2
+                  ? "HOLDS"
+                  : "FAILS");
+}
+
+void BM_ParseElaborate(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(silc::rtl::parse(kPdp8));
+  }
+}
+BENCHMARK(BM_ParseElaborate);
+
+void BM_ModuleMapping(benchmark::State& state) {
+  const silc::rtl::Design d = silc::rtl::parse(kPdp8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(silc::synth::map_to_modules(d));
+  }
+}
+BENCHMARK(BM_ModuleMapping);
+
+void BM_BitBlast(benchmark::State& state) {
+  const silc::rtl::Design d = silc::rtl::parse(kPdp8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(silc::synth::bit_blast(d));
+  }
+}
+BENCHMARK(BM_BitBlast);
+
+void BM_BehavioralCycle(benchmark::State& state) {
+  const silc::rtl::Design d = silc::rtl::parse(kPdp8);
+  silc::rtl::BehavioralSim sim(d);
+  sim.set("run", 1);
+  sim.set("mem_rdata", 07402);
+  for (auto _ : state) sim.tick();
+}
+BENCHMARK(BM_BehavioralCycle);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E2 (paper claim C3): "structured designs can be described by structured
+// programs". Hierarchical vs flat descriptions of the same array: the
+// structured program is constant-size while the flat description grows with
+// the array; layout results are identical regions.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "cells/cells.hpp"
+#include "cif/cif.hpp"
+#include "lang/lang.hpp"
+
+namespace {
+
+std::string structured_program(int n, int m) {
+  std::ostringstream os;
+  os << "func row(stage, n) { let r = cell(\"row\"); for i in 0 .. n - 1 { "
+        "place(r, stage, i * 76, 0); } return r; }\n"
+     << "let a = cell(\"array\"); let s = shiftstage();\n"
+     << "let r = row(s, " << n << ");\n"
+     << "for j in 0 .. " << m - 1 << " { place(a, r, 0, j * 90); }\n"
+     << "write_cif(a); return a;";
+  return os.str();
+}
+
+std::string flat_program(int n, int m) {
+  std::ostringstream os;
+  os << "let a = cell(\"array\"); let s = shiftstage();\n";
+  for (int j = 0; j < m; ++j) {
+    for (int i = 0; i < n; ++i) {
+      os << "place(a, s, " << i * 76 << ", " << j * 90 << ");\n";
+    }
+  }
+  os << "write_cif(a); return a;";
+  return os.str();
+}
+
+void print_table() {
+  std::printf("=== E2: structured programs for structured designs "
+              "(n x m shift arrays) ===\n");
+  std::printf("%-8s %-16s %-12s %-12s %-12s %-12s\n", "n x m",
+              "structured src", "flat src", "struct CIF", "flat CIF",
+              "stages");
+  for (const auto [n, m] : {std::pair{4, 2}, {8, 4}, {16, 8}}) {
+    const std::string sp = structured_program(n, m);
+    const std::string fp = flat_program(n, m);
+    silc::layout::Library lib1, lib2;
+    const auto r1 = silc::lang::run_program(sp, lib1);
+    const auto r2 = silc::lang::run_program(fp, lib2);
+    std::printf("%2dx%-5d %-16zu %-12zu %-12zu %-12zu %-12d\n", n, m,
+                sp.size(), fp.size(), r1.cif.size(), r2.cif.size(), n * m);
+  }
+  std::printf("(hierarchy keeps both the program and the CIF small; the "
+              "flat description grows as n*m)\n\n");
+}
+
+void BM_StructuredGenerate(benchmark::State& state) {
+  const std::string src =
+      structured_program(static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    silc::layout::Library lib;
+    benchmark::DoNotOptimize(silc::lang::run_program(src, lib));
+  }
+}
+BENCHMARK(BM_StructuredGenerate)->RangeMultiplier(2)->Range(4, 32);
+
+void BM_FlatGenerate(benchmark::State& state) {
+  const std::string src = flat_program(static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    silc::layout::Library lib;
+    benchmark::DoNotOptimize(silc::lang::run_program(src, lib));
+  }
+}
+BENCHMARK(BM_FlatGenerate)->RangeMultiplier(2)->Range(4, 32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

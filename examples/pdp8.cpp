@@ -1,0 +1,176 @@
+// The paper's headline quantitative claim (via Parker [6]): "it has been
+// possible to compile a PDP-8 from an ISP behavioral description using
+// standard modules with a chip count within 50% of a commercial design."
+//
+// This example reproduces that flow: a mini PDP-8 (the full 8-opcode
+// instruction set, 12-bit datapath, multi-cycle fetch/decode/defer/execute
+// control; 4K memory modeled externally by the testbench, as the CPU boards
+// did) is described behaviorally, executed, lowered to a gate netlist, and
+// mapped onto 4-bit-slice standard modules whose chip count is compared to
+// the commercial PDP-8/E CPU board set.
+#include <cstdio>
+
+#include "net/net.hpp"
+#include "rtl/rtl.hpp"
+#include "synth/synth.hpp"
+
+namespace {
+
+const char* kPdp8 = R"(
+  processor pdp8 (input mem_rdata<12>; input run;
+                  output mem_addr<12>; output mem_wdata<12>; output mem_we;
+                  output acc<12>; output halted;) {
+    reg AC<12>; reg L; reg PC<12>; reg IR<12>; reg MA<12>;
+    reg state<2>;  // 0 fetch, 1 decode, 2 defer, 3 execute
+    reg halt;
+
+    wire op<3>;     op = IR[11:9];
+    wire ea<12>;    ea = {IR[7] ? PC[11:7] : 0, IR[6:0]};
+    wire sum13<13>; sum13 = {0, AC} + {0, mem_rdata};
+    // OPR group 1: CLA, CMA, IAC (in PDP-8 microcoded order).
+    wire cla_v<12>; cla_v = IR[7] ? 0 : AC;
+    wire cma_v<12>; cma_v = IR[5] ? ~cla_v : cla_v;
+    wire opr1<12>;  opr1 = IR[0] ? cma_v + 1 : cma_v;
+    wire l1;        l1 = IR[6] ? 0 : L;          // CLL
+    wire l2;        l2 = IR[4] ? ~l1 : l1;       // CML
+    // OPR group 2 skips: SMA, SZA.
+    wire skip;      skip = (IR[6] & AC[11]) | (IR[5] & (AC == 0));
+
+    mem_addr  = (state == 0) ? PC : MA;
+    mem_we    = (state == 3) & ((op == 2) | (op == 3) | (op == 4));
+    mem_wdata = (op == 2) ? mem_rdata + 1 : ((op == 3) ? AC : PC);
+    acc       = AC;
+    halted    = halt;
+
+    always {
+      if (run & (halt == 0)) {
+        case (state) {
+          0: { IR := mem_rdata; PC := PC + 1; state := 1; }
+          1: { MA := ea;
+               if ((op <= 5) & IR[8]) state := 2; else state := 3; }
+          2: { MA := mem_rdata; state := 3; }
+          3: { state := 0;
+               case (op) {
+                 0: AC := AC & mem_rdata;                      // AND
+                 1: { AC := sum13[11:0]; L := L ^ sum13[12]; } // TAD
+                 2: if (mem_rdata + 1 == 0) PC := PC + 1;      // ISZ
+                 3: AC := 0;                                   // DCA
+                 4: PC := MA + 1;                              // JMS
+                 5: PC := MA;                                  // JMP
+                 6: { }                                        // IOT (no-op)
+                 7: { if (IR[8] == 0) { AC := opr1; L := l2; }
+                      else { if (skip) PC := PC + 1;
+                             if (IR[7]) AC := 0;
+                             if (IR[1]) halt := 1; } }
+               } }
+        }
+      }
+    }
+  })";
+
+std::uint32_t ins(int op, int ind, int page, int off) {
+  return static_cast<std::uint32_t>((op << 9) | (ind << 8) | (page << 7) | off);
+}
+
+}  // namespace
+
+int main() {
+  using namespace silc;
+
+  const rtl::Design design = rtl::parse(kPdp8);
+  std::printf("mini PDP-8: %zu state bits, %zu input bits, %zu output bits\n",
+              design.state_bits(), design.input_bits(), design.output_bits());
+
+  // ---- run a program on the behavioral model ----
+  std::vector<std::uint32_t> mem(4096, 0);
+  mem[0] = ins(1, 0, 0, 020);           // TAD 20
+  mem[1] = ins(1, 0, 0, 021);           // TAD 21
+  mem[2] = ins(1, 1, 0, 024);           // TAD I 24  (indirect -> 22)
+  mem[3] = ins(3, 0, 0, 023);           // DCA 23
+  mem[4] = ins(1, 0, 0, 023);           // TAD 23
+  mem[5] = ins(7, 0, 0, 1);             // OPR: IAC
+  mem[6] = 07402;                        // OPR group 2: HLT
+  mem[020] = 5;
+  mem[021] = 7;
+  mem[022] = 9;
+  mem[024] = 022;                        // pointer for the indirect TAD
+
+  rtl::BehavioralSim sim(design);
+  sim.set("run", 1);
+  int cycles = 0;
+  while (sim.get("halted") == 0 && cycles < 200) {
+    sim.set("mem_rdata", mem[sim.get("mem_addr") & 0xFFF]);
+    if (sim.get("mem_we") != 0) {
+      mem[sim.get("mem_addr") & 0xFFF] =
+          static_cast<std::uint32_t>(sim.get("mem_wdata"));
+    }
+    sim.tick();
+    ++cycles;
+  }
+  std::printf("program halted after %d cycles: AC=%llu M[23]=%u (want 22, 21)\n",
+              cycles, static_cast<unsigned long long>(sim.get("acc")), mem[023]);
+  const bool program_ok = sim.get("acc") == 22 && mem[023] == 21;
+
+  // ---- gate-level equivalence on the same program ----
+  const net::Netlist gates = synth::bit_blast(design);
+  std::printf("gate netlist: %zu logic gates, %zu flip-flops\n",
+              gates.logic_gate_count(), gates.dff_count());
+  net::GateSim gsim(gates);
+  gsim.reset_state(false);
+  gsim.set("run", true);
+  std::vector<std::uint32_t> mem2(4096, 0);
+  mem2[0] = mem[0];  // (mem was mutated; rebuild the initial image)
+  std::vector<std::uint32_t> image(4096, 0);
+  image[0] = ins(1, 0, 0, 020);
+  image[1] = ins(1, 0, 0, 021);
+  image[2] = ins(1, 1, 0, 024);
+  image[3] = ins(3, 0, 0, 023);
+  image[4] = ins(1, 0, 0, 023);
+  image[5] = ins(7, 0, 0, 1);
+  image[6] = 07402;
+  image[020] = 5;
+  image[021] = 7;
+  image[022] = 9;
+  image[024] = 022;
+  const auto bus = [&gsim](const char* name, int width) {
+    std::uint32_t v = 0;
+    for (int b = 0; b < width; ++b) {
+      if (gsim.get(std::string(name) + "[" + std::to_string(b) + "]")) {
+        v |= 1u << b;
+      }
+    }
+    return v;
+  };
+  int gcycles = 0;
+  while (bus("halted", 1) == 0 && gcycles < 200) {
+    const std::uint32_t addr = bus("mem_addr", 12);
+    for (int b = 0; b < 12; ++b) {
+      gsim.set("mem_rdata[" + std::to_string(b) + "]",
+               ((image[addr] >> b) & 1u) != 0);
+    }
+    gsim.eval();
+    if (bus("mem_we", 1) != 0) image[bus("mem_addr", 12)] = bus("mem_wdata", 12);
+    gsim.tick();
+    ++gcycles;
+  }
+  const bool gates_ok =
+      bus("acc", 12) == 22 && image[023] == 21 && gcycles == cycles;
+  std::printf("gate-level run: %d cycles, AC=%u, M[23]=%u -> %s\n", gcycles,
+              bus("acc", 12), image[023], gates_ok ? "MATCHES" : "MISMATCH");
+
+  // ---- the chip-count claim ----
+  const synth::ModuleReport report = synth::map_to_modules(design);
+  // Commercial baseline: the PDP-8/E CPU proper is the M8300 (major
+  // registers) + M8310 (register control) + M8330 (timing) board set,
+  // roughly one hundred SSI/MSI packages.
+  const int commercial = 100;
+  const double ratio =
+      static_cast<double>(report.chip_count()) / commercial;
+  std::printf("\nstandard-module mapping (Parker-style flow):\n  %s\n",
+              report.to_string().c_str());
+  std::printf("commercial PDP-8/E CPU baseline: ~%d chips\n", commercial);
+  std::printf("compiled/commercial chip-count ratio: %.2f (paper claims "
+              "within 50%%: %s)\n",
+              ratio, ratio >= 0.5 && ratio <= 1.5 ? "HOLDS" : "does not hold");
+  return program_ok && gates_ok ? 0 : 1;
+}

@@ -1,0 +1,261 @@
+#include "cells/cells.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace silc::cells {
+
+using geom::Coord;
+using geom::Orient;
+using geom::Rect;
+using layout::Instance;
+using tech::Layer;
+
+namespace {
+
+/// lambda -> half-lambda units
+constexpr Coord L(int n) { return 2 * n; }
+
+/// A 2x2-lambda contact cut with 4x4-lambda metal and conductor pads,
+/// lower-left of the cut at (x, y).
+void cut_with_pads(Cell& c, Coord x, Coord y, Layer conductor) {
+  c.add_rect(Layer::Contact, {x, y, x + L(2), y + L(2)});
+  c.add_rect(Layer::Metal, {x - L(1), y - L(1), x + L(3), y + L(3)});
+  c.add_rect(conductor, {x - L(1), y - L(1), x + L(3), y + L(3)});
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- inverter --
+//
+// Vertical diffusion strip; enhancement pulldown at the bottom, depletion
+// pullup above, output taken between them and strapped in metal to the
+// pullup's gate through a poly contact. See cells.hpp for ratios.
+//
+//        VDD rail ----------------------  y = yct+4 .. yct+10
+//          | (diff cut)
+//          # depletion pullup, implant    y = 27 .. yct (yct = 27+2*pu)
+//          |----- out pad -- tie pad      out arm y = 15..23
+//          # enhancement gate             y = 9 .. 13
+//          | (diff cut)
+//        GND rail ----------------------  y = 0 .. 6
+Cell& inverter(Library& lib, const InverterParams& p) {
+  if (p.pullup_len < 4 || p.pullup_len % 2 != 0) {
+    throw std::invalid_argument("inverter pullup_len must be even and >= 4");
+  }
+  const Coord pu = L(p.pullup_len);
+  const Coord yct = 27 + pu;  // pullup channel top
+  Cell& c = lib.create(p.name.empty() ? "inv_pu" + std::to_string(p.pullup_len)
+                                      : p.name);
+
+  c.add_rect(Layer::Diff, {0, -1, 4, yct + 8});      // the strip
+  cut_with_pads(c, 0, 1, Layer::Diff);               // GND contact
+  c.add_rect(Layer::Poly, {-6, 9, 8, 13});           // pulldown gate
+  cut_with_pads(c, 0, 17, Layer::Diff);              // output contact
+  c.add_rect(Layer::Metal, {-2, 15, 18, 23});        // output arm
+  c.add_rect(Layer::Poly, {8, 23, 16, 31});          // pullup gate tie pad
+  cut_with_pads(c, 10, 25, Layer::Poly);
+  c.add_rect(Layer::Poly, {-4, 27, 8, yct});         // pullup gate
+  c.add_rect(Layer::Implant, {-3, 24, 7, yct + 3});  // depletion implant
+  cut_with_pads(c, 0, yct + 4, Layer::Diff);         // VDD contact
+  c.add_rect(Layer::Metal, {-6, 0, 18, 6});          // GND rail
+  c.add_rect(Layer::Metal, {-6, yct + 4, 18, yct + 10});  // VDD rail
+
+  c.add_port("in", Layer::Poly, {-6, 9, -2, 13});
+  c.add_port("out", Layer::Metal, {14, 15, 18, 23});
+  c.add_port("gnd", Layer::Metal, {-6, 0, 18, 6});
+  c.add_port("vdd", Layer::Metal, {-6, yct + 4, 18, yct + 10});
+  c.add_label("in", Layer::Poly, {-4, 11});
+  c.add_label("out", Layer::Metal, {16, 19});
+  c.add_label("GND", Layer::Metal, {2, 3});
+  c.add_label("Vdd", Layer::Metal, {2, yct + 7});
+  return c;
+}
+
+// ------------------------------------------------------------------- nor2 --
+//
+// Two parallel pulldown strips (inputs from opposite edges so the poly gate
+// rows never cross the other strip), joined by a diffusion bridge that
+// carries the shared output contact and the depletion pullup.
+Cell& nor2(Library& lib, const Nor2Params& p) {
+  if (p.pullup_len < 4 || p.pullup_len % 2 != 0) {
+    throw std::invalid_argument("nor2 pullup_len must be even and >= 4");
+  }
+  const Coord pu = L(p.pullup_len);
+  const Coord yct = 35 + pu;
+  Cell& c = lib.create(p.name.empty() ? "nor2_pu" + std::to_string(p.pullup_len)
+                                      : p.name);
+
+  c.add_rect(Layer::Diff, {0, -1, 4, 25});     // strip A
+  c.add_rect(Layer::Diff, {10, -1, 14, 25});   // strip B
+  c.add_rect(Layer::Diff, {-2, -1, 16, 7});    // shared GND bridge
+  cut_with_pads(c, 0, 1, Layer::Diff);
+  cut_with_pads(c, 10, 1, Layer::Diff);
+  c.add_rect(Layer::Metal, {-2, -1, 16, 7});   // one strap over both cuts
+  c.add_rect(Layer::Poly, {-6, 9, 8, 13});     // gate A (from the left)
+  c.add_rect(Layer::Poly, {6, 17, 24, 21});    // gate B (from the right)
+  c.add_rect(Layer::Diff, {0, 23, 14, 31});    // output bridge
+  cut_with_pads(c, 5, 25, Layer::Diff);
+  c.add_rect(Layer::Metal, {-6, 23, 24, 31});  // output strap, to left edge
+  c.add_rect(Layer::Diff, {5, 23, 9, yct + 8});     // pullup strip
+  c.add_rect(Layer::Poly, {1, 35, 16, yct});        // pullup gate
+  c.add_rect(Layer::Poly, {16, 29, 24, 37});        // gate tie pad
+  cut_with_pads(c, 18, 31, Layer::Poly);
+  c.add_rect(Layer::Implant, {2, 32, 12, yct + 3});
+  cut_with_pads(c, 5, yct + 4, Layer::Diff);        // VDD contact
+  c.add_rect(Layer::Metal, {-6, 0, 24, 6});         // GND rail
+  c.add_rect(Layer::Metal, {-6, yct + 4, 24, yct + 10});  // VDD rail
+
+  c.add_port("in_a", Layer::Poly, {-6, 9, -2, 13});
+  c.add_port("in_b", Layer::Poly, {20, 17, 24, 21});
+  c.add_port("out", Layer::Metal, {-6, 23, -2, 31});
+  c.add_port("gnd", Layer::Metal, {-6, 0, 24, 6});
+  c.add_port("vdd", Layer::Metal, {-6, yct + 4, 24, yct + 10});
+  c.add_label("in_a", Layer::Poly, {-4, 11});
+  c.add_label("in_b", Layer::Poly, {22, 19});
+  c.add_label("out", Layer::Metal, {-4, 27});
+  c.add_label("GND", Layer::Metal, {2, 3});
+  c.add_label("Vdd", Layer::Metal, {2, yct + 7});
+  return c;
+}
+
+// ------------------------------------------------------------------ nand2 --
+//
+// Two series pulldown gates on a single strip (both inputs from the left
+// edge), then the inverter's output/pullup structure shifted up.
+Cell& nand2(Library& lib, const Nand2Params& p) {
+  if (p.pullup_len < 4 || p.pullup_len % 2 != 0) {
+    throw std::invalid_argument("nand2 pullup_len must be even and >= 4");
+  }
+  const Coord pu = L(p.pullup_len);
+  const Coord yct = 39 + pu;
+  Cell& c = lib.create(p.name.empty() ? "nand2_pu" + std::to_string(p.pullup_len)
+                                      : p.name);
+
+  c.add_rect(Layer::Diff, {0, -1, 4, yct + 8});
+  cut_with_pads(c, 0, 1, Layer::Diff);          // GND
+  c.add_rect(Layer::Poly, {-6, 9, 8, 13});      // gate A
+  c.add_rect(Layer::Poly, {-6, 21, 8, 25});     // gate B
+  cut_with_pads(c, 0, 29, Layer::Diff);         // output
+  c.add_rect(Layer::Metal, {-2, 27, 18, 35});   // output arm
+  c.add_rect(Layer::Poly, {8, 35, 16, 43});     // tie pad
+  cut_with_pads(c, 10, 37, Layer::Poly);
+  c.add_rect(Layer::Poly, {-4, 39, 8, yct});    // pullup gate
+  c.add_rect(Layer::Implant, {-3, 36, 7, yct + 3});
+  cut_with_pads(c, 0, yct + 4, Layer::Diff);    // VDD
+  c.add_rect(Layer::Metal, {-6, 0, 18, 6});
+  c.add_rect(Layer::Metal, {-6, yct + 4, 18, yct + 10});
+
+  c.add_port("in_a", Layer::Poly, {-6, 9, -2, 13});
+  c.add_port("in_b", Layer::Poly, {-6, 21, -2, 25});
+  c.add_port("out", Layer::Metal, {14, 27, 18, 35});
+  c.add_port("gnd", Layer::Metal, {-6, 0, 18, 6});
+  c.add_port("vdd", Layer::Metal, {-6, yct + 4, 18, yct + 10});
+  c.add_label("in_a", Layer::Poly, {-4, 11});
+  c.add_label("in_b", Layer::Poly, {-4, 23});
+  c.add_label("out", Layer::Metal, {16, 31});
+  c.add_label("GND", Layer::Metal, {2, 3});
+  c.add_label("Vdd", Layer::Metal, {2, yct + 7});
+  return c;
+}
+
+// -------------------------------------------------------------- pass gate --
+Cell& pass_gate(Library& lib, const PassGateParams& p) {
+  Cell& c = lib.create(p.name.empty() ? "pass" : p.name);
+  c.add_rect(Layer::Diff, {0, 0, 24, 4});       // horizontal wire
+  cut_with_pads(c, 0, 0, Layer::Diff);          // left pad
+  cut_with_pads(c, 20, 0, Layer::Diff);         // right pad
+  c.add_rect(Layer::Poly, {10, -4, 14, 8});     // vertical gate
+
+  c.add_port("in", Layer::Metal, {-2, -2, 6, 6});
+  c.add_port("out", Layer::Metal, {18, -2, 26, 6});
+  c.add_port("gate", Layer::Poly, {10, -4, 14, 0});
+  c.add_port("gate_top", Layer::Poly, {10, 4, 14, 8});
+  c.add_label("gate", Layer::Poly, {12, -2});
+  return c;
+}
+
+// ------------------------------------------------------------ shift stage --
+//
+// pass(phi) feeding a ratio-8 inverter (pullup_len 16, as required when the
+// input arrives through a pass transistor). The pass transistor's gate poly
+// runs the full cell height so phi distributes vertically through a row.
+Cell& shift_stage(Library& lib, const ShiftStageParams& p) {
+  Cell& c = lib.create(p.name.empty() ? "shift_stage" : p.name);
+  Cell& inv = inverter(lib, {.pullup_len = 16, .name = "shift_inv"});
+  const Coord yct = 27 + L(16);  // inverter geometry (see inverter())
+
+  c.add_instance(inv, {Orient::R0, {0, 0}}, "inv");
+  Cell& pass = pass_gate(lib, {.name = "shift_pass"});
+  c.add_instance(pass, {Orient::R0, {-44, 15}}, "pass");
+
+  // Metal-to-poly junction between pass output and inverter input.
+  cut_with_pads(c, -14, 15, Layer::Poly);
+  c.add_rect(Layer::Metal, {-18, 13, -16, 21});  // bridge from the pass pad
+  c.add_rect(Layer::Poly, {-10, 9, -2, 13});     // to the inverter's gate
+
+  // phi: the pass gate's poly, extended to run the full cell height.
+  c.add_rect(Layer::Poly, {-34, -1, -30, yct + 10});
+
+  // Rails across the whole stage.
+  c.add_rect(Layer::Metal, {-50, 0, 18, 6});
+  c.add_rect(Layer::Metal, {-50, yct + 4, 18, yct + 10});
+  // Input stub to the left edge.
+  c.add_rect(Layer::Metal, {-50, 13, -38, 21});
+
+  c.add_port("in", Layer::Metal, {-50, 13, -46, 21});
+  c.add_port("out", Layer::Metal, {14, 15, 18, 23});
+  c.add_port("phi", Layer::Poly, {-34, -1, -30, 3});
+  c.add_port("gnd", Layer::Metal, {-50, 0, 18, 6});
+  c.add_port("vdd", Layer::Metal, {-50, yct + 4, 18, yct + 10});
+  c.add_label("in", Layer::Metal, {-48, 17});
+  c.add_label("out", Layer::Metal, {16, 19});
+  c.add_label("phi", Layer::Poly, {-32, 1});
+  return c;
+}
+
+// --------------------------------------------------------------- bond pad --
+Cell& bond_pad(Library& lib, const PadParams& p) {
+  if (p.size < 20) throw std::invalid_argument("bond pad must be >= 20 lambda");
+  const Coord s = L(p.size);
+  Cell& c = lib.create(p.name.empty() ? "pad" + std::to_string(p.size) : p.name);
+  c.add_rect(Layer::Metal, {0, 0, s, s});
+  c.add_rect(Layer::Glass, {L(5), L(5), s - L(5), s - L(5)});
+  c.add_port("pad", Layer::Metal, {0, 0, s, s});
+  c.add_port("wire", Layer::Metal, {s - L(2), s / 2 - 4, s, s / 2 + 4});
+  c.add_label("pad", Layer::Metal, {s / 2, s / 2});
+  return c;
+}
+
+// ----------------------------------------------------------- super buffer --
+//
+// Two cascaded inverters (the second with a fast ratio-2 pullup), giving a
+// non-inverting driver for long or heavily loaded wires.
+Cell& super_buffer(Library& lib, const BufferParams& p) {
+  Cell& c = lib.create(p.name.empty() ? "buffer" : p.name);
+  Cell& inv1 = inverter(lib, {.pullup_len = 8, .name = "buf_stage1"});
+  Cell& inv2 = inverter(lib, {.pullup_len = 8, .name = "buf_stage2"});
+  const Coord yct = 27 + L(8);
+  const Coord dx = 36;  // metal spacing between the inter-stage contact pad
+                        // and stage 2's output structures needs >= 3 lambda
+
+  c.add_instance(inv1, {Orient::R0, {0, 0}}, "s1");
+  c.add_instance(inv2, {Orient::R0, {dx, 0}}, "s2");
+
+  // Metal from stage-1 output to a poly contact, then poly into stage 2.
+  c.add_rect(Layer::Metal, {18, 15, 20, 21});
+  cut_with_pads(c, 22, 15, Layer::Poly);
+  c.add_rect(Layer::Poly, {24, 9, dx - 2, 13});
+
+  // Shared rails.
+  c.add_rect(Layer::Metal, {-6, 0, dx + 18, 6});
+  c.add_rect(Layer::Metal, {-6, yct + 4, dx + 18, yct + 10});
+
+  c.add_port("in", Layer::Poly, {-6, 9, -2, 13});
+  c.add_port("out", Layer::Metal, {dx + 14, 15, dx + 18, 23});
+  c.add_port("gnd", Layer::Metal, {-6, 0, dx + 18, 6});
+  c.add_port("vdd", Layer::Metal, {-6, yct + 4, dx + 18, yct + 10});
+  return c;
+}
+
+}  // namespace silc::cells

@@ -1,0 +1,85 @@
+// Parameterized NMOS leaf-cell generators (Mead & Conway style).
+//
+// These are the "programs describing sub-structures" of the paper's
+// microscopic silicon-compilation level: each generator is a C++ function
+// that elaborates a design-rule-clean cell for its parameters. Every cell
+// follows the same row discipline so cells can abut horizontally:
+//   * GND metal rail along the bottom, VDD metal rail along the top,
+//     both spanning the full cell width;
+//   * logic inputs on poly at cell edges, outputs on metal.
+//
+// All coordinates are in half-lambda units (tech::Tech::lambda == 2).
+#pragma once
+
+#include "layout/layout.hpp"
+#include "tech/tech.hpp"
+
+namespace silc::cells {
+
+using layout::Cell;
+using layout::Library;
+
+/// Ratioed NMOS inverter.
+///
+/// Pulldown: enhancement, W = L = 2 lambda. Pullup: depletion,
+/// W = 2 lambda, L = `pullup_len` lambda, gate tied to the output through a
+/// poly contact. Inverter ratio = pullup_len / 2 (so 8 -> the classic 4:1
+/// inverter; use 16 when the input arrives through pass transistors).
+/// Ports: in (poly, left edge), out (metal, right edge), vdd, gnd.
+struct InverterParams {
+  int pullup_len = 8;  // lambda; minimum 4
+  std::string name = "";
+};
+Cell& inverter(Library& lib, const InverterParams& p = {});
+
+/// Two-input NOR: two parallel pulldown strips sharing one depletion pullup.
+/// Ports: in_a (poly, left), in_b (poly, right), out (metal, left edge),
+/// vdd, gnd.
+struct Nor2Params {
+  int pullup_len = 8;
+  std::string name = "";
+};
+Cell& nor2(Library& lib, const Nor2Params& p = {});
+
+/// Two-input NAND: two series pulldown gates on one strip.
+/// Ports: in_a, in_b (poly, left edge), out (metal, right edge), vdd, gnd.
+struct Nand2Params {
+  int pullup_len = 8;
+  std::string name = "";
+};
+Cell& nand2(Library& lib, const Nand2Params& p = {});
+
+/// Pass transistor in a horizontal diffusion wire, metal pads both ends.
+/// Ports: in (metal, left), out (metal, right), gate (poly, top and bottom).
+struct PassGateParams {
+  std::string name = "";
+};
+Cell& pass_gate(Library& lib, const PassGateParams& p = {});
+
+/// One inverting stage of a dynamic shift register: pass transistor
+/// (clocked by phi) followed by a ratio-16 inverter. Two cascaded stages
+/// clocked phi1/phi2 make one non-inverting shift-register bit.
+/// Ports: in (metal, left), out (metal, right), phi (poly, bottom),
+/// vdd, gnd.
+struct ShiftStageParams {
+  std::string name = "";
+};
+Cell& shift_stage(Library& lib, const ShiftStageParams& p = {});
+
+/// Bonding pad: a large metal square with an overglass opening.
+/// Ports: pad (metal, whole pad), wire (metal stub on the inner edge).
+struct PadParams {
+  int size = 40;  // lambda, pad edge length
+  std::string name = "";
+};
+Cell& bond_pad(Library& lib, const PadParams& p = {});
+
+/// Depletion-load super buffer (non-inverting, 4x drive): an inverter
+/// driving a push-pull output pair. Ports: in (poly, left), out (metal,
+/// right), vdd, gnd.
+struct BufferParams {
+  std::string name = "";
+};
+Cell& super_buffer(Library& lib, const BufferParams& p = {});
+
+}  // namespace silc::cells

@@ -1,0 +1,554 @@
+#include "cif/cif.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "geom/geom.hpp"
+
+namespace silc::cif {
+
+using geom::Coord;
+using geom::Orient;
+using geom::Point;
+using geom::Rect;
+using geom::Transform;
+using layout::Cell;
+using layout::Library;
+using tech::Layer;
+
+// ---------------------------------------------------------------- writer --
+
+namespace {
+
+// CIF's MX negates x; our Orient::MY negates x. The mapping below therefore
+// swaps the mirror names, and rotations map directly (R a b points the
+// symbol's +x axis along (a, b)).
+const char* cif_orient_ops(Orient o) {
+  switch (o) {
+    case Orient::R0: return "";
+    case Orient::R90: return " R 0 1";
+    case Orient::R180: return " R -1 0";
+    case Orient::R270: return " R 0 -1";
+    case Orient::MX: return " MY";
+    case Orient::MY: return " MX";
+    case Orient::MXR90: return " R 0 1 MY";
+    case Orient::MYR90: return " R 0 1 MX";
+  }
+  return "";
+}
+
+void write_body(std::ostream& os, const Cell& cell,
+                const std::map<const Cell*, int>& number,
+                const WriteOptions& options) {
+  // Group geometry by layer to minimize L commands.
+  for (int li = 0; li < tech::kNumLayers; ++li) {
+    const Layer layer = static_cast<Layer>(li);
+    bool have_layer = false;
+    for (const layout::Shape& s : cell.shapes()) {
+      if (s.layer != layer) continue;
+      if (!have_layer) {
+        os << "L " << tech::cif_name(layer) << ";\n";
+        have_layer = true;
+      }
+      const Rect& r = s.rect;
+      // Doubled half-lambda units (DS scale 125/2): width, height, center.
+      os << "B " << 2 * r.width() << " " << 2 * r.height() << " "
+         << (r.x0 + r.x1) << " " << (r.y0 + r.y1) << ";\n";
+    }
+  }
+  if (options.include_labels) {
+    for (const layout::TextLabel& l : cell.labels()) {
+      os << "94 " << l.text << " " << 2 * l.at.x << " " << 2 * l.at.y << " "
+         << tech::cif_name(l.layer) << ";\n";
+    }
+  }
+  for (const layout::Instance& inst : cell.instances()) {
+    const auto it = number.find(inst.cell);
+    os << "C " << it->second << cif_orient_ops(inst.transform.orient) << " T "
+       << 2 * inst.transform.offset.x << " " << 2 * inst.transform.offset.y
+       << ";\n";
+  }
+}
+
+}  // namespace
+
+std::string write(const Cell& top, const WriteOptions& options) {
+  std::ostringstream os;
+  if (options.include_comments) {
+    os << "( SILC silicon compiler CIF 2.0 output );\n";
+    os << "( technology " << options.technology->name << ", lambda = "
+       << options.technology->cif_units_per_coord * 2 << " centimicrons );\n";
+  }
+  const std::vector<const Cell*> order = layout::dependency_order(top);
+  std::map<const Cell*, int> number;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    number[order[i]] = static_cast<int>(i) + 1;
+  }
+  for (const Cell* cell : order) {
+    os << "DS " << number[cell] << " " << options.technology->cif_units_per_coord
+       << " 2;\n";
+    os << "9 " << cell->name() << ";\n";
+    write_body(os, *cell, number, options);
+    os << "DF;\n";
+  }
+  os << "C " << number[&top] << ";\nE\n";
+  return os.str();
+}
+
+void write_file(const std::string& path, const Cell& top,
+                const WriteOptions& options) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  f << write(top, options);
+  if (!f) throw std::runtime_error("write to " + path + " failed");
+}
+
+// ---------------------------------------------------------------- parser --
+
+namespace {
+
+// Decompose a rectilinear polygon (implicitly closed vertex list) into
+// disjoint rects via even-odd scanline over its vertical edges.
+// Coordinates here are in any consistent integer space.
+struct VEdge {
+  long long x, ylo, yhi;
+};
+
+std::vector<std::array<long long, 4>> decompose_polygon(
+    const std::vector<std::pair<long long, long long>>& pts, std::size_t line) {
+  if (pts.size() < 4) throw CifError(line, "polygon needs at least 4 vertices");
+  std::vector<VEdge> vedges;
+  std::vector<long long> ys;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const auto& a = pts[i];
+    const auto& b = pts[(i + 1) % pts.size()];
+    if (a.first != b.first && a.second != b.second) {
+      throw CifError(line, "non-Manhattan polygon edge");
+    }
+    if (a.first == b.first && a.second != b.second) {
+      vedges.push_back({a.first, std::min(a.second, b.second),
+                        std::max(a.second, b.second)});
+    }
+    ys.push_back(a.second);
+  }
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+  std::vector<std::array<long long, 4>> rects;
+  for (std::size_t i = 0; i + 1 < ys.size(); ++i) {
+    const long long yl = ys[i], yh = ys[i + 1];
+    std::vector<long long> xs;
+    for (const VEdge& e : vedges) {
+      if (e.ylo <= yl && e.yhi >= yh) xs.push_back(e.x);
+    }
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() % 2 != 0) throw CifError(line, "degenerate polygon");
+    for (std::size_t k = 0; k + 1 < xs.size(); k += 2) {
+      if (xs[k] < xs[k + 1]) rects.push_back({xs[k], yl, xs[k + 1], yh});
+    }
+  }
+  return rects;
+}
+
+class Parser {
+ public:
+  Parser(const std::string& text, Library& lib, const tech::Tech& technology)
+      : text_(text), lib_(lib), tech_(technology) {}
+
+  Cell& run() {
+    parse_commands();
+    return build();
+  }
+
+ private:
+  struct Call {
+    int symbol;
+    Transform transform;
+    std::size_t line;
+  };
+  struct Body {
+    std::string name;
+    long long scale_num = 1, scale_den = 1;
+    std::vector<layout::Shape> shapes;
+    std::vector<layout::TextLabel> labels;
+    std::vector<Call> calls;
+  };
+
+  // ---- lexing ----
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+  char get() {
+    const char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+  void skip_blanks() {
+    while (!eof()) {
+      const char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+        get();
+      } else if (c == '(') {
+        int depth = 0;
+        do {
+          const char d = get();
+          if (d == '(') ++depth;
+          if (d == ')') --depth;
+          if (eof() && depth > 0) throw CifError(line_, "unterminated comment");
+        } while (depth > 0);
+      } else {
+        break;
+      }
+    }
+  }
+  void expect_semi() {
+    skip_blanks();
+    if (eof() || get() != ';') throw CifError(line_, "expected ';'");
+  }
+  [[nodiscard]] bool at_semi() {
+    skip_blanks();
+    return !eof() && peek() == ';';
+  }
+  long long integer() {
+    skip_blanks();
+    bool neg = false;
+    if (!eof() && peek() == '-') {
+      neg = true;
+      get();
+    }
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      throw CifError(line_, "expected integer");
+    }
+    long long v = 0;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      v = v * 10 + (get() - '0');
+    }
+    return neg ? -v : v;
+  }
+  std::string word() {
+    skip_blanks();
+    std::string w;
+    while (!eof() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_' || peek() == '.' || peek() == '[' ||
+                      peek() == ']' || peek() == ':' || peek() == '/')) {
+      w.push_back(get());
+    }
+    if (w.empty()) throw CifError(line_, "expected name");
+    return w;
+  }
+
+  // ---- exact coordinate conversion ----
+  // `doubled` is a value in doubled raw units. Result is in layout units
+  // (half-lambdas); throws when the value does not land on the grid.
+  Coord to_units(long long doubled, const Body& body, std::size_t line) const {
+    const long long num = doubled * body.scale_num;
+    const long long den = body.scale_den * 2 * tech_.cif_units_per_coord;
+    if (num % den != 0) {
+      throw CifError(line, "coordinate " + std::to_string(doubled) +
+                               "/2 (scaled " + std::to_string(body.scale_num) +
+                               "/" + std::to_string(body.scale_den) +
+                               ") is off the half-lambda grid");
+    }
+    return num / den;
+  }
+
+  Layer layer_or_throw(const std::string& s, std::size_t line) const {
+    Layer l;
+    if (!tech::layer_from_cif(s, l)) throw CifError(line, "unknown layer " + s);
+    return l;
+  }
+
+  // ---- command parsing ----
+  void parse_commands() {
+    current_ = &top_;
+    in_symbol_ = false;
+    while (true) {
+      skip_blanks();
+      if (eof()) throw CifError(line_, "missing E command");
+      const char c = get();
+      switch (std::toupper(static_cast<unsigned char>(c))) {
+        case 'E':
+          if (in_symbol_) throw CifError(line_, "E inside symbol definition");
+          return;
+        case 'D': parse_definition(); break;
+        case 'L': parse_layer(); break;
+        case 'B': parse_box(); break;
+        case 'W': parse_wire(); break;
+        case 'P': parse_polygon(); break;
+        case 'C': parse_call(); break;
+        case 'R': throw CifError(line_, "round flash (R) unsupported");
+        case '0': case '1': case '2': case '3': case '4':
+        case '5': case '6': case '7': case '8': case '9':
+          parse_extension(c);
+          break;
+        case ';': break;  // empty command
+        default:
+          throw CifError(line_, std::string("unknown command '") + c + "'");
+      }
+    }
+  }
+
+  void parse_definition() {
+    skip_blanks();
+    if (eof()) throw CifError(line_, "truncated D command");
+    const char k = std::toupper(static_cast<unsigned char>(get()));
+    if (k == 'S') {
+      if (in_symbol_) throw CifError(line_, "nested DS");
+      const long long n = integer();
+      Body body;
+      if (!at_semi()) {
+        body.scale_num = integer();
+        body.scale_den = integer();
+        if (body.scale_num <= 0 || body.scale_den <= 0) {
+          throw CifError(line_, "invalid DS scale");
+        }
+      }
+      expect_semi();
+      if (symbols_.count(static_cast<int>(n)) != 0) {
+        throw CifError(line_, "symbol " + std::to_string(n) + " redefined");
+      }
+      auto [it, ok] = symbols_.emplace(static_cast<int>(n), std::move(body));
+      (void)ok;
+      current_ = &it->second;
+      in_symbol_ = true;
+      layer_set_ = false;
+    } else if (k == 'F') {
+      if (!in_symbol_) throw CifError(line_, "DF without DS");
+      expect_semi();
+      current_ = &top_;
+      in_symbol_ = false;
+      layer_set_ = false;
+    } else if (k == 'D') {
+      throw CifError(line_, "DD (delete definitions) unsupported");
+    } else {
+      throw CifError(line_, "unknown D command");
+    }
+  }
+
+  void parse_layer() {
+    const std::string w = word();
+    layer_ = layer_or_throw(w, line_);
+    layer_set_ = true;
+    expect_semi();
+  }
+
+  void require_layer() const {
+    if (!layer_set_) throw CifError(line_, "geometry before any L command");
+  }
+
+  void parse_box() {
+    require_layer();
+    const long long w = integer();
+    const long long h = integer();
+    const long long cx = integer();
+    const long long cy = integer();
+    long long dx = 1, dy = 0;
+    if (!at_semi()) {
+      dx = integer();
+      dy = integer();
+    }
+    expect_semi();
+    if (w <= 0 || h <= 0) throw CifError(line_, "non-positive box dimensions");
+    long long bw = w, bh = h;
+    if (dx == 0 && dy != 0) {
+      std::swap(bw, bh);  // box direction along y: quarter turn
+    } else if (dy != 0) {
+      throw CifError(line_, "non-Manhattan box direction");
+    }
+    const Rect r{to_units(2 * cx - bw, *current_, line_),
+                 to_units(2 * cy - bh, *current_, line_),
+                 to_units(2 * cx + bw, *current_, line_),
+                 to_units(2 * cy + bh, *current_, line_)};
+    current_->shapes.push_back({layer_, r});
+  }
+
+  void parse_wire() {
+    require_layer();
+    const long long w = integer();
+    if (w <= 0) throw CifError(line_, "non-positive wire width");
+    std::vector<std::pair<long long, long long>> pts;
+    while (!at_semi()) {
+      const long long x = integer();
+      const long long y = integer();
+      pts.emplace_back(x, y);
+    }
+    expect_semi();
+    if (pts.empty()) throw CifError(line_, "wire with no points");
+    // Each segment becomes the bounding box of its endpoints inflated by
+    // w/2 (square end caps); a single point becomes a w x w square.
+    const auto emit = [this](long long x0d, long long y0d, long long x1d,
+                             long long y1d) {
+      const Rect r{to_units(x0d, *current_, line_), to_units(y0d, *current_, line_),
+                   to_units(x1d, *current_, line_), to_units(y1d, *current_, line_)};
+      current_->shapes.push_back({layer_, r});
+    };
+    if (pts.size() == 1) {
+      emit(2 * pts[0].first - w, 2 * pts[0].second - w, 2 * pts[0].first + w,
+           2 * pts[0].second + w);
+    }
+    for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+      const auto [x0, y0] = pts[i];
+      const auto [x1, y1] = pts[i + 1];
+      if (x0 != x1 && y0 != y1) throw CifError(line_, "non-Manhattan wire");
+      emit(2 * std::min(x0, x1) - w, 2 * std::min(y0, y1) - w,
+           2 * std::max(x0, x1) + w, 2 * std::max(y0, y1) + w);
+    }
+  }
+
+  void parse_polygon() {
+    require_layer();
+    std::vector<std::pair<long long, long long>> pts;
+    while (!at_semi()) {
+      const long long x = integer();
+      const long long y = integer();
+      pts.emplace_back(2 * x, 2 * y);  // doubled space
+    }
+    expect_semi();
+    for (const auto& quad : decompose_polygon(pts, line_)) {
+      const Rect r{to_units(quad[0], *current_, line_),
+                   to_units(quad[1], *current_, line_),
+                   to_units(quad[2], *current_, line_),
+                   to_units(quad[3], *current_, line_)};
+      current_->shapes.push_back({layer_, r});
+    }
+  }
+
+  void parse_call() {
+    const long long n = integer();
+    Transform t;
+    while (!at_semi()) {
+      skip_blanks();
+      const char c = std::toupper(static_cast<unsigned char>(get()));
+      Transform item;
+      if (c == 'T') {
+        const long long x = integer();
+        const long long y = integer();
+        item.offset = {to_units(2 * x, *current_, line_),
+                       to_units(2 * y, *current_, line_)};
+      } else if (c == 'R') {
+        const long long a = integer();
+        const long long b = integer();
+        if (a > 0 && b == 0) {
+          item.orient = Orient::R0;
+        } else if (a == 0 && b > 0) {
+          item.orient = Orient::R90;
+        } else if (a < 0 && b == 0) {
+          item.orient = Orient::R180;
+        } else if (a == 0 && b < 0) {
+          item.orient = Orient::R270;
+        } else {
+          throw CifError(line_, "non-Manhattan rotation");
+        }
+      } else if (c == 'M') {
+        skip_blanks();
+        const char ax = std::toupper(static_cast<unsigned char>(get()));
+        if (ax == 'X') {
+          item.orient = Orient::MY;  // CIF MX negates x == our MY
+        } else if (ax == 'Y') {
+          item.orient = Orient::MX;  // CIF MY negates y == our MX
+        } else {
+          throw CifError(line_, "bad mirror axis");
+        }
+      } else {
+        throw CifError(line_, "bad transformation in call");
+      }
+      t = item * t;  // transformations apply in listed order
+    }
+    expect_semi();
+    current_->calls.push_back({static_cast<int>(n), t, line_});
+  }
+
+  void parse_extension(char first) {
+    // Collect the full extension number (we handle 9 and 94).
+    std::string digits(1, first);
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      digits.push_back(get());
+    }
+    if (digits == "9") {
+      current_->name = word();
+      expect_semi();
+    } else if (digits == "94") {
+      const std::string text = word();
+      const long long x = integer();
+      const long long y = integer();
+      Layer l = layer_set_ ? layer_ : Layer::Metal;
+      if (!at_semi()) l = layer_or_throw(word(), line_);
+      expect_semi();
+      current_->labels.push_back(
+          {text, l,
+           Point{to_units(2 * x, *current_, line_),
+                 to_units(2 * y, *current_, line_)}});
+    } else {
+      // Unknown user extension: skip to the terminating semicolon.
+      while (!eof() && peek() != ';') get();
+      expect_semi();
+    }
+  }
+
+  // ---- building cells ----
+  Cell& build() {
+    std::map<int, Cell*> cells;
+    for (auto& [num, body] : symbols_) {
+      const std::string name =
+          body.name.empty() ? "sym" + std::to_string(num) : body.name;
+      cells[num] = &lib_.create(name);
+    }
+    const auto populate = [this, &cells](const Body& body, Cell& cell) {
+      for (const layout::Shape& s : body.shapes) cell.add_rect(s.layer, s.rect);
+      for (const layout::TextLabel& l : body.labels) {
+        cell.add_label(l.text, l.layer, l.at);
+      }
+      for (const Call& call : body.calls) {
+        const auto it = cells.find(call.symbol);
+        if (it == cells.end()) {
+          throw CifError(call.line,
+                         "call of undefined symbol " + std::to_string(call.symbol));
+        }
+        cell.add_instance(*it->second, call.transform);
+      }
+    };
+    for (auto& [num, body] : symbols_) populate(body, *cells[num]);
+    // A file that ends with exactly one bare top-level call denotes that
+    // symbol as the design root.
+    if (top_.shapes.empty() && top_.labels.empty() && top_.calls.size() == 1 &&
+        top_.calls[0].transform == Transform{}) {
+      return *cells.at(top_.calls[0].symbol);
+    }
+    Cell& root = lib_.create("cif_top");
+    populate(top_, root);
+    return root;
+  }
+
+  const std::string& text_;
+  Library& lib_;
+  const tech::Tech& tech_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+
+  std::map<int, Body> symbols_;
+  Body top_;
+  Body* current_ = nullptr;
+  bool in_symbol_ = false;
+  Layer layer_ = Layer::Metal;
+  bool layer_set_ = false;
+};
+
+}  // namespace
+
+Cell& parse(const std::string& text, Library& lib, const tech::Tech& technology) {
+  Parser p(text, lib, technology);
+  return p.run();
+}
+
+Cell& parse_file(const std::string& path, Library& lib,
+                 const tech::Tech& technology) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse(ss.str(), lib, technology);
+}
+
+}  // namespace silc::cif

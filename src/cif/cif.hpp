@@ -1,0 +1,61 @@
+// Caltech Intermediate Form (CIF 2.0) writer and parser.
+//
+// CIF is the paper's "interface to manufacturing" (reference [8], Sproull &
+// Lyon, "The Caltech Intermediate Form for LSI Layout Description", 1979).
+// The writer emits the hierarchical cell tree as DS/DF symbol definitions
+// with C calls; the parser accepts the full geometric command set (boxes,
+// Manhattan wires, rectilinear polygons, layer selection, calls with
+// translate/rotate/mirror, comments, and the 9/94 name-and-label
+// extensions).
+//
+// Coordinates: CIF distances are centimicrons. We emit `DS n 125 2` and
+// doubled half-lambda integers, i.e. one emitted unit = 125/2 centimicrons,
+// so every half-lambda quantity (and every rect center) is exactly
+// representable. The parser evaluates exactly in half-centimicrons and
+// requires the result to land on the technology's half-lambda grid.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "layout/layout.hpp"
+
+namespace silc::cif {
+
+struct WriteOptions {
+  const tech::Tech* technology = &tech::nmos();
+  bool include_labels = true;  // emit 94 user-extension labels
+  bool include_comments = true;
+};
+
+/// Serialize `top` (and every cell it references) to CIF text.
+[[nodiscard]] std::string write(const layout::Cell& top,
+                                const WriteOptions& options = {});
+
+/// Write CIF text to a file; throws std::runtime_error on I/O failure.
+void write_file(const std::string& path, const layout::Cell& top,
+                const WriteOptions& options = {});
+
+class CifError : public std::runtime_error {
+ public:
+  CifError(std::size_t line, const std::string& message)
+      : std::runtime_error("CIF line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parse CIF text into `lib`, returning the top cell: the single top-level
+/// call's symbol if the file ends that way, otherwise an implicit cell
+/// holding all top-level geometry and calls. Throws CifError on malformed
+/// input or off-grid coordinates.
+layout::Cell& parse(const std::string& text, layout::Library& lib,
+                    const tech::Tech& technology = tech::nmos());
+
+/// Read and parse a CIF file.
+layout::Cell& parse_file(const std::string& path, layout::Library& lib,
+                         const tech::Tech& technology = tech::nmos());
+
+}  // namespace silc::cif

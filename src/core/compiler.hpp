@@ -1,0 +1,70 @@
+// The silicon compiler driver: "design tools that take a completely
+// textual description of a design and translate it to layout data."
+//
+// Two flows, matching the paper's two rival definitions:
+//   * behavioral: ISPS-style text -> tabulate -> PLA + registers + pads ->
+//     CIF (compile_behavioral);
+//   * structural: a SILC generator program -> layout -> CIF
+//     (compile_structural).
+//
+// Both return the emitted CIF plus the verification evidence the 1979
+// methodology called for: design-rule check results and (for behavioral
+// designs) a switch-level-vs-behavioral equivalence check of the actual
+// artwork.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "assemble/assemble.hpp"
+#include "drc/drc.hpp"
+#include "extract/extract.hpp"
+#include "layout/layout.hpp"
+#include "rtl/rtl.hpp"
+#include "synth/synth.hpp"
+
+namespace silc::core {
+
+struct CompileOptions {
+  std::string name = "chip";
+  bool run_drc = true;
+  bool verify = true;      // behavioral flow: switch-level equivalence check
+  int verify_cycles = 32;  // clocked cycles of random stimulus
+};
+
+struct CompileResult {
+  layout::Cell* chip = nullptr;
+  std::string cif;
+  drc::Result drc;
+  bool verified = false;          // equivalence check ran and passed
+  std::string verify_detail;      // human-readable verification summary
+  assemble::FsmChipStats stats;   // behavioral flow only
+  std::size_t transistors = 0;
+  std::size_t rect_count = 0;
+  [[nodiscard]] bool ok() const { return chip != nullptr && drc.ok(); }
+};
+
+class SiliconCompiler {
+ public:
+  explicit SiliconCompiler(layout::Library& lib) : lib_(&lib) {}
+
+  /// Behavioral flow: ISPS-style source -> complete verified chip.
+  CompileResult compile_behavioral(const std::string& rtl_source,
+                                   const CompileOptions& options = {});
+
+  /// Structural flow: SILC program -> layout -> CIF. The program's return
+  /// value (or last write_cif) names the chip cell.
+  CompileResult compile_structural(const std::string& silc_source,
+                                   const CompileOptions& options = {});
+
+ private:
+  layout::Library* lib_;
+};
+
+/// Drive an assembled FSM chip through `cycles` of random stimulus from its
+/// pads and compare every output against the behavioral simulator.
+/// Returns true when all cycles match; detail describes the run.
+bool verify_chip_against_rtl(const layout::Cell& chip, const rtl::Design& design,
+                             int cycles, unsigned seed, std::string& detail);
+
+}  // namespace silc::core

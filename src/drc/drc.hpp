@@ -1,0 +1,54 @@
+// Lambda design-rule checker.
+//
+// Checks flattened layout geometry against the Mead & Conway NMOS rules:
+//   * minimum width per layer (morphological opening in doubled coordinates,
+//     which makes the "exactly minimum width" case exact on the integer grid)
+//   * same-layer spacing between electrically distinct shapes, including
+//     corner-to-corner (Chebyshev) separation, and notch detection inside a
+//     single shape
+//   * poly-to-unrelated-diffusion spacing (gate and buried regions excused)
+//   * contact rules: exact cut size, metal surround, poly-or-diff surround,
+//     cut-to-gate spacing
+//   * transistor rules: poly and diffusion overhang past the channel
+//   * implant rules: full coverage + surround of depletion gates, clearance
+//     from enhancement gates
+//   * buried-contact surround rules
+//
+// The checker is deliberately conservative (a clean report is trustworthy;
+// rare false positives are acceptable) — our generators must produce layouts
+// this checker passes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/rectset.hpp"
+#include "layout/layout.hpp"
+#include "tech/tech.hpp"
+
+namespace silc::drc {
+
+struct Violation {
+  std::string rule;     // e.g. "metal.width", "poly.space", "contact.size"
+  geom::Rect where;     // approximate location (bounding box of the offence)
+  std::string detail;
+};
+
+struct Result {
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::string summary() const;
+  /// Count of violations whose rule name starts with `prefix`.
+  [[nodiscard]] std::size_t count(const std::string& prefix) const;
+};
+
+/// Check a cell (flattened internally).
+[[nodiscard]] Result check(const layout::Cell& top,
+                           const tech::Tech& technology = tech::nmos());
+
+/// Check pre-flattened geometry.
+[[nodiscard]] Result check_flat(const std::vector<layout::Shape>& shapes,
+                                const tech::Tech& technology = tech::nmos());
+
+}  // namespace silc::drc

@@ -1,0 +1,63 @@
+// Circuit extraction: flattened NMOS layout -> transistor netlist.
+//
+// The extractor recovers the electrical circuit a fab would build:
+//   * transistor channels are poly-over-diffusion (minus buried contacts);
+//     a channel under implant is a depletion device, otherwise enhancement;
+//   * conducting regions are diffusion-minus-channels, poly, and metal;
+//     regions on one layer connect where they share an edge, and across
+//     layers through contact cuts (metal<->poly/diff, including butting
+//     contacts) and buried windows (poly<->diff);
+//   * nodes are named from hierarchical labels; nets labelled Vdd/GND (any
+//     case, also VCC/VSS/ground) are recognized as supply rails.
+//
+// Extraction + switch-level simulation (swsim) is how the compiler verifies
+// that generated artwork implements the behavioral description.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "layout/layout.hpp"
+#include "tech/tech.hpp"
+
+namespace silc::extract {
+
+enum class Device { Enhancement, Depletion };
+
+struct Transistor {
+  Device type{};
+  int gate = -1;
+  int source = -1;
+  int drain = -1;
+  geom::Coord width = 0;   // channel W, half-lambda units
+  geom::Coord length = 0;  // channel L
+  geom::Rect channel{};
+};
+
+struct Netlist {
+  /// Primary name per node ("n<id>" when unlabeled).
+  std::vector<std::string> node_names;
+  /// All labels seen per node (aliases), parallel to node_names.
+  std::vector<std::vector<std::string>> node_aliases;
+  std::vector<Transistor> transistors;
+  std::vector<std::string> warnings;
+  /// Nodes recognized as supply rails (possibly several disconnected
+  /// pieces each, e.g. unconnected cell rails).
+  std::vector<int> vdd_nodes;
+  std::vector<int> gnd_nodes;
+
+  [[nodiscard]] std::size_t node_count() const { return node_names.size(); }
+  /// Node id carrying `name` as primary name or alias; -1 when absent.
+  [[nodiscard]] int find_node(const std::string& name) const;
+  [[nodiscard]] bool is_vdd(int node) const;
+  [[nodiscard]] bool is_gnd(int node) const;
+  [[nodiscard]] std::size_t enhancement_count() const;
+  [[nodiscard]] std::size_t depletion_count() const;
+};
+
+[[nodiscard]] Netlist extract(const layout::Cell& top,
+                              const tech::Tech& technology = tech::nmos());
+[[nodiscard]] Netlist extract_flat(const layout::Flattened& flat,
+                                   const tech::Tech& technology = tech::nmos());
+
+}  // namespace silc::extract

@@ -1,0 +1,87 @@
+#include "geom/geom.hpp"
+
+#include <array>
+
+namespace silc::geom {
+namespace {
+
+// Each orientation as a 2x2 integer matrix (row-major: a b / c d).
+struct Mat {
+  int a, b, c, d;
+};
+
+constexpr std::array<Mat, 8> kMats = {{
+    {1, 0, 0, 1},    // R0
+    {0, -1, 1, 0},   // R90
+    {-1, 0, 0, -1},  // R180
+    {0, 1, -1, 0},   // R270
+    {1, 0, 0, -1},   // MX
+    {-1, 0, 0, 1},   // MY
+    {0, -1, -1, 0},  // MXR90: R90 then negate y
+    {0, 1, 1, 0},    // MYR90: R90 then negate x
+}};
+
+constexpr Mat mul(const Mat& m, const Mat& n) {
+  return {m.a * n.a + m.b * n.c, m.a * n.b + m.b * n.d,
+          m.c * n.a + m.d * n.c, m.c * n.b + m.d * n.d};
+}
+
+Orient from_mat(const Mat& m) {
+  for (std::size_t i = 0; i < kMats.size(); ++i) {
+    const Mat& k = kMats[i];
+    if (k.a == m.a && k.b == m.b && k.c == m.c && k.d == m.d) {
+      return static_cast<Orient>(i);
+    }
+  }
+  return Orient::R0;  // unreachable for valid inputs
+}
+
+}  // namespace
+
+Point apply(Orient o, Point p) {
+  const Mat& m = kMats[static_cast<std::size_t>(o)];
+  return {m.a * p.x + m.b * p.y, m.c * p.x + m.d * p.y};
+}
+
+Rect apply(Orient o, const Rect& r) {
+  return rect_from_corners(apply(o, r.ll()), apply(o, r.ur()));
+}
+
+Orient compose(Orient second, Orient first) {
+  return from_mat(mul(kMats[static_cast<std::size_t>(second)],
+                      kMats[static_cast<std::size_t>(first)]));
+}
+
+Orient inverse(Orient o) {
+  // Reflections and R0/R180 are involutions; R90/R270 invert to each other.
+  switch (o) {
+    case Orient::R90: return Orient::R270;
+    case Orient::R270: return Orient::R90;
+    default: return o;
+  }
+}
+
+const char* to_string(Orient o) {
+  switch (o) {
+    case Orient::R0: return "R0";
+    case Orient::R90: return "R90";
+    case Orient::R180: return "R180";
+    case Orient::R270: return "R270";
+    case Orient::MX: return "MX";
+    case Orient::MY: return "MY";
+    case Orient::MXR90: return "MXR90";
+    case Orient::MYR90: return "MYR90";
+  }
+  return "?";
+}
+
+std::string to_string(Point p) {
+  return "(" + std::to_string(p.x) + "," + std::to_string(p.y) + ")";
+}
+
+std::string to_string(const Rect& r) {
+  return "[" + std::to_string(r.x0) + "," + std::to_string(r.y0) + " " +
+         std::to_string(r.x1) + "," + std::to_string(r.y1) + "]";
+}
+
+}  // namespace silc::geom

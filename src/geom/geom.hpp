@@ -1,0 +1,130 @@
+// Integer Manhattan geometry for layout.
+//
+// All layout coordinates are integers in *half-lambda* units (see
+// tech/tech.hpp): the Mead & Conway NMOS rule set contains 1.5-lambda
+// quantities (implant surround of depletion gates), so a half-lambda grid is
+// the coarsest integer grid that expresses every rule exactly.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace silc::geom {
+
+/// Layout coordinate in half-lambda units.
+using Coord = std::int64_t;
+
+struct Point {
+  Coord x{0};
+  Coord y{0};
+
+  friend constexpr Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr bool operator==(Point a, Point b) = default;
+};
+
+/// Axis-aligned rectangle, closed region [x0,x1] x [y0,y1] of the plane.
+/// A rect is "empty" when it has no interior (x0 >= x1 or y0 >= y1).
+struct Rect {
+  Coord x0{0};
+  Coord y0{0};
+  Coord x1{0};
+  Coord y1{0};
+
+  [[nodiscard]] constexpr bool empty() const { return x0 >= x1 || y0 >= y1; }
+  [[nodiscard]] constexpr Coord width() const { return x1 - x0; }
+  [[nodiscard]] constexpr Coord height() const { return y1 - y0; }
+  [[nodiscard]] constexpr Coord min_dim() const { return std::min(width(), height()); }
+  [[nodiscard]] constexpr std::int64_t area() const {
+    return empty() ? 0 : width() * height();
+  }
+  [[nodiscard]] constexpr Point center() const { return {(x0 + x1) / 2, (y0 + y1) / 2}; }
+  [[nodiscard]] constexpr Point ll() const { return {x0, y0}; }
+  [[nodiscard]] constexpr Point ur() const { return {x1, y1}; }
+
+  /// True when the interiors overlap (shared edges/corners do not count).
+  [[nodiscard]] constexpr bool overlaps(const Rect& o) const {
+    return x0 < o.x1 && o.x0 < x1 && y0 < o.y1 && o.y0 < y1;
+  }
+  /// True when the closed regions intersect (shared edges/corners count).
+  [[nodiscard]] constexpr bool touches(const Rect& o) const {
+    return x0 <= o.x1 && o.x0 <= x1 && y0 <= o.y1 && o.y0 <= y1;
+  }
+  /// True when the shapes share an edge segment of positive length or
+  /// overlap — i.e. they are electrically connected on a single layer.
+  /// Corner-to-corner point contact does not connect.
+  [[nodiscard]] constexpr bool edge_connected(const Rect& o) const {
+    const Coord ox = std::min(x1, o.x1) - std::max(x0, o.x0);
+    const Coord oy = std::min(y1, o.y1) - std::max(y0, o.y0);
+    return (ox > 0 && oy >= 0) || (ox >= 0 && oy > 0);
+  }
+  [[nodiscard]] constexpr bool contains(Point p) const {
+    return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+  }
+  [[nodiscard]] constexpr bool contains(const Rect& o) const {
+    return o.x0 >= x0 && o.x1 <= x1 && o.y0 >= y0 && o.y1 <= y1;
+  }
+  [[nodiscard]] constexpr Rect intersect(const Rect& o) const {
+    return {std::max(x0, o.x0), std::max(y0, o.y0), std::min(x1, o.x1), std::min(y1, o.y1)};
+  }
+  /// Smallest rect containing both (ignores empty operands).
+  [[nodiscard]] constexpr Rect bound(const Rect& o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    return {std::min(x0, o.x0), std::min(y0, o.y0), std::max(x1, o.x1), std::max(y1, o.y1)};
+  }
+  [[nodiscard]] constexpr Rect inflated(Coord d) const {
+    return {x0 - d, y0 - d, x1 + d, y1 + d};
+  }
+  [[nodiscard]] constexpr Rect inflated(Coord dx, Coord dy) const {
+    return {x0 - dx, y0 - dy, x1 + dx, y1 + dy};
+  }
+  [[nodiscard]] constexpr Rect translated(Point t) const {
+    return {x0 + t.x, y0 + t.y, x1 + t.x, y1 + t.y};
+  }
+
+  friend constexpr bool operator==(const Rect& a, const Rect& b) = default;
+};
+
+/// Make a rect from any two opposite corners.
+[[nodiscard]] constexpr Rect rect_from_corners(Point a, Point b) {
+  return {std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x), std::max(a.y, b.y)};
+}
+
+/// The eight Manhattan orientations (rotations and reflections).
+/// Naming: MX mirrors across the x-axis (negates y); MY mirrors across the
+/// y-axis (negates x); MXR90/MYR90 apply R90 first, then the mirror.
+enum class Orient : std::uint8_t { R0, R90, R180, R270, MX, MY, MXR90, MYR90 };
+
+[[nodiscard]] Point apply(Orient o, Point p);
+[[nodiscard]] Rect apply(Orient o, const Rect& r);
+[[nodiscard]] Orient compose(Orient second, Orient first);
+[[nodiscard]] Orient inverse(Orient o);
+[[nodiscard]] const char* to_string(Orient o);
+
+/// Rigid Manhattan transform: p -> orient(p) + offset.
+struct Transform {
+  Orient orient{Orient::R0};
+  Point offset{};
+
+  [[nodiscard]] Point apply(Point p) const { return geom::apply(orient, p) + offset; }
+  [[nodiscard]] Rect apply(const Rect& r) const {
+    return geom::apply(orient, r).translated(offset);
+  }
+  /// Composition: (a * b)(p) == a(b(p)).
+  friend Transform operator*(const Transform& a, const Transform& b) {
+    return {compose(a.orient, b.orient), a.apply(b.offset)};
+  }
+  [[nodiscard]] Transform inverted() const {
+    const Orient io = inverse(orient);
+    const Point it = geom::apply(io, offset);
+    return {io, {-it.x, -it.y}};
+  }
+  friend bool operator==(const Transform& a, const Transform& b) = default;
+};
+
+[[nodiscard]] std::string to_string(Point p);
+[[nodiscard]] std::string to_string(const Rect& r);
+
+}  // namespace silc::geom

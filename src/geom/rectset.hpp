@@ -1,0 +1,69 @@
+// Disjoint rectangle sets: the polygon algebra used throughout the compiler.
+//
+// A RectSet represents a (possibly disconnected, possibly hole-y) Manhattan
+// region of the plane as a canonical decomposition into disjoint rectangles.
+// It supports the boolean and morphological operations that design-rule
+// checking and circuit extraction are built from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace silc::geom {
+
+class RectSet {
+ public:
+  RectSet() = default;
+  explicit RectSet(const Rect& r);
+  explicit RectSet(std::vector<Rect> rects);
+
+  /// Add a rectangle to the region (normalized lazily).
+  void add(const Rect& r);
+
+  /// The canonical disjoint decomposition (maximal horizontal slabs, merged
+  /// vertically where x-extents match). Equal regions yield equal vectors.
+  [[nodiscard]] const std::vector<Rect>& rects() const;
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::int64_t area() const;
+  [[nodiscard]] Rect bbox() const;
+  [[nodiscard]] bool contains(Point p) const;
+  /// True when `r` is entirely inside the region.
+  [[nodiscard]] bool covers(const Rect& r) const;
+  /// True when `r`'s interior meets the region's interior.
+  [[nodiscard]] bool intersects(const Rect& r) const;
+
+  [[nodiscard]] RectSet unite(const RectSet& o) const;
+  [[nodiscard]] RectSet intersect(const RectSet& o) const;
+  [[nodiscard]] RectSet subtract(const RectSet& o) const;
+
+  /// Minkowski sum with a [-d,d]^2 square (grow by d on every side).
+  [[nodiscard]] RectSet dilated(Coord d) const;
+  /// Morphological erosion by a [-d,d]^2 square (shrink by d on every side).
+  [[nodiscard]] RectSet eroded(Coord d) const;
+  /// All coordinates multiplied by k (k > 0).
+  [[nodiscard]] RectSet scaled(Coord k) const;
+
+  /// Groups of edge-connected rectangles (electrical connectivity on one
+  /// layer). Corner-only contact does not connect.
+  [[nodiscard]] std::vector<std::vector<Rect>> components() const;
+
+  friend bool operator==(const RectSet& a, const RectSet& b) {
+    return a.rects() == b.rects();
+  }
+
+ private:
+  void normalize() const;
+
+  mutable std::vector<Rect> rects_;
+  mutable bool dirty_ = false;
+};
+
+/// Union-find connectivity labelling over arbitrary rect lists: returns a
+/// label per input rect such that edge-connected rects share a label.
+/// Labels are dense, starting at 0.
+[[nodiscard]] std::vector<int> label_components(const std::vector<Rect>& rects);
+
+}  // namespace silc::geom

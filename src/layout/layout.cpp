@@ -1,0 +1,148 @@
+#include "layout/layout.hpp"
+
+#include <cassert>
+#include <set>
+
+namespace silc::layout {
+
+void Cell::add_rect(Layer layer, const Rect& r) {
+  if (r.empty()) return;
+  shapes_.push_back({layer, r});
+  bbox_valid_ = false;
+}
+
+Instance& Cell::add_instance(const Cell& cell, const Transform& t,
+                             std::string inst_name) {
+  assert(&cell != this && "a cell cannot instantiate itself");
+  if (inst_name.empty()) {
+    inst_name = cell.name() + "_" + std::to_string(instances_.size());
+  }
+  instances_.push_back({&cell, t, std::move(inst_name)});
+  bbox_valid_ = false;
+  return instances_.back();
+}
+
+void Cell::add_port(std::string name, Layer layer, const Rect& r) {
+  ports_.push_back({std::move(name), layer, r});
+}
+
+void Cell::add_label(std::string text, Layer layer, Point at) {
+  labels_.push_back({std::move(text), layer, at});
+}
+
+const Port* Cell::find_port(const std::string& name) const {
+  for (const Port& p : ports_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+Rect Cell::port_rect(const Instance& inst, const Port& port) {
+  return inst.transform.apply(port.rect);
+}
+
+Rect Cell::bbox() const {
+  if (bbox_valid_) return bbox_cache_;
+  Rect b;
+  for (const Shape& s : shapes_) b = b.bound(s.rect);
+  for (const Instance& i : instances_) {
+    b = b.bound(i.transform.apply(i.cell->bbox()));
+  }
+  bbox_cache_ = b;
+  bbox_valid_ = true;
+  return b;
+}
+
+std::size_t Cell::flat_shape_count() const {
+  std::size_t n = shapes_.size();
+  for (const Instance& i : instances_) n += i.cell->flat_shape_count();
+  return n;
+}
+
+Cell& Library::create(const std::string& name) {
+  std::string unique = name;
+  int suffix = 1;
+  while (by_name_.count(unique) != 0) {
+    unique = name + "_" + std::to_string(suffix++);
+  }
+  cells_.push_back(std::make_unique<Cell>(unique));
+  Cell& c = *cells_.back();
+  by_name_[unique] = &c;
+  return c;
+}
+
+Cell* Library::find(const std::string& name) {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+const Cell* Library::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+std::vector<const Cell*> Library::cells() const {
+  std::vector<const Cell*> out;
+  out.reserve(cells_.size());
+  for (const auto& c : cells_) out.push_back(c.get());
+  return out;
+}
+
+namespace {
+
+void flatten_into(const Cell& cell, const Transform& t, const std::string& prefix,
+                  std::vector<Shape>& shapes, std::vector<FlatLabel>* labels) {
+  for (const Shape& s : cell.shapes()) {
+    shapes.push_back({s.layer, t.apply(s.rect)});
+  }
+  if (labels != nullptr) {
+    for (const TextLabel& l : cell.labels()) {
+      labels->push_back({prefix.empty() ? l.text : prefix + l.text, l.layer,
+                         t.apply(l.at)});
+    }
+  }
+  for (const Instance& i : cell.instances()) {
+    flatten_into(*i.cell, t * i.transform,
+                 labels != nullptr ? prefix + i.name + "." : prefix, shapes,
+                 labels);
+  }
+}
+
+}  // namespace
+
+std::vector<Shape> flatten(const Cell& top) {
+  std::vector<Shape> shapes;
+  shapes.reserve(top.flat_shape_count());
+  flatten_into(top, Transform{}, "", shapes, nullptr);
+  return shapes;
+}
+
+Flattened flatten_with_labels(const Cell& top) {
+  Flattened out;
+  out.shapes.reserve(top.flat_shape_count());
+  flatten_into(top, Transform{}, "", out.shapes, &out.labels);
+  for (const Port& p : top.ports()) {
+    out.labels.push_back({p.name, p.layer, p.rect.center()});
+  }
+  return out;
+}
+
+namespace {
+
+void visit(const Cell& c, std::set<const Cell*>& seen,
+           std::vector<const Cell*>& order) {
+  if (!seen.insert(&c).second) return;
+  for (const Instance& i : c.instances()) visit(*i.cell, seen, order);
+  order.push_back(&c);
+}
+
+}  // namespace
+
+std::vector<const Cell*> dependency_order(const Cell& top) {
+  std::set<const Cell*> seen;
+  std::vector<const Cell*> order;
+  visit(top, seen, order);
+  return order;
+}
+
+}  // namespace silc::layout

@@ -1,0 +1,141 @@
+// Hierarchical layout database.
+//
+// Cells own geometry (layer rectangles), named connection points (ports),
+// text labels, and transformed instances of other cells. A Library owns the
+// cells; instance pointers refer to library-owned cells, which therefore must
+// outlive any cell that instantiates them (the Library guarantees this).
+//
+// This is the "physical description" of the paper's three-description model;
+// the unification of structural and physical hierarchy (Mead [1]) is exactly
+// a Cell tree whose instances mirror the structural decomposition.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geom/geom.hpp"
+#include "tech/tech.hpp"
+
+namespace silc::layout {
+
+using geom::Coord;
+using geom::Point;
+using geom::Rect;
+using geom::Transform;
+using tech::Layer;
+
+struct Shape {
+  Layer layer{};
+  Rect rect{};
+};
+
+/// A named connection point: a rectangle on a conducting layer where a wire
+/// may legally attach (typically a full-width wire stub on the cell border).
+struct Port {
+  std::string name;
+  Layer layer{};
+  Rect rect{};
+};
+
+struct TextLabel {
+  std::string text;
+  Layer layer{};
+  Point at{};
+};
+
+class Cell;
+
+struct Instance {
+  const Cell* cell = nullptr;
+  Transform transform{};
+  std::string name;
+};
+
+class Cell {
+ public:
+  explicit Cell(std::string name) : name_(std::move(name)) {}
+
+  Cell(const Cell&) = delete;
+  Cell& operator=(const Cell&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  void add_rect(Layer layer, const Rect& r);
+  void add_shape(const Shape& s) { add_rect(s.layer, s.rect); }
+  Instance& add_instance(const Cell& cell, const Transform& t,
+                         std::string inst_name = "");
+  void add_port(std::string name, Layer layer, const Rect& r);
+  void add_label(std::string text, Layer layer, Point at);
+
+  [[nodiscard]] const std::vector<Shape>& shapes() const { return shapes_; }
+  [[nodiscard]] const std::vector<Instance>& instances() const { return instances_; }
+  [[nodiscard]] const std::vector<Port>& ports() const { return ports_; }
+  [[nodiscard]] const std::vector<TextLabel>& labels() const { return labels_; }
+
+  /// Port lookup by name; returns nullptr when absent.
+  [[nodiscard]] const Port* find_port(const std::string& name) const;
+  /// Port rect of an instance's port, in this cell's coordinates.
+  [[nodiscard]] static Rect port_rect(const Instance& inst, const Port& port);
+
+  /// Bounding box over own shapes and all instances (cached).
+  [[nodiscard]] Rect bbox() const;
+
+  /// Total number of rectangles in the fully flattened cell.
+  [[nodiscard]] std::size_t flat_shape_count() const;
+
+ private:
+  std::string name_;
+  std::vector<Shape> shapes_;
+  std::vector<Instance> instances_;
+  std::vector<Port> ports_;
+  std::vector<TextLabel> labels_;
+  mutable Rect bbox_cache_{};
+  mutable bool bbox_valid_ = false;
+};
+
+/// Owns cells; names are unique within a library.
+class Library {
+ public:
+  explicit Library(std::string name = "lib") : name_(std::move(name)) {}
+
+  /// Create a cell; if the name is taken, a unique suffix is appended.
+  Cell& create(const std::string& name);
+  [[nodiscard]] Cell* find(const std::string& name);
+  [[nodiscard]] const Cell* find(const std::string& name) const;
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::vector<const Cell*> cells() const;
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Cell>> cells_;
+  std::map<std::string, Cell*> by_name_;
+};
+
+/// A label with its flattened position and hierarchical name
+/// ("alu.bit3.out").
+struct FlatLabel {
+  std::string text;
+  Layer layer{};
+  Point at{};
+};
+
+/// Fully flattened geometry of `top` (all shapes in top coordinates).
+[[nodiscard]] std::vector<Shape> flatten(const Cell& top);
+
+/// Flatten with hierarchical labels; port rects of the top cell are also
+/// emitted as labels at the port-rect center (extraction uses these to name
+/// electrical nodes).
+struct Flattened {
+  std::vector<Shape> shapes;
+  std::vector<FlatLabel> labels;
+};
+[[nodiscard]] Flattened flatten_with_labels(const Cell& top);
+
+/// Cells reachable from `top` (including `top`), each listed once,
+/// children before parents (a valid CIF emission order).
+[[nodiscard]] std::vector<const Cell*> dependency_order(const Cell& top);
+
+}  // namespace silc::layout

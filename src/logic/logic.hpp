@@ -1,0 +1,117 @@
+// Two-level boolean logic: truth tables, cubes, covers, and minimization.
+//
+// PLAs are "regular blocks ... programmed for specific functions" (the
+// paper's microscopic silicon compilation); what gets programmed is a
+// minimized sum-of-products cover. This module provides:
+//   * TruthTable  - explicit function representation (with don't-cares)
+//   * Cube        - a product term as (mask, value) bit pairs
+//   * minimize_qm - Quine-McCluskey prime generation + branch-and-bound
+//                   unate covering (minimum cover for small charts, greedy
+//                   completion for large ones)
+//   * minimize_heuristic - espresso-flavored expand/irredundant pass, much
+//                   faster for wide functions
+//   * minimize_multi - multi-output minimization with product-term sharing,
+//                   the form a PLA personality wants
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace silc::logic {
+
+/// A product term over n variables. Bit i of `mask` set means variable i is
+/// specified; `value` holds its polarity (bits outside mask are zero).
+struct Cube {
+  std::uint32_t mask = 0;
+  std::uint32_t value = 0;
+
+  [[nodiscard]] bool covers(std::uint32_t minterm) const {
+    return (minterm & mask) == value;
+  }
+  /// True when this cube's minterm set contains the other's.
+  [[nodiscard]] bool contains(const Cube& o) const {
+    return (o.mask & mask) == mask && (o.value & mask) == value;
+  }
+  [[nodiscard]] int literal_count() const { return __builtin_popcount(mask); }
+  /// "1-0-" style text, variable 0 leftmost.
+  [[nodiscard]] std::string to_string(int num_inputs) const;
+
+  friend bool operator==(const Cube& a, const Cube& b) = default;
+  friend auto operator<=>(const Cube& a, const Cube& b) = default;
+};
+
+enum class Tri : std::uint8_t { Zero, One, DontCare };
+
+/// Explicit truth table, up to 20 inputs (2^20 rows).
+class TruthTable {
+ public:
+  explicit TruthTable(int num_inputs);
+  [[nodiscard]] static TruthTable from_function(
+      int num_inputs, const std::function<bool(std::uint32_t)>& f);
+  /// Rows where `f` returns Tri::DontCare join the DC-set.
+  [[nodiscard]] static TruthTable from_tri_function(
+      int num_inputs, const std::function<Tri(std::uint32_t)>& f);
+  /// Build from a cover (rows covered by any cube are 1).
+  [[nodiscard]] static TruthTable from_cover(int num_inputs,
+                                             const std::vector<Cube>& cover);
+
+  [[nodiscard]] int num_inputs() const { return n_; }
+  [[nodiscard]] std::uint32_t size() const { return 1u << n_; }
+  [[nodiscard]] Tri get(std::uint32_t row) const;
+  void set(std::uint32_t row, Tri v);
+
+  [[nodiscard]] std::vector<std::uint32_t> on_set() const;
+  [[nodiscard]] std::vector<std::uint32_t> off_set() const;
+  [[nodiscard]] std::size_t on_count() const;
+
+  /// True when the cover equals this function on every care row.
+  [[nodiscard]] bool implemented_by(const std::vector<Cube>& cover) const;
+
+ private:
+  int n_;
+  std::vector<std::uint8_t> rows_;
+};
+
+/// Quine-McCluskey: all prime implicants of on-set plus dc-set.
+[[nodiscard]] std::vector<Cube> prime_implicants(const TruthTable& f);
+
+/// Prime-implicant minimization. Minimum-cardinality cover when the
+/// covering problem is small enough for branch-and-bound (<= `bnb_limit`
+/// primes), essential+greedy completion otherwise.
+[[nodiscard]] std::vector<Cube> minimize_qm(const TruthTable& f,
+                                            int bnb_limit = 26);
+
+/// Espresso-flavored heuristic: seed with on-set rows (or a given cover),
+/// expand cubes against the off-set, then drop redundant cubes.
+[[nodiscard]] std::vector<Cube> minimize_heuristic(const TruthTable& f);
+[[nodiscard]] std::vector<Cube> minimize_heuristic(const TruthTable& f,
+                                                   std::vector<Cube> seed);
+
+/// Auto-select: QM for narrow functions, heuristic for wide ones.
+[[nodiscard]] std::vector<Cube> minimize(const TruthTable& f);
+
+// ---- multi-output ----
+
+struct MultiFunction {
+  int num_inputs = 0;
+  std::vector<TruthTable> outputs;
+};
+
+/// A PLA personality: shared product terms and, per output, which terms
+/// feed its OR column.
+struct PlaTerms {
+  int num_inputs = 0;
+  std::vector<Cube> terms;
+  std::vector<std::vector<int>> output_terms;  // [output] -> term indices
+
+  [[nodiscard]] std::size_t term_count() const { return terms.size(); }
+  [[nodiscard]] bool evaluate(int output, std::uint32_t minterm) const;
+};
+
+/// Minimize every output and share identical product terms.
+[[nodiscard]] PlaTerms minimize_multi(const MultiFunction& f,
+                                      bool use_heuristic = false);
+
+}  // namespace silc::logic

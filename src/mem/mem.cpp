@@ -1,0 +1,59 @@
+#include "mem/mem.hpp"
+
+#include <stdexcept>
+
+namespace silc::mem {
+
+RomResult generate_rom(layout::Library& lib, const std::vector<std::uint32_t>& words,
+                       int word_bits, const RomOptions& options) {
+  if (words.empty() || (words.size() & (words.size() - 1)) != 0) {
+    throw std::invalid_argument("ROM word count must be a power of two");
+  }
+  if (word_bits < 1 || word_bits > 30) {
+    throw std::invalid_argument("ROM word width must be 1..30 bits");
+  }
+  int abits = 0;
+  while ((std::size_t{1} << abits) < words.size()) ++abits;
+  if (abits == 0) throw std::invalid_argument("ROM needs at least 2 words");
+
+  // One product row per address whose word is not all-ones; output k's OR
+  // column selects the rows where bit k is zero (NOR polarity, see pla.hpp).
+  const std::uint32_t all_ones = (word_bits >= 32) ? ~0u : ((1u << word_bits) - 1);
+  logic::PlaTerms personality;
+  personality.num_inputs = abits;
+  std::vector<int> row_of(words.size(), -1);
+  const std::uint32_t full_mask = (1u << abits) - 1;
+  for (std::size_t a = 0; a < words.size(); ++a) {
+    if ((words[a] & all_ones) == all_ones) continue;  // no devices needed
+    row_of[a] = static_cast<int>(personality.terms.size());
+    personality.terms.push_back({full_mask, static_cast<std::uint32_t>(a)});
+  }
+  if (personality.terms.empty()) {
+    // Degenerate all-ones ROM: keep one dummy decoder row so the array is
+    // non-empty; it drives nothing.
+    personality.terms.push_back({full_mask, 0});
+  }
+  personality.output_terms.resize(static_cast<std::size_t>(word_bits));
+  for (std::size_t a = 0; a < words.size(); ++a) {
+    if (row_of[a] < 0) continue;
+    for (int k = 0; k < word_bits; ++k) {
+      if (((words[a] >> k) & 1u) == 0) {
+        personality.output_terms[static_cast<std::size_t>(k)].push_back(row_of[a]);
+      }
+    }
+  }
+
+  const pla::PlaResult p =
+      pla::generate_from_personality(lib, personality, {.name = options.name});
+  RomResult out;
+  out.cell = p.cell;
+  out.stats.address_bits = abits;
+  out.stats.word_bits = word_bits;
+  out.stats.words = words.size();
+  out.stats.bits = words.size() * static_cast<std::size_t>(word_bits);
+  out.stats.area = p.stats.area();
+  out.stats.crosspoints = p.stats.crosspoints;
+  return out;
+}
+
+}  // namespace silc::mem

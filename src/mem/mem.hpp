@@ -1,0 +1,45 @@
+// Memory generators: the second kind of "regular block programmed for a
+// specific function" the paper names.
+//
+// The ROM is a NOR-NOR array sharing the PLA's verified tile machinery:
+// the AND plane degenerates to a full address decoder (one product row per
+// stored word) and the OR plane holds the data. Rows whose stored word is
+// all-ones are omitted (they would contribute no OR-plane devices).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/layout.hpp"
+#include "pla/pla.hpp"
+
+namespace silc::mem {
+
+struct RomOptions {
+  std::string name = "rom";
+};
+
+struct RomStats {
+  int address_bits = 0;
+  int word_bits = 0;
+  std::size_t words = 0;
+  std::size_t bits = 0;             // words * word_bits
+  std::int64_t area = 0;            // half-lambda^2
+  std::size_t crosspoints = 0;
+  [[nodiscard]] double area_per_bit() const {
+    return bits == 0 ? 0.0 : static_cast<double>(area) / static_cast<double>(bits);
+  }
+};
+
+struct RomResult {
+  layout::Cell* cell = nullptr;
+  RomStats stats;
+};
+
+/// Generate a ROM holding `words` (words.size() must be a power of two, the
+/// address width is log2 of it). Ports: in<i> = address bits (poly, top),
+/// out<k> = data bits (metal, right), vdd, gnd.
+RomResult generate_rom(layout::Library& lib, const std::vector<std::uint32_t>& words,
+                       int word_bits, const RomOptions& options = {});
+
+}  // namespace silc::mem

@@ -1,0 +1,236 @@
+#include "net/net.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace silc::net {
+
+const char* to_string(GateKind k) {
+  switch (k) {
+    case GateKind::Const0: return "const0";
+    case GateKind::Const1: return "const1";
+    case GateKind::Buf: return "buf";
+    case GateKind::Not: return "not";
+    case GateKind::And: return "and";
+    case GateKind::Or: return "or";
+    case GateKind::Nand: return "nand";
+    case GateKind::Nor: return "nor";
+    case GateKind::Xor: return "xor";
+    case GateKind::Xnor: return "xnor";
+    case GateKind::Mux: return "mux";
+    case GateKind::Dff: return "dff";
+  }
+  return "?";
+}
+
+int Netlist::add_net(const std::string& name) {
+  std::string unique = name.empty() ? "n" + std::to_string(net_names_.size()) : name;
+  int suffix = 1;
+  while (net_by_name_.count(unique) != 0) {
+    unique = name + "_" + std::to_string(suffix++);
+  }
+  const int id = static_cast<int>(net_names_.size());
+  net_names_.push_back(unique);
+  net_by_name_[unique] = id;
+  return id;
+}
+
+int Netlist::add_input(const std::string& name) {
+  const int id = add_net(name);
+  inputs_.push_back(id);
+  return id;
+}
+
+void Netlist::mark_output(int net, const std::string& name) {
+  outputs_.push_back(net);
+  if (!name.empty() && net_names_[static_cast<std::size_t>(net)] != name &&
+      net_by_name_.count(name) == 0) {
+    net_by_name_[name] = net;  // alias
+  }
+}
+
+int Netlist::add_gate(GateKind kind, const std::vector<int>& inputs,
+                      const std::string& name) {
+  const int out = add_net(name);
+  add_gate_driving(kind, inputs, out, name);
+  return out;
+}
+
+void Netlist::add_gate_driving(GateKind kind, const std::vector<int>& inputs,
+                               int output, const std::string& name) {
+  gates_.push_back({kind, inputs, output, name});
+}
+
+int Netlist::find_net(const std::string& name) const {
+  const auto it = net_by_name_.find(name);
+  return it == net_by_name_.end() ? -1 : it->second;
+}
+
+std::vector<int> Netlist::topo_order() const {
+  const std::size_t nn = net_names_.size();
+  std::vector<int> driver(nn, -1);
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    const int out = gates_[g].output;
+    if (driver[static_cast<std::size_t>(out)] >= 0) {
+      throw std::runtime_error("net " + net_name(out) + " has multiple drivers");
+    }
+    driver[static_cast<std::size_t>(out)] = static_cast<int>(g);
+  }
+  // Kahn's algorithm over combinational gates; DFF outputs are sources.
+  std::vector<int> pending(gates_.size(), 0);
+  std::vector<std::vector<int>> dependents(nn);
+  std::vector<int> ready;
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    if (gates_[g].kind == GateKind::Dff) {
+      ready.push_back(static_cast<int>(g));
+      continue;
+    }
+    int deps = 0;
+    for (const int in : gates_[g].inputs) {
+      const int d = driver[static_cast<std::size_t>(in)];
+      if (d >= 0 && gates_[static_cast<std::size_t>(d)].kind != GateKind::Dff) {
+        ++deps;
+        dependents[static_cast<std::size_t>(in)].push_back(static_cast<int>(g));
+      }
+    }
+    pending[g] = deps;
+    if (deps == 0) ready.push_back(static_cast<int>(g));
+  }
+  std::vector<int> order;
+  order.reserve(gates_.size());
+  while (!ready.empty()) {
+    const int g = ready.back();
+    ready.pop_back();
+    order.push_back(g);
+    if (gates_[static_cast<std::size_t>(g)].kind == GateKind::Dff) continue;
+    for (const int dep : dependents[static_cast<std::size_t>(
+             gates_[static_cast<std::size_t>(g)].output)]) {
+      if (--pending[static_cast<std::size_t>(dep)] == 0) ready.push_back(dep);
+    }
+  }
+  if (order.size() != gates_.size()) {
+    throw std::runtime_error("combinational cycle in netlist");
+  }
+  return order;
+}
+
+std::size_t Netlist::count(GateKind k) const {
+  return static_cast<std::size_t>(std::count_if(
+      gates_.begin(), gates_.end(), [k](const Gate& g) { return g.kind == k; }));
+}
+
+std::size_t Netlist::logic_gate_count() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_) {
+    switch (g.kind) {
+      case GateKind::Const0:
+      case GateKind::Const1:
+      case GateKind::Buf:
+      case GateKind::Dff:
+        break;
+      default:
+        ++n;
+    }
+  }
+  return n;
+}
+
+GateSim::GateSim(const Netlist& nl) : nl_(&nl), order_(nl.topo_order()) {
+  value_.assign(nl.net_count(), 0);
+}
+
+void GateSim::set(const std::string& input, bool v) {
+  const int net = nl_->find_net(input);
+  if (net < 0) throw std::runtime_error("no net named " + input);
+  set(net, v);
+}
+
+void GateSim::set(int net, bool v) {
+  value_[static_cast<std::size_t>(net)] = v ? 1 : 0;
+}
+
+bool GateSim::get(int net) const {
+  return value_[static_cast<std::size_t>(net)] != 0;
+}
+
+bool GateSim::get(const std::string& name) const {
+  const int net = nl_->find_net(name);
+  if (net < 0) throw std::runtime_error("no net named " + name);
+  return get(net);
+}
+
+void GateSim::eval() {
+  const auto& gates = nl_->gates();
+  for (const int gi : order_) {
+    const Gate& g = gates[static_cast<std::size_t>(gi)];
+    if (g.kind == GateKind::Dff) continue;  // state holds between ticks
+    const auto in = [&](std::size_t i) {
+      return value_[static_cast<std::size_t>(g.inputs[i])] != 0;
+    };
+    bool v = false;
+    switch (g.kind) {
+      case GateKind::Const0: v = false; break;
+      case GateKind::Const1: v = true; break;
+      case GateKind::Buf: v = in(0); break;
+      case GateKind::Not: v = !in(0); break;
+      case GateKind::And: {
+        v = true;
+        for (std::size_t i = 0; i < g.inputs.size(); ++i) v = v && in(i);
+        break;
+      }
+      case GateKind::Or: {
+        v = false;
+        for (std::size_t i = 0; i < g.inputs.size(); ++i) v = v || in(i);
+        break;
+      }
+      case GateKind::Nand: {
+        v = true;
+        for (std::size_t i = 0; i < g.inputs.size(); ++i) v = v && in(i);
+        v = !v;
+        break;
+      }
+      case GateKind::Nor: {
+        v = false;
+        for (std::size_t i = 0; i < g.inputs.size(); ++i) v = v || in(i);
+        v = !v;
+        break;
+      }
+      case GateKind::Xor: {
+        v = false;
+        for (std::size_t i = 0; i < g.inputs.size(); ++i) v = v != in(i);
+        break;
+      }
+      case GateKind::Xnor: {
+        v = false;
+        for (std::size_t i = 0; i < g.inputs.size(); ++i) v = v != in(i);
+        v = !v;
+        break;
+      }
+      case GateKind::Mux: v = in(0) ? in(2) : in(1); break;
+      case GateKind::Dff: break;
+    }
+    value_[static_cast<std::size_t>(g.output)] = v ? 1 : 0;
+  }
+}
+
+void GateSim::tick() {
+  // Latch all DFFs simultaneously from current combinational values.
+  std::vector<std::pair<int, std::uint8_t>> latched;
+  for (const Gate& g : nl_->gates()) {
+    if (g.kind != GateKind::Dff) continue;
+    latched.emplace_back(g.output, value_[static_cast<std::size_t>(g.inputs[0])]);
+  }
+  for (const auto& [net, v] : latched) value_[static_cast<std::size_t>(net)] = v;
+  eval();
+}
+
+void GateSim::reset_state(bool v) {
+  for (const Gate& g : nl_->gates()) {
+    if (g.kind == GateKind::Dff) {
+      value_[static_cast<std::size_t>(g.output)] = v ? 1 : 0;
+    }
+  }
+  eval();
+}
+
+}  // namespace silc::net

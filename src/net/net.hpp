@@ -1,0 +1,95 @@
+// Structural netlist: the middle one of the paper's three descriptions
+// (structural / behavioral / physical).
+//
+// A Netlist is a DAG of single-output gates plus clocked DFFs (all DFFs
+// share one implicit two-phase clock, as 1979 NMOS methodology demanded).
+// It supports validation (single driver, no combinational cycles), event-
+// free levelized simulation, and statistics used by the standard-module
+// chip-counting flow.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace silc::net {
+
+enum class GateKind : std::uint8_t {
+  Const0, Const1, Buf, Not, And, Or, Nand, Nor, Xor, Xnor,
+  Mux,  // inputs: {sel, a, b} -> sel ? b : a
+  Dff,  // inputs: {d}; output q, updated on tick()
+};
+
+[[nodiscard]] const char* to_string(GateKind k);
+
+struct Gate {
+  GateKind kind{};
+  std::vector<int> inputs;
+  int output = -1;
+  std::string name;
+};
+
+class Netlist {
+ public:
+  /// Create a net; name optional (unique names enforced by suffixing).
+  int add_net(const std::string& name = "");
+  /// Declare an existing net as a primary input/output.
+  int add_input(const std::string& name);
+  void mark_output(int net, const std::string& name);
+  /// Add a gate driving a fresh net (returned).
+  int add_gate(GateKind kind, const std::vector<int>& inputs,
+               const std::string& name = "");
+  /// Add a gate driving an existing net.
+  void add_gate_driving(GateKind kind, const std::vector<int>& inputs, int output,
+                        const std::string& name = "");
+
+  [[nodiscard]] std::size_t net_count() const { return net_names_.size(); }
+  [[nodiscard]] const std::vector<Gate>& gates() const { return gates_; }
+  [[nodiscard]] const std::string& net_name(int net) const {
+    return net_names_[static_cast<std::size_t>(net)];
+  }
+  [[nodiscard]] int find_net(const std::string& name) const;
+  [[nodiscard]] const std::vector<int>& inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<int>& outputs() const { return outputs_; }
+
+  /// Gates in dependency order (DFF outputs and inputs are sources).
+  /// Throws std::runtime_error on combinational cycles or multiple drivers.
+  [[nodiscard]] std::vector<int> topo_order() const;
+
+  [[nodiscard]] std::size_t count(GateKind k) const;
+  [[nodiscard]] std::size_t dff_count() const { return count(GateKind::Dff); }
+  /// Combinational gate count (everything except DFF/Buf/Const).
+  [[nodiscard]] std::size_t logic_gate_count() const;
+
+ private:
+  std::vector<std::string> net_names_;
+  std::map<std::string, int> net_by_name_;
+  std::vector<Gate> gates_;
+  std::vector<int> inputs_;
+  std::vector<int> outputs_;
+};
+
+/// Levelized two-phase simulator for Netlist.
+class GateSim {
+ public:
+  explicit GateSim(const Netlist& nl);
+
+  void set(const std::string& input, bool v);
+  void set(int net, bool v);
+  [[nodiscard]] bool get(int net) const;
+  [[nodiscard]] bool get(const std::string& name) const;
+  /// Re-evaluate all combinational logic from current inputs + DFF state.
+  void eval();
+  /// Clock edge: latch DFF inputs, then re-evaluate.
+  void tick();
+  /// Set every DFF output (state bit) to `v` and re-evaluate.
+  void reset_state(bool v = false);
+
+ private:
+  const Netlist* nl_;
+  std::vector<int> order_;
+  std::vector<std::uint8_t> value_;
+};
+
+}  // namespace silc::net

@@ -1,0 +1,134 @@
+#include "place/place.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+namespace silc::place {
+
+namespace {
+
+// A slicing-tree node with the (width,height) options it can realize.
+// Each option remembers how it was built so placements can be recovered.
+struct Shape {
+  Coord w = 0, h = 0;
+  bool rotated = false;       // leaf only
+  bool horizontal_cut = false;  // internal: children stacked vertically
+  int left_choice = -1, right_choice = -1;
+};
+
+struct Node {
+  int block = -1;  // leaf block index, or -1 for internal
+  std::unique_ptr<Node> left, right;
+  std::vector<Shape> shapes;
+};
+
+// Keep only Pareto-optimal (w,h) shapes.
+void prune(std::vector<Shape>& shapes) {
+  std::sort(shapes.begin(), shapes.end(), [](const Shape& a, const Shape& b) {
+    return a.w != b.w ? a.w < b.w : a.h < b.h;
+  });
+  std::vector<Shape> kept;
+  Coord best_h = std::numeric_limits<Coord>::max();
+  for (const Shape& s : shapes) {
+    if (s.h < best_h) {
+      kept.push_back(s);
+      best_h = s.h;
+    }
+  }
+  shapes = std::move(kept);
+}
+
+std::unique_ptr<Node> build_tree(const std::vector<Block>& blocks,
+                                 std::vector<int>& order, std::size_t lo,
+                                 std::size_t hi, Coord spacing) {
+  auto node = std::make_unique<Node>();
+  if (hi - lo == 1) {
+    node->block = order[lo];
+    const Block& b = blocks[static_cast<std::size_t>(order[lo])];
+    node->shapes.push_back({b.width + spacing, b.height + spacing, false, false, -1, -1});
+    if (b.rotatable && b.width != b.height) {
+      node->shapes.push_back({b.height + spacing, b.width + spacing, true, false, -1, -1});
+    }
+    prune(node->shapes);
+    return node;
+  }
+  const std::size_t mid = (lo + hi) / 2;
+  node->left = build_tree(blocks, order, lo, mid, spacing);
+  node->right = build_tree(blocks, order, mid, hi, spacing);
+  for (std::size_t li = 0; li < node->left->shapes.size(); ++li) {
+    for (std::size_t ri = 0; ri < node->right->shapes.size(); ++ri) {
+      const Shape& a = node->left->shapes[li];
+      const Shape& b = node->right->shapes[ri];
+      // Vertical cut: side by side.
+      node->shapes.push_back({a.w + b.w, std::max(a.h, b.h), false, false,
+                              static_cast<int>(li), static_cast<int>(ri)});
+      // Horizontal cut: stacked.
+      node->shapes.push_back({std::max(a.w, b.w), a.h + b.h, false, true,
+                              static_cast<int>(li), static_cast<int>(ri)});
+    }
+  }
+  prune(node->shapes);
+  return node;
+}
+
+void realize(const Node& node, int choice, geom::Point at,
+             std::vector<Placement>& out) {
+  const Shape& s = node.shapes[static_cast<std::size_t>(choice)];
+  if (node.block >= 0) {
+    out.push_back({node.block, at, s.rotated});
+    return;
+  }
+  const Shape& a = node.left->shapes[static_cast<std::size_t>(s.left_choice)];
+  realize(*node.left, s.left_choice, at, out);
+  if (s.horizontal_cut) {
+    realize(*node.right, s.right_choice, {at.x, at.y + a.h}, out);
+  } else {
+    realize(*node.right, s.right_choice, {at.x + a.w, at.y}, out);
+  }
+}
+
+}  // namespace
+
+FloorplanResult floorplan(const std::vector<Block>& blocks,
+                          const FloorplanOptions& options) {
+  if (blocks.empty()) throw std::invalid_argument("no blocks to floorplan");
+  // Sort by decreasing area so the balanced tree pairs similar-size blocks.
+  std::vector<int> order(blocks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&blocks](int a, int b) {
+    const auto& ba = blocks[static_cast<std::size_t>(a)];
+    const auto& bb = blocks[static_cast<std::size_t>(b)];
+    return static_cast<std::int64_t>(ba.width) * ba.height >
+           static_cast<std::int64_t>(bb.width) * bb.height;
+  });
+  const auto root =
+      build_tree(blocks, order, 0, blocks.size(), options.spacing);
+
+  // Minimum-area shape.
+  int best = 0;
+  std::int64_t best_area = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t i = 0; i < root->shapes.size(); ++i) {
+    const std::int64_t a =
+        static_cast<std::int64_t>(root->shapes[i].w) * root->shapes[i].h;
+    if (a < best_area) {
+      best_area = a;
+      best = static_cast<int>(i);
+    }
+  }
+
+  FloorplanResult result;
+  realize(*root, best, {0, 0}, result.placements);
+  result.width = root->shapes[static_cast<std::size_t>(best)].w;
+  result.height = root->shapes[static_cast<std::size_t>(best)].h;
+  std::int64_t used = 0;
+  for (const Block& b : blocks) {
+    used += static_cast<std::int64_t>(b.width) * b.height;
+  }
+  result.utilization =
+      static_cast<double>(used) / static_cast<double>(result.area());
+  return result;
+}
+
+}  // namespace silc::place

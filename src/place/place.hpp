@@ -1,0 +1,49 @@
+// Block placement: slicing-tree floorplanning for multi-block chips.
+//
+// Blocks (PLAs, ROMs, register banks...) are rectangles; the floorplanner
+// builds a balanced slicing tree over them and, bottom-up, chooses the
+// horizontal/vertical cut and child orientations minimizing bounding area
+// (a compact Stockmeyer-style enumeration over the orientation choices).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace silc::place {
+
+using geom::Coord;
+
+struct Block {
+  std::string name;
+  Coord width = 0;
+  Coord height = 0;
+  bool rotatable = true;
+};
+
+struct Placement {
+  int block = -1;          // index into the input vector
+  geom::Point at;          // lower-left corner
+  bool rotated = false;    // width/height swapped
+};
+
+struct FloorplanResult {
+  std::vector<Placement> placements;
+  Coord width = 0, height = 0;
+  [[nodiscard]] std::int64_t area() const {
+    return static_cast<std::int64_t>(width) * height;
+  }
+  /// sum(block areas) / floorplan area, in [0,1].
+  double utilization = 0.0;
+};
+
+struct FloorplanOptions {
+  Coord spacing = 12;  // clearance added between blocks (half-lambdas)
+};
+
+/// Floorplan the blocks; deterministic. Throws on empty input.
+[[nodiscard]] FloorplanResult floorplan(const std::vector<Block>& blocks,
+                                        const FloorplanOptions& options = {});
+
+}  // namespace silc::place

@@ -1,0 +1,161 @@
+#include "route/route.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace silc::route {
+
+using geom::Rect;
+using layout::Cell;
+using tech::Layer;
+
+namespace {
+
+// First track offset from the channel edge: far enough that track metal
+// (and its contact pads, which poke 1 under the track line) clears metal
+// at the channel border by >= 3 lambda. Metal pins need extra room for
+// their stub and edge contact.
+constexpr Coord kBasePoly = 10;
+constexpr Coord kBaseMetal = 26;
+
+struct NetInfo {
+  std::vector<const Pin*> pins;
+  Coord min_x = 0, max_x = 0;
+  int track = -1;
+};
+
+void cut_with_pads(Cell& c, Coord x, Coord y, Layer conductor) {
+  c.add_rect(Layer::Contact, {x, y, x + 4, y + 4});
+  c.add_rect(Layer::Metal, {x - 2, y - 2, x + 6, y + 6});
+  c.add_rect(conductor, {x - 2, y - 2, x + 6, y + 6});
+}
+
+struct Plan {
+  std::map<int, NetInfo> nets;
+  Coord bottom_base = 0;  // y offset of track 0 (relative to channel bottom)
+  int tracks = 0;
+  Coord height = 0;
+  bool metal_bottom = false, metal_top = false;
+};
+
+Plan make_plan(const ChannelSpec& spec) {
+  Plan plan;
+  // Validate pin spacing and gather nets.
+  std::map<Coord, int> net_at_x;
+  for (const Pin& p : spec.pins) {
+    if (p.layer != Layer::Poly && p.layer != Layer::Metal) {
+      throw std::invalid_argument("channel pins must be poly or metal");
+    }
+    if (p.x < spec.x0 + 2 || p.x + 4 > spec.x1 - 2) {
+      throw std::invalid_argument("pin outside channel span");
+    }
+    const auto [it, fresh] = net_at_x.emplace(p.x, p.net);
+    if (!fresh && it->second != p.net) {
+      throw std::invalid_argument("two nets share pin x=" + std::to_string(p.x));
+    }
+    NetInfo& n = plan.nets[p.net];
+    if (n.pins.empty()) {
+      n.min_x = n.max_x = p.x;
+    } else {
+      n.min_x = std::min(n.min_x, p.x);
+      n.max_x = std::max(n.max_x, p.x);
+    }
+    n.pins.push_back(&p);
+    if (p.layer == Layer::Metal) {
+      (p.top ? plan.metal_top : plan.metal_bottom) = true;
+    }
+  }
+  for (auto prev = net_at_x.begin(), it = std::next(net_at_x.begin());
+       prev != net_at_x.end() && it != net_at_x.end(); ++prev, ++it) {
+    if (it->first - prev->first < kLegPitch && it->second != prev->second) {
+      throw std::invalid_argument("pins of different nets closer than leg pitch");
+    }
+  }
+  // Left-edge track packing: nets sorted by left end; a net fits a track if
+  // its interval starts >= 14 past the previous interval's end.
+  std::vector<NetInfo*> order;
+  for (auto& [id, n] : plan.nets) order.push_back(&n);
+  std::sort(order.begin(), order.end(),
+            [](const NetInfo* a, const NetInfo* b) { return a->min_x < b->min_x; });
+  std::vector<Coord> track_end;  // rightmost x used per track
+  for (NetInfo* n : order) {
+    int assigned = -1;
+    for (std::size_t t = 0; t < track_end.size(); ++t) {
+      if (n->min_x - 2 >= track_end[t] + 6) {
+        assigned = static_cast<int>(t);
+        break;
+      }
+    }
+    if (assigned < 0) {
+      assigned = static_cast<int>(track_end.size());
+      track_end.push_back(0);
+    }
+    n->track = assigned;
+    track_end[static_cast<std::size_t>(assigned)] = n->max_x + 6;
+  }
+  plan.tracks = static_cast<int>(track_end.size());
+  plan.bottom_base = plan.metal_bottom ? kBaseMetal : kBasePoly;
+  const Coord top_margin = plan.metal_top ? kBaseMetal : kBasePoly;
+  const int span = plan.tracks > 0 ? plan.tracks - 1 : 0;
+  plan.height = plan.bottom_base + span * kTrackPitch + 7 + top_margin;
+  return plan;
+}
+
+}  // namespace
+
+ChannelResult plan_channel(const ChannelSpec& spec) {
+  const Plan plan = make_plan(spec);
+  ChannelResult r;
+  r.height = plan.height;
+  r.tracks = plan.tracks;
+  for (const auto& [id, n] : plan.nets) r.wire_length += n.max_x - n.min_x;
+  return r;
+}
+
+ChannelResult route_channel(Cell& cell, const ChannelSpec& spec) {
+  const Plan plan = make_plan(spec);
+  const Coord y_bot = spec.y0;
+  const Coord y_top = spec.y0 + plan.height;
+
+  ChannelResult result;
+  result.height = plan.height;
+  result.tracks = plan.tracks;
+
+  for (const auto& [id, net] : plan.nets) {
+    const Coord ty = y_bot + plan.bottom_base + net.track * kTrackPitch;
+    // Track segment (even single-pin nets get a stub so the net is visible).
+    const Coord seg_x0 = net.min_x - 2;
+    const Coord seg_x1 = net.max_x + 6;
+    cell.add_rect(Layer::Metal, {seg_x0, ty, seg_x1, ty + 6});
+    result.wire_length += seg_x1 - seg_x0;
+
+    for (const Pin* p : net.pins) {
+      // Contact joining the leg to the track.
+      cut_with_pads(cell, p->x, ty + 1, Layer::Poly);
+      if (p->layer == Layer::Poly) {
+        // Straight poly leg to the channel edge.
+        if (p->top) {
+          cell.add_rect(Layer::Poly, {p->x, ty + 3, p->x + 4, y_top});
+        } else {
+          cell.add_rect(Layer::Poly, {p->x, y_bot, p->x + 4, ty + 3});
+        }
+      } else {
+        // Metal stub from the channel edge, a metal->poly contact, then a
+        // poly leg from that contact to the track.
+        if (p->top) {
+          cell.add_rect(Layer::Metal, {p->x - 1, y_top - 10, p->x + 5, y_top});
+          cut_with_pads(cell, p->x, y_top - 16, Layer::Poly);
+          cell.add_rect(Layer::Poly, {p->x, ty + 3, p->x + 4, y_top - 14});
+        } else {
+          cell.add_rect(Layer::Metal, {p->x - 1, y_bot, p->x + 5, y_bot + 10});
+          cut_with_pads(cell, p->x, y_bot + 12, Layer::Poly);
+          cell.add_rect(Layer::Poly, {p->x, y_bot + 14, p->x + 4, ty + 3});
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace silc::route

@@ -1,0 +1,54 @@
+// Channel router (Mead & Conway two-layer discipline: horizontal metal
+// tracks, vertical poly legs, contacts at junctions).
+//
+// Because legs are poly and tracks are metal, leg/track crossings are free;
+// the only interaction constraint is that two different nets may not own
+// legs at the same x. The assembler guarantees pin x positions are unique
+// per net and at least kLegPitch apart, so classic vertical-constraint
+// cycles cannot arise and left-edge track packing is correct by
+// construction (doglegs are never needed).
+//
+// Pins enter from the bottom (y = y0) or top (y = y0 + height()) edge.
+// Poly pins connect straight onto their leg; metal pins get a short stub
+// and a metal-poly contact at the channel edge.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "layout/layout.hpp"
+
+namespace silc::route {
+
+using geom::Coord;
+
+inline constexpr Coord kLegPitch = 16;    // minimum pin/leg x separation
+inline constexpr Coord kTrackPitch = 14;  // metal track separation
+
+struct Pin {
+  int net = -1;
+  Coord x = 0;        // leg left edge; leg occupies [x, x+4]
+  bool top = false;   // which channel edge the pin enters from
+  tech::Layer layer = tech::Layer::Poly;  // Poly or Metal
+};
+
+struct ChannelSpec {
+  Coord x0 = 0, x1 = 0;  // horizontal extent of the channel
+  Coord y0 = 0;          // bottom edge
+  std::vector<Pin> pins;
+};
+
+struct ChannelResult {
+  Coord height = 0;  // channel extends [y0, y0 + height]
+  int tracks = 0;
+  std::int64_t wire_length = 0;  // total metal track length
+};
+
+/// Draw the routed channel into `cell`. Throws std::invalid_argument on
+/// pin-spacing or net-consistency violations.
+ChannelResult route_channel(layout::Cell& cell, const ChannelSpec& spec);
+
+/// Height the channel would need (same computation, no drawing).
+[[nodiscard]] ChannelResult plan_channel(const ChannelSpec& spec);
+
+}  // namespace silc::route

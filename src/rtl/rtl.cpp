@@ -1,0 +1,752 @@
+#include "rtl/rtl.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace silc::rtl {
+
+// ----------------------------------------------------------------- Design --
+
+const Signal* Design::find(const std::string& n) const {
+  for (const Signal& s : signals) {
+    if (s.name == n) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const Signal*> Design::of_kind(SignalKind k) const {
+  std::vector<const Signal*> out;
+  for (const Signal& s : signals) {
+    if (s.kind == k) out.push_back(&s);
+  }
+  return out;
+}
+
+std::size_t Design::state_bits() const {
+  std::size_t n = 0;
+  for (const Signal& s : signals) {
+    if (s.kind == SignalKind::Reg) n += static_cast<std::size_t>(s.width);
+  }
+  return n;
+}
+
+std::size_t Design::input_bits() const {
+  std::size_t n = 0;
+  for (const Signal& s : signals) {
+    if (s.kind == SignalKind::Input) n += static_cast<std::size_t>(s.width);
+  }
+  return n;
+}
+
+std::size_t Design::output_bits() const {
+  std::size_t n = 0;
+  for (const Signal& s : signals) {
+    if (s.kind == SignalKind::Output) n += static_cast<std::size_t>(s.width);
+  }
+  return n;
+}
+
+// ------------------------------------------------------------------ lexer --
+
+namespace {
+
+enum class Tok : std::uint8_t {
+  End, Ident, Number,
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semi, Comma, Colon, Question,
+  Assign, NonBlock,  // = and :=
+  Or, And, Xor, Not, Plus, Minus,
+  Eq, Ne, Lt, Le, Gt, Ge, Shl, Shr,
+  KwProcessor, KwInput, KwOutput, KwReg, KwWire, KwAlways, KwIf, KwElse,
+  KwCase, KwDefault,
+};
+
+struct Token {
+  Tok kind{};
+  std::string text;
+  std::uint64_t number = 0;
+  std::size_t line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) { advance(); }
+
+  [[nodiscard]] const Token& peek() const { return tok_; }
+  Token take() {
+    Token t = tok_;
+    advance();
+    return t;
+  }
+  [[nodiscard]] bool at(Tok k) const { return tok_.kind == k; }
+  Token expect(Tok k, const std::string& what) {
+    if (!at(k)) throw ParseError(tok_.line, "expected " + what);
+    return take();
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(tok_.line, msg);
+  }
+
+ private:
+  void advance() {
+    skip_space();
+    tok_ = {};
+    tok_.line = line_;
+    if (pos_ >= src_.size()) {
+      tok_.kind = Tok::End;
+      return;
+    }
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string w;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_')) {
+        w.push_back(src_[pos_++]);
+      }
+      static const std::map<std::string, Tok> kw = {
+          {"processor", Tok::KwProcessor}, {"input", Tok::KwInput},
+          {"output", Tok::KwOutput},       {"reg", Tok::KwReg},
+          {"wire", Tok::KwWire},           {"always", Tok::KwAlways},
+          {"if", Tok::KwIf},               {"else", Tok::KwElse},
+          {"case", Tok::KwCase},           {"default", Tok::KwDefault}};
+      const auto it = kw.find(w);
+      tok_.kind = it == kw.end() ? Tok::Ident : it->second;
+      tok_.text = std::move(w);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::uint64_t v = 0;
+      if (c == '0' && pos_ + 1 < src_.size() &&
+          (src_[pos_ + 1] == 'x' || src_[pos_ + 1] == 'b')) {
+        const char base = src_[pos_ + 1];
+        pos_ += 2;
+        bool any = false;
+        while (pos_ < src_.size()) {
+          const char d = src_[pos_];
+          int digit;
+          if (d >= '0' && d <= '9') {
+            digit = d - '0';
+          } else if (base == 'x' && std::isxdigit(static_cast<unsigned char>(d))) {
+            digit = std::tolower(d) - 'a' + 10;
+          } else {
+            break;
+          }
+          if (base == 'b' && digit > 1) break;
+          v = v * (base == 'x' ? 16 : 2) + static_cast<std::uint64_t>(digit);
+          ++pos_;
+          any = true;
+        }
+        if (!any) throw ParseError(line_, "malformed numeric literal");
+      } else {
+        while (pos_ < src_.size() &&
+               std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+          v = v * 10 + static_cast<std::uint64_t>(src_[pos_++] - '0');
+        }
+      }
+      tok_.kind = Tok::Number;
+      tok_.number = v;
+      return;
+    }
+    ++pos_;
+    const auto two = [&](char second, Tok yes, Tok no) {
+      if (pos_ < src_.size() && src_[pos_] == second) {
+        ++pos_;
+        tok_.kind = yes;
+      } else {
+        tok_.kind = no;
+      }
+    };
+    switch (c) {
+      case '(': tok_.kind = Tok::LParen; return;
+      case ')': tok_.kind = Tok::RParen; return;
+      case '{': tok_.kind = Tok::LBrace; return;
+      case '}': tok_.kind = Tok::RBrace; return;
+      case '[': tok_.kind = Tok::LBracket; return;
+      case ']': tok_.kind = Tok::RBracket; return;
+      case ';': tok_.kind = Tok::Semi; return;
+      case ',': tok_.kind = Tok::Comma; return;
+      case '?': tok_.kind = Tok::Question; return;
+      case '|': tok_.kind = Tok::Or; return;
+      case '&': tok_.kind = Tok::And; return;
+      case '^': tok_.kind = Tok::Xor; return;
+      case '~': tok_.kind = Tok::Not; return;
+      case '+': tok_.kind = Tok::Plus; return;
+      case '-': tok_.kind = Tok::Minus; return;
+      case '=': two('=', Tok::Eq, Tok::Assign); return;
+      case ':': two('=', Tok::NonBlock, Tok::Colon); return;
+      case '!':
+        if (pos_ < src_.size() && src_[pos_] == '=') {
+          ++pos_;
+          tok_.kind = Tok::Ne;
+          return;
+        }
+        throw ParseError(line_, "unexpected '!'");
+      case '<':
+        if (pos_ < src_.size() && src_[pos_] == '<') {
+          ++pos_;
+          tok_.kind = Tok::Shl;
+        } else {
+          two('=', Tok::Le, Tok::Lt);
+        }
+        return;
+      case '>':
+        if (pos_ < src_.size() && src_[pos_] == '>') {
+          ++pos_;
+          tok_.kind = Tok::Shr;
+        } else {
+          two('=', Tok::Ge, Tok::Gt);
+        }
+        return;
+      default:
+        throw ParseError(line_, std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  void skip_space() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < src_.size() &&
+               !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+          if (src_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        pos_ += 2;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  Token tok_;
+};
+
+// ----------------------------------------------------------------- parser --
+
+ExprPtr make_expr(Expr e) { return std::make_shared<Expr>(std::move(e)); }
+
+ExprPtr make_const(std::uint64_t v, int width) {
+  Expr e;
+  e.op = Op::Const;
+  e.value = mask_to(v, width);
+  e.width = width;
+  return make_expr(std::move(e));
+}
+
+int const_width(std::uint64_t v) {
+  int w = 1;
+  while (w < 64 && (v >> w) != 0) ++w;
+  return w;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : lex_(src) {}
+
+  Design run() {
+    lex_.expect(Tok::KwProcessor, "'processor'");
+    design_.name = lex_.expect(Tok::Ident, "design name").text;
+    lex_.expect(Tok::LParen, "'('");
+    while (!lex_.at(Tok::RParen)) parse_port();
+    lex_.take();
+    lex_.expect(Tok::LBrace, "'{'");
+    while (!lex_.at(Tok::RBrace)) parse_item();
+    lex_.take();
+    lex_.expect(Tok::End, "end of input");
+    finish();
+    return std::move(design_);
+  }
+
+ private:
+  void declare(SignalKind kind, const std::string& name, int width,
+               std::size_t line) {
+    if (design_.find(name) != nullptr) {
+      throw ParseError(line, "duplicate signal " + name);
+    }
+    if (width < 1 || width > 32) {
+      throw ParseError(line, "signal width must be 1..32");
+    }
+    design_.signals.push_back({name, width, kind});
+  }
+
+  int parse_width() {
+    if (!lex_.at(Tok::Lt)) return 1;
+    lex_.take();
+    const Token w = lex_.expect(Tok::Number, "width");
+    lex_.expect(Tok::Gt, "'>'");
+    return static_cast<int>(w.number);
+  }
+
+  void parse_port() {
+    const Token kw = lex_.take();
+    SignalKind kind;
+    if (kw.kind == Tok::KwInput) {
+      kind = SignalKind::Input;
+    } else if (kw.kind == Tok::KwOutput) {
+      kind = SignalKind::Output;
+    } else {
+      throw ParseError(kw.line, "expected input/output port declaration");
+    }
+    const Token name = lex_.expect(Tok::Ident, "port name");
+    const int width = parse_width();
+    lex_.expect(Tok::Semi, "';'");
+    declare(kind, name.text, width, name.line);
+  }
+
+  void parse_item() {
+    if (lex_.at(Tok::KwReg) || lex_.at(Tok::KwWire)) {
+      const bool is_reg = lex_.take().kind == Tok::KwReg;
+      const Token name = lex_.expect(Tok::Ident, "signal name");
+      const int width = parse_width();
+      lex_.expect(Tok::Semi, "';'");
+      declare(is_reg ? SignalKind::Reg : SignalKind::Wire, name.text, width,
+              name.line);
+      return;
+    }
+    if (lex_.at(Tok::KwAlways)) {
+      lex_.take();
+      parse_stmt(nullptr);
+      return;
+    }
+    // Combinational assignment.
+    const Token name = lex_.expect(Tok::Ident, "assignment target");
+    const Signal* sig = design_.find(name.text);
+    if (sig == nullptr) throw ParseError(name.line, "undeclared signal " + name.text);
+    if (sig->kind != SignalKind::Wire && sig->kind != SignalKind::Output) {
+      throw ParseError(name.line, "'=' target must be a wire or output");
+    }
+    if (design_.comb.count(name.text) != 0) {
+      throw ParseError(name.line, name.text + " assigned twice");
+    }
+    lex_.expect(Tok::Assign, "'='");
+    ExprPtr rhs = parse_expr();
+    lex_.expect(Tok::Semi, "';'");
+    design_.comb[name.text] = fit(rhs, sig->width);
+  }
+
+  // Clocked statements, flattened under `cond` (nullptr = unconditional).
+  void parse_stmt(ExprPtr cond) {
+    if (lex_.at(Tok::LBrace)) {
+      lex_.take();
+      while (!lex_.at(Tok::RBrace)) parse_stmt(cond);
+      lex_.take();
+      return;
+    }
+    if (lex_.at(Tok::KwIf)) {
+      lex_.take();
+      lex_.expect(Tok::LParen, "'('");
+      ExprPtr c = to_bool(parse_expr());
+      lex_.expect(Tok::RParen, "')'");
+      parse_stmt(conj(cond, c));
+      if (lex_.at(Tok::KwElse)) {
+        lex_.take();
+        parse_stmt(conj(cond, negate(c)));
+      }
+      return;
+    }
+    if (lex_.at(Tok::KwCase)) {
+      parse_case(cond);
+      return;
+    }
+    const Token name = lex_.expect(Tok::Ident, "register name");
+    const Signal* sig = design_.find(name.text);
+    if (sig == nullptr) throw ParseError(name.line, "undeclared signal " + name.text);
+    if (sig->kind != SignalKind::Reg) {
+      throw ParseError(name.line, "':=' target must be a reg");
+    }
+    lex_.expect(Tok::NonBlock, "':='");
+    ExprPtr rhs = fit(parse_expr(), sig->width);
+    lex_.expect(Tok::Semi, "';'");
+    // next = cond ? rhs : previous-next (later statements override earlier).
+    ExprPtr prev = design_.next.count(name.text) != 0
+                       ? design_.next[name.text]
+                       : ref(name.text, sig->width);
+    design_.next[name.text] =
+        cond == nullptr ? rhs : mux(cond, rhs, prev, sig->width);
+  }
+
+  void parse_case(ExprPtr cond) {
+    const Token kw = lex_.take();
+    (void)kw;
+    lex_.expect(Tok::LParen, "'('");
+    ExprPtr subject = parse_expr();
+    lex_.expect(Tok::RParen, "')'");
+    lex_.expect(Tok::LBrace, "'{'");
+    ExprPtr any_arm;  // OR of all arm conditions, for default
+    while (!lex_.at(Tok::RBrace)) {
+      if (lex_.at(Tok::KwDefault)) {
+        lex_.take();
+        lex_.expect(Tok::Colon, "':'");
+        ExprPtr not_any = any_arm == nullptr ? nullptr : negate(any_arm);
+        parse_stmt(conj(cond, not_any));
+        continue;
+      }
+      const Token k = lex_.expect(Tok::Number, "case label");
+      lex_.expect(Tok::Colon, "':'");
+      Expr eq;
+      eq.op = Op::Eq;
+      eq.width = 1;
+      eq.args = {subject, make_const(k.number, subject->width)};
+      ExprPtr arm = make_expr(std::move(eq));
+      any_arm = any_arm == nullptr ? arm : disj(any_arm, arm);
+      parse_stmt(conj(cond, arm));
+    }
+    lex_.take();
+  }
+
+  // ---- expression helpers ----
+  ExprPtr ref(const std::string& name, int width) {
+    Expr e;
+    e.op = Op::Ref;
+    e.name = name;
+    e.width = width;
+    return make_expr(std::move(e));
+  }
+  ExprPtr mux(ExprPtr c, ExprPtr t, ExprPtr f, int width) {
+    Expr e;
+    e.op = Op::Mux;
+    e.width = width;
+    e.args = {std::move(c), fit(std::move(t), width), fit(std::move(f), width)};
+    return make_expr(std::move(e));
+  }
+  ExprPtr negate(ExprPtr c) {
+    Expr e;
+    e.op = Op::Eq;
+    e.width = 1;
+    e.args = {std::move(c), make_const(0, 1)};
+    return make_expr(std::move(e));
+  }
+  ExprPtr to_bool(ExprPtr c) {
+    if (c->width == 1) return c;
+    Expr e;
+    e.op = Op::Ne;
+    e.width = 1;
+    e.args = {c, make_const(0, c->width)};
+    return make_expr(std::move(e));
+  }
+  ExprPtr conj(ExprPtr a, ExprPtr b) {
+    if (a == nullptr) return b;
+    if (b == nullptr) return a;
+    Expr e;
+    e.op = Op::And;
+    e.width = 1;
+    e.args = {std::move(a), std::move(b)};
+    return make_expr(std::move(e));
+  }
+  ExprPtr disj(ExprPtr a, ExprPtr b) {
+    Expr e;
+    e.op = Op::Or;
+    e.width = 1;
+    e.args = {std::move(a), std::move(b)};
+    return make_expr(std::move(e));
+  }
+  /// Adapt an expression to an exact width (zero-extend or truncate).
+  ExprPtr fit(ExprPtr e, int width) {
+    if (e->width == width) return e;
+    if (e->width > width) {
+      Expr s;
+      s.op = Op::Slice;
+      s.hi = width - 1;
+      s.lo = 0;
+      s.width = width;
+      s.args = {std::move(e)};
+      return make_expr(std::move(s));
+    }
+    Expr z;  // zero-extension via widening concat-with-0
+    z.op = Op::Concat;
+    z.width = width;
+    z.args = {make_const(0, width - e->width), std::move(e)};
+    return make_expr(std::move(z));
+  }
+
+  // ---- precedence-climbing expression parser ----
+  ExprPtr parse_expr() {
+    ExprPtr c = parse_or();
+    if (!lex_.at(Tok::Question)) return c;
+    lex_.take();
+    ExprPtr t = parse_expr();
+    lex_.expect(Tok::Colon, "':'");
+    ExprPtr f = parse_expr();
+    const int w = std::max(t->width, f->width);
+    return mux(to_bool(c), t, f, w);
+  }
+  ExprPtr binary(Op op, ExprPtr a, ExprPtr b, int width) {
+    Expr e;
+    e.op = op;
+    e.width = width;
+    e.args = {std::move(a), std::move(b)};
+    return make_expr(std::move(e));
+  }
+  ExprPtr parse_or() {
+    ExprPtr a = parse_xor();
+    while (lex_.at(Tok::Or)) {
+      lex_.take();
+      ExprPtr b = parse_xor();
+      const int w = std::max(a->width, b->width);
+      a = binary(Op::Or, fit(a, w), fit(b, w), w);
+    }
+    return a;
+  }
+  ExprPtr parse_xor() {
+    ExprPtr a = parse_and();
+    while (lex_.at(Tok::Xor)) {
+      lex_.take();
+      ExprPtr b = parse_and();
+      const int w = std::max(a->width, b->width);
+      a = binary(Op::Xor, fit(a, w), fit(b, w), w);
+    }
+    return a;
+  }
+  ExprPtr parse_and() {
+    ExprPtr a = parse_eq();
+    while (lex_.at(Tok::And)) {
+      lex_.take();
+      ExprPtr b = parse_eq();
+      const int w = std::max(a->width, b->width);
+      a = binary(Op::And, fit(a, w), fit(b, w), w);
+    }
+    return a;
+  }
+  ExprPtr parse_eq() {
+    ExprPtr a = parse_rel();
+    while (lex_.at(Tok::Eq) || lex_.at(Tok::Ne)) {
+      const Op op = lex_.take().kind == Tok::Eq ? Op::Eq : Op::Ne;
+      ExprPtr b = parse_rel();
+      const int w = std::max(a->width, b->width);
+      a = binary(op, fit(a, w), fit(b, w), 1);
+    }
+    return a;
+  }
+  ExprPtr parse_rel() {
+    ExprPtr a = parse_shift();
+    while (lex_.at(Tok::Lt) || lex_.at(Tok::Le) || lex_.at(Tok::Gt) ||
+           lex_.at(Tok::Ge)) {
+      const Tok t = lex_.take().kind;
+      const Op op = t == Tok::Lt ? Op::Lt
+                    : t == Tok::Le ? Op::Le
+                    : t == Tok::Gt ? Op::Gt
+                                   : Op::Ge;
+      ExprPtr b = parse_shift();
+      const int w = std::max(a->width, b->width);
+      a = binary(op, fit(a, w), fit(b, w), 1);
+    }
+    return a;
+  }
+  ExprPtr parse_shift() {
+    ExprPtr a = parse_add();
+    while (lex_.at(Tok::Shl) || lex_.at(Tok::Shr)) {
+      const Op op = lex_.take().kind == Tok::Shl ? Op::Shl : Op::Shr;
+      const Token amount = lex_.expect(Tok::Number, "constant shift amount");
+      a = binary(op, a, make_const(amount.number, 6), a->width);
+    }
+    return a;
+  }
+  ExprPtr parse_add() {
+    ExprPtr a = parse_unary();
+    while (lex_.at(Tok::Plus) || lex_.at(Tok::Minus)) {
+      const Op op = lex_.take().kind == Tok::Plus ? Op::Add : Op::Sub;
+      ExprPtr b = parse_unary();
+      const int w = std::max(a->width, b->width);
+      a = binary(op, fit(a, w), fit(b, w), w);
+    }
+    return a;
+  }
+  ExprPtr parse_unary() {
+    if (lex_.at(Tok::Not)) {
+      lex_.take();
+      ExprPtr a = parse_unary();
+      Expr e;
+      e.op = Op::Not;
+      e.width = a->width;
+      e.args = {std::move(a)};
+      return make_expr(std::move(e));
+    }
+    return parse_primary();
+  }
+  ExprPtr parse_primary() {
+    if (lex_.at(Tok::Number)) {
+      const Token t = lex_.take();
+      return make_const(t.number, const_width(t.number));
+    }
+    if (lex_.at(Tok::LParen)) {
+      lex_.take();
+      ExprPtr e = parse_expr();
+      lex_.expect(Tok::RParen, "')'");
+      return e;
+    }
+    if (lex_.at(Tok::LBrace)) {  // concat {a, b, ...}: a is most significant
+      lex_.take();
+      std::vector<ExprPtr> parts;
+      parts.push_back(parse_expr());
+      while (lex_.at(Tok::Comma)) {
+        lex_.take();
+        parts.push_back(parse_expr());
+      }
+      lex_.expect(Tok::RBrace, "'}'");
+      Expr e;
+      e.op = Op::Concat;
+      for (const ExprPtr& p : parts) e.width += p->width;
+      if (e.width > 32) lex_.fail("concatenation wider than 32 bits");
+      e.args = std::move(parts);
+      return make_expr(std::move(e));
+    }
+    const Token name = lex_.expect(Tok::Ident, "expression");
+    const Signal* sig = design_.find(name.text);
+    if (sig == nullptr) throw ParseError(name.line, "undeclared signal " + name.text);
+    ExprPtr e = ref(sig->name, sig->width);
+    if (lex_.at(Tok::LBracket)) {
+      lex_.take();
+      const Token hi = lex_.expect(Tok::Number, "bit index");
+      int h = static_cast<int>(hi.number), l = h;
+      if (lex_.at(Tok::Colon)) {
+        lex_.take();
+        l = static_cast<int>(lex_.expect(Tok::Number, "low bit index").number);
+      }
+      lex_.expect(Tok::RBracket, "']'");
+      if (h < l || h >= sig->width) {
+        throw ParseError(name.line, "bit range out of bounds for " + name.text);
+      }
+      Expr s;
+      s.op = h == l ? Op::Index : Op::Slice;
+      s.hi = h;
+      s.lo = l;
+      s.width = h - l + 1;
+      s.args = {std::move(e)};
+      return make_expr(std::move(s));
+    }
+    return e;
+  }
+
+  void finish() {
+    // Every output must have a combinational assignment.
+    for (const Signal& s : design_.signals) {
+      if (s.kind == SignalKind::Output && design_.comb.count(s.name) == 0) {
+        throw ParseError(0, "output " + s.name + " never assigned");
+      }
+    }
+  }
+
+  Lexer lex_;
+  Design design_;
+};
+
+}  // namespace
+
+Design parse(const std::string& source) { return Parser(source).run(); }
+
+// -------------------------------------------------------------- simulator --
+
+BehavioralSim::BehavioralSim(const Design& design) : design_(&design) {
+  for (const Signal& s : design.signals) {
+    if (s.kind == SignalKind::Input || s.kind == SignalKind::Reg) {
+      values_[s.name] = 0;
+    }
+  }
+}
+
+void BehavioralSim::set(const std::string& input, std::uint64_t v) {
+  const Signal* s = design_->find(input);
+  if (s == nullptr || s->kind != SignalKind::Input) {
+    throw std::runtime_error("no input named " + input);
+  }
+  values_[input] = mask_to(v, s->width);
+}
+
+void BehavioralSim::poke(const std::string& reg, std::uint64_t v) {
+  const Signal* s = design_->find(reg);
+  if (s == nullptr || s->kind != SignalKind::Reg) {
+    throw std::runtime_error("no register named " + reg);
+  }
+  values_[reg] = mask_to(v, s->width);
+}
+
+std::uint64_t BehavioralSim::next_of(const std::string& reg) const {
+  const Signal* s = design_->find(reg);
+  if (s == nullptr || s->kind != SignalKind::Reg) {
+    throw std::runtime_error("no register named " + reg);
+  }
+  const auto it = design_->next.find(reg);
+  if (it == design_->next.end()) return values_.at(reg);  // never assigned
+  return mask_to(eval(*it->second), s->width);
+}
+
+std::uint64_t BehavioralSim::get(const std::string& name) const {
+  const Signal* s = design_->find(name);
+  if (s == nullptr) throw std::runtime_error("no signal named " + name);
+  if (s->kind == SignalKind::Input || s->kind == SignalKind::Reg) {
+    return values_.at(name);
+  }
+  const auto it = design_->comb.find(name);
+  if (it == design_->comb.end()) {
+    throw std::runtime_error("wire " + name + " has no driver");
+  }
+  if (std::find(eval_stack_.begin(), eval_stack_.end(), name) !=
+      eval_stack_.end()) {
+    throw std::runtime_error("combinational cycle through " + name);
+  }
+  eval_stack_.push_back(name);
+  const std::uint64_t v = eval(*it->second);
+  eval_stack_.pop_back();
+  return mask_to(v, s->width);
+}
+
+std::uint64_t BehavioralSim::eval(const Expr& e) const {
+  const auto arg = [this, &e](std::size_t i) { return eval(*e.args[i]); };
+  std::uint64_t v = 0;
+  switch (e.op) {
+    case Op::Const: v = e.value; break;
+    case Op::Ref: v = get(e.name); break;
+    case Op::Index:
+    case Op::Slice: v = arg(0) >> e.lo; break;
+    case Op::Concat: {
+      for (const ExprPtr& p : e.args) {
+        v = (v << p->width) | mask_to(eval(*p), p->width);
+      }
+      break;
+    }
+    case Op::Not: v = ~arg(0); break;
+    case Op::And: v = arg(0) & arg(1); break;
+    case Op::Or: v = arg(0) | arg(1); break;
+    case Op::Xor: v = arg(0) ^ arg(1); break;
+    case Op::Add: v = arg(0) + arg(1); break;
+    case Op::Sub: v = arg(0) - arg(1); break;
+    case Op::Eq: v = arg(0) == arg(1) ? 1 : 0; break;
+    case Op::Ne: v = arg(0) != arg(1) ? 1 : 0; break;
+    case Op::Lt: v = arg(0) < arg(1) ? 1 : 0; break;
+    case Op::Le: v = arg(0) <= arg(1) ? 1 : 0; break;
+    case Op::Gt: v = arg(0) > arg(1) ? 1 : 0; break;
+    case Op::Ge: v = arg(0) >= arg(1) ? 1 : 0; break;
+    case Op::Shl: v = arg(1) >= 64 ? 0 : arg(0) << arg(1); break;
+    case Op::Shr: v = arg(1) >= 64 ? 0 : arg(0) >> arg(1); break;
+    case Op::Mux: v = arg(0) != 0 ? arg(1) : arg(2); break;
+  }
+  return mask_to(v, e.width);
+}
+
+void BehavioralSim::tick() {
+  std::map<std::string, std::uint64_t> next_values = values_;
+  for (const auto& [reg, expr] : design_->next) {
+    next_values[reg] = mask_to(eval(*expr), design_->find(reg)->width);
+  }
+  values_ = std::move(next_values);
+}
+
+void BehavioralSim::reset() {
+  for (const Signal& s : design_->signals) {
+    if (s.kind == SignalKind::Reg) values_[s.name] = 0;
+  }
+}
+
+}  // namespace silc::rtl

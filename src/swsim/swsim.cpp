@@ -1,0 +1,256 @@
+#include "swsim/swsim.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace silc::swsim {
+
+using extract::Device;
+using extract::Netlist;
+using extract::Transistor;
+
+namespace {
+
+enum class EdgeState : std::uint8_t { Off, On, Maybe };
+
+struct UnionFind {
+  std::vector<int> parent;
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  int find(int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[static_cast<std::size_t>(a)] = b;
+  }
+};
+
+struct CompFlags {
+  bool strong0 = false;  // GND or an input driven 0
+  bool strong1 = false;  // an input driven 1
+  bool weak1 = false;    // VDD
+  bool unknown = false;  // an input driven X
+  bool charge0 = false, charge1 = false, chargex = false;
+};
+
+}  // namespace
+
+const char* to_string(Val v) {
+  switch (v) {
+    case Val::V0: return "0";
+    case Val::V1: return "1";
+    case Val::VX: return "X";
+  }
+  return "?";
+}
+
+Simulator::Simulator(const Netlist& netlist) : netlist_(&netlist) {
+  const std::size_t n = netlist.node_count();
+  value_.assign(n, Val::VX);
+  driven_.assign(n, 0);
+  drive_value_.assign(n, Val::VX);
+}
+
+void Simulator::set(int node, Val v) {
+  driven_[static_cast<std::size_t>(node)] = 1;
+  drive_value_[static_cast<std::size_t>(node)] = v;
+  value_[static_cast<std::size_t>(node)] = v;
+}
+
+void Simulator::set(const std::string& name, bool v) {
+  set(node_or_throw(name), from_bool(v));
+}
+
+void Simulator::release(int node) { driven_[static_cast<std::size_t>(node)] = 0; }
+
+void Simulator::release(const std::string& name) { release(node_or_throw(name)); }
+
+Val Simulator::get(int node) const { return value_[static_cast<std::size_t>(node)]; }
+
+Val Simulator::get(const std::string& name) const {
+  return get(node_or_throw(name));
+}
+
+bool Simulator::get_bool(const std::string& name) const {
+  const Val v = get(name);
+  if (v == Val::VX) throw std::runtime_error("node " + name + " is X");
+  return v == Val::V1;
+}
+
+int Simulator::node_or_throw(const std::string& name) const {
+  const int node = netlist_->find_node(name);
+  if (node < 0) throw std::runtime_error("no node named " + name);
+  return node;
+}
+
+bool Simulator::settle(int max_steps) {
+  const int n = static_cast<int>(netlist_->node_count());
+  if (max_steps <= 0) max_steps = std::max(64, 2 * n + 16);
+
+  std::vector<std::uint8_t> is_rail0(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint8_t> is_rail1(static_cast<std::size_t>(n), 0);
+  for (const int v : netlist_->vdd_nodes) {
+    is_rail1[static_cast<std::size_t>(v)] = 1;
+    value_[static_cast<std::size_t>(v)] = Val::V1;
+  }
+  for (const int g : netlist_->gnd_nodes) {
+    is_rail0[static_cast<std::size_t>(g)] = 1;
+    value_[static_cast<std::size_t>(g)] = Val::V0;
+  }
+
+  const std::vector<Transistor>& ts = netlist_->transistors;
+  std::vector<Val> next(static_cast<std::size_t>(n));
+
+  // Anchored nodes (rails and driven inputs) are voltage *sources*: a path
+  // through them must not connect the nodes on either side, so they never
+  // join a connectivity component. They contribute drive flags to adjacent
+  // components instead.
+  const auto anchored = [&](int v) {
+    return driven_[static_cast<std::size_t>(v)] != 0 ||
+           is_rail0[static_cast<std::size_t>(v)] != 0 ||
+           is_rail1[static_cast<std::size_t>(v)] != 0;
+  };
+  const auto anchor_flags = [&](int v, CompFlags& f) {
+    if (is_rail0[static_cast<std::size_t>(v)] != 0) f.strong0 = true;
+    if (is_rail1[static_cast<std::size_t>(v)] != 0) f.weak1 = true;
+    if (driven_[static_cast<std::size_t>(v)] != 0) {
+      switch (drive_value_[static_cast<std::size_t>(v)]) {
+        case Val::V0: f.strong0 = true; break;
+        case Val::V1: f.strong1 = true; break;
+        case Val::VX: f.unknown = true; break;
+      }
+    }
+  };
+
+  for (int step = 0; step < max_steps; ++step) {
+    // Edge states from gate values.
+    std::vector<EdgeState> edge(ts.size());
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (ts[i].type == Device::Depletion) {
+        edge[i] = EdgeState::On;
+      } else {
+        switch (value_[static_cast<std::size_t>(ts[i].gate)]) {
+          case Val::V1: edge[i] = EdgeState::On; break;
+          case Val::V0: edge[i] = EdgeState::Off; break;
+          case Val::VX: edge[i] = EdgeState::Maybe; break;
+        }
+      }
+    }
+
+    // Definite connectivity among free nodes.
+    UnionFind def(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (edge[i] == EdgeState::On && !anchored(ts[i].source) &&
+          !anchored(ts[i].drain)) {
+        def.unite(ts[i].source, ts[i].drain);
+      }
+    }
+    std::vector<CompFlags> flags(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) {
+      if (anchored(v)) continue;
+      CompFlags& f = flags[static_cast<std::size_t>(def.find(v))];
+      switch (value_[static_cast<std::size_t>(v)]) {
+        case Val::V0: f.charge0 = true; break;
+        case Val::V1: f.charge1 = true; break;
+        case Val::VX: f.chargex = true; break;
+      }
+    }
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (edge[i] != EdgeState::On) continue;
+      const int s = ts[i].source, d = ts[i].drain;
+      if (anchored(s) && !anchored(d)) {
+        anchor_flags(s, flags[static_cast<std::size_t>(def.find(d))]);
+      } else if (anchored(d) && !anchored(s)) {
+        anchor_flags(d, flags[static_cast<std::size_t>(def.find(s))]);
+      }
+    }
+    const auto def_value = [](const CompFlags& f) {
+      if (f.strong0) return Val::V0;  // ratioed logic: pulldown always wins
+      if (f.unknown) return Val::VX;
+      if (f.strong1 || f.weak1) return Val::V1;
+      // Isolated: charge storage / charge sharing.
+      if (f.chargex || (f.charge0 && f.charge1)) return Val::VX;
+      return f.charge1 ? Val::V1 : Val::V0;
+    };
+
+    // Possible connectivity (definite + maybe edges), same anchoring rule.
+    UnionFind pos = def;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (edge[i] == EdgeState::Maybe && !anchored(ts[i].source) &&
+          !anchored(ts[i].drain)) {
+        pos.unite(ts[i].source, ts[i].drain);
+      }
+    }
+    std::vector<CompFlags> pflags(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) {
+      if (anchored(v)) continue;
+      CompFlags& f = pflags[static_cast<std::size_t>(pos.find(v))];
+      const CompFlags& d = flags[static_cast<std::size_t>(def.find(v))];
+      f.strong0 |= d.strong0;
+      f.strong1 |= d.strong1;
+      f.weak1 |= d.weak1;
+      f.unknown |= d.unknown;
+    }
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (edge[i] == EdgeState::Off) continue;
+      const int s = ts[i].source, d = ts[i].drain;
+      if (anchored(s) && !anchored(d)) {
+        anchor_flags(s, pflags[static_cast<std::size_t>(pos.find(d))]);
+      } else if (anchored(d) && !anchored(s)) {
+        anchor_flags(d, pflags[static_cast<std::size_t>(pos.find(s))]);
+      }
+    }
+
+    for (int v = 0; v < n; ++v) {
+      if (driven_[static_cast<std::size_t>(v)] != 0) {
+        next[static_cast<std::size_t>(v)] = drive_value_[static_cast<std::size_t>(v)];
+        continue;
+      }
+      if (is_rail0[static_cast<std::size_t>(v)] != 0) {
+        next[static_cast<std::size_t>(v)] = Val::V0;
+        continue;
+      }
+      if (is_rail1[static_cast<std::size_t>(v)] != 0) {
+        next[static_cast<std::size_t>(v)] = Val::V1;
+        continue;
+      }
+      const Val dv = def_value(flags[static_cast<std::size_t>(def.find(v))]);
+      const CompFlags& pf = pflags[static_cast<std::size_t>(pos.find(v))];
+      Val out = dv;
+      if (dv == Val::V0) {
+        // A definite strong 0 cannot be overpowered... unless it is merely
+        // stored charge, in which case a possible path to 1 degrades it.
+        const CompFlags& d = flags[static_cast<std::size_t>(def.find(v))];
+        const bool stored = !d.strong0;
+        if (stored && (pf.strong1 || pf.weak1 || pf.unknown)) out = Val::VX;
+      } else if (dv == Val::V1) {
+        const CompFlags& d = flags[static_cast<std::size_t>(def.find(v))];
+        const bool strong = d.strong1;
+        if (pf.strong0 && !d.strong0) {
+          // Maybe-path to ground: pulldown would win if real.
+          out = Val::VX;
+        } else if (!strong && pf.unknown) {
+          out = Val::VX;
+        }
+      } else {
+        // X stays X.
+      }
+      next[static_cast<std::size_t>(v)] = out;
+    }
+
+    if (next == value_) return true;
+    value_ = next;
+  }
+  return false;
+}
+
+}  // namespace silc::swsim

@@ -1,0 +1,63 @@
+// Switch-level simulator for extracted NMOS transistor netlists.
+//
+// A simplified MOSSIM-style relaxation model tuned to ratioed NMOS:
+//   * node values are 0 / 1 / X;
+//   * drive strengths, strongest first: ground or a 0-driven input;
+//     a 1-driven input; VDD (reached through the always-on depletion
+//     pullup or pass devices, i.e. a "weak" 1 that a conducting pulldown
+//     path overpowers — this is exactly the ratioed-logic rule);
+//     stored charge (dynamic nodes retain their last value, which is what
+//     makes two-phase shift registers work);
+//   * enhancement devices conduct when gate = 1, block when 0, and are
+//     "maybe on" when X; depletion devices always conduct;
+//   * per step, definite connectivity components take the strongest rail
+//     they contain; "maybe" paths to a differently-valued rail degrade a
+//     weak or stored value to X (never a strong 0);
+//   * steps repeat until the network reaches a fixpoint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "extract/extract.hpp"
+
+namespace silc::swsim {
+
+enum class Val : std::uint8_t { V0, V1, VX };
+
+[[nodiscard]] constexpr Val from_bool(bool b) { return b ? Val::V1 : Val::V0; }
+[[nodiscard]] const char* to_string(Val v);
+
+class Simulator {
+ public:
+  explicit Simulator(const extract::Netlist& netlist);
+
+  /// Drive a node as an external input (overrides network resolution).
+  void set(int node, Val v);
+  void set(const std::string& name, bool v);
+  /// Stop driving a node; it keeps its value as stored charge.
+  void release(int node);
+  void release(const std::string& name);
+
+  /// Relax to a fixpoint. Returns false if the network did not settle
+  /// (oscillation); oscillating nodes are left X.
+  bool settle(int max_steps = 0);
+
+  [[nodiscard]] Val get(int node) const;
+  [[nodiscard]] Val get(const std::string& name) const;
+  /// get() as bool; throws std::runtime_error when the value is X.
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  [[nodiscard]] const extract::Netlist& netlist() const { return *netlist_; }
+
+ private:
+  int node_or_throw(const std::string& name) const;
+
+  const extract::Netlist* netlist_;
+  std::vector<Val> value_;
+  std::vector<std::uint8_t> driven_;
+  std::vector<Val> drive_value_;
+};
+
+}  // namespace silc::swsim

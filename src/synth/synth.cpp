@@ -1,0 +1,457 @@
+#include "synth/synth.hpp"
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace silc::synth {
+
+using net::GateKind;
+using net::Netlist;
+using rtl::Design;
+using rtl::Expr;
+using rtl::ExprPtr;
+using rtl::Op;
+using rtl::Signal;
+using rtl::SignalKind;
+
+// -------------------------------------------------------------- tabulate --
+
+TabulatedFsm tabulate(const Design& design, int max_bits) {
+  const auto regs = design.of_kind(SignalKind::Reg);
+  const auto ins = design.of_kind(SignalKind::Input);
+  const auto outs = design.of_kind(SignalKind::Output);
+  const int total_in =
+      static_cast<int>(design.state_bits() + design.input_bits());
+  if (total_in > max_bits) {
+    throw std::runtime_error("design too wide to tabulate: " +
+                             std::to_string(total_in) + " > " +
+                             std::to_string(max_bits) + " bits");
+  }
+  if (total_in == 0) throw std::runtime_error("design has no inputs or state");
+
+  TabulatedFsm t;
+  t.state_bits = static_cast<int>(design.state_bits());
+  for (const Signal* r : regs) {
+    for (int b = 0; b < r->width; ++b) {
+      t.input_names.push_back(r->name + "[" + std::to_string(b) + "]");
+    }
+  }
+  for (const Signal* i : ins) {
+    for (int b = 0; b < i->width; ++b) {
+      t.input_names.push_back(i->name + "[" + std::to_string(b) + "]");
+    }
+  }
+  for (const Signal* r : regs) {
+    for (int b = 0; b < r->width; ++b) {
+      t.output_names.push_back(r->name + "'[" + std::to_string(b) + "]");
+    }
+  }
+  for (const Signal* o : outs) {
+    for (int b = 0; b < o->width; ++b) {
+      t.output_names.push_back(o->name + "[" + std::to_string(b) + "]");
+    }
+  }
+
+  const int num_out = static_cast<int>(t.output_names.size());
+  t.function.num_inputs = total_in;
+  for (int k = 0; k < num_out; ++k) {
+    t.function.outputs.emplace_back(total_in);
+  }
+
+  rtl::BehavioralSim sim(design);
+  for (std::uint32_t m = 0; m < (1u << total_in); ++m) {
+    // Decode the minterm into register and input values.
+    int pos = 0;
+    for (const Signal* r : regs) {
+      sim.poke(r->name, (m >> pos) & ((1u << r->width) - 1));
+      pos += r->width;
+    }
+    for (const Signal* i : ins) {
+      sim.set(i->name, (m >> pos) & ((1u << i->width) - 1));
+      pos += i->width;
+    }
+    // Read next state and outputs.
+    int k = 0;
+    for (const Signal* r : regs) {
+      const std::uint64_t nx = sim.next_of(r->name);
+      for (int b = 0; b < r->width; ++b, ++k) {
+        t.function.outputs[static_cast<std::size_t>(k)].set(
+            m, ((nx >> b) & 1u) != 0 ? logic::Tri::One : logic::Tri::Zero);
+      }
+    }
+    for (const Signal* o : outs) {
+      const std::uint64_t v = sim.get(o->name);
+      for (int b = 0; b < o->width; ++b, ++k) {
+        t.function.outputs[static_cast<std::size_t>(k)].set(
+            m, ((v >> b) & 1u) != 0 ? logic::Tri::One : logic::Tri::Zero);
+      }
+    }
+  }
+  return t;
+}
+
+// ------------------------------------------------------------- bit blast --
+
+namespace {
+
+class BitBlaster {
+ public:
+  explicit BitBlaster(const Design& design) : design_(design) {
+    const_zero_ = nl_.add_gate(GateKind::Const0, {}, "const0");
+    const_one_ = nl_.add_gate(GateKind::Const1, {}, "const1");
+    // Primary inputs and register outputs are the sources.
+    for (const Signal& s : design.signals) {
+      if (s.kind == SignalKind::Input) {
+        bits_[s.name] = make_bits(s, /*as_input=*/true);
+      } else if (s.kind == SignalKind::Reg) {
+        bits_[s.name] = make_bits(s, /*as_input=*/false);
+      }
+    }
+  }
+
+  Netlist run() {
+    // Registers: DFF per bit, D = next expression.
+    for (const Signal& s : design_.signals) {
+      if (s.kind != SignalKind::Reg) continue;
+      const auto it = design_.next.find(s.name);
+      const std::vector<int> d =
+          it != design_.next.end() ? blast(*it->second) : bits_.at(s.name);
+      const std::vector<int>& q = bits_.at(s.name);
+      for (int b = 0; b < s.width; ++b) {
+        nl_.add_gate_driving(GateKind::Dff, {d[static_cast<std::size_t>(b)]},
+                             q[static_cast<std::size_t>(b)],
+                             s.name + "[" + std::to_string(b) + "]");
+      }
+    }
+    // Outputs.
+    for (const Signal& s : design_.signals) {
+      if (s.kind != SignalKind::Output) continue;
+      const std::vector<int> v = signal_bits(s.name);
+      for (int b = 0; b < s.width; ++b) {
+        nl_.mark_output(v[static_cast<std::size_t>(b)],
+                        s.name + "[" + std::to_string(b) + "]");
+      }
+    }
+    return std::move(nl_);
+  }
+
+ private:
+  std::vector<int> make_bits(const Signal& s, bool as_input) {
+    std::vector<int> v(static_cast<std::size_t>(s.width));
+    for (int b = 0; b < s.width; ++b) {
+      const std::string n = s.width == 1 && as_input
+                                ? s.name
+                                : s.name + "[" + std::to_string(b) + "]";
+      v[static_cast<std::size_t>(b)] = as_input ? nl_.add_input(n) : nl_.add_net(n);
+    }
+    return v;
+  }
+
+  std::vector<int> signal_bits(const std::string& name) {
+    const auto it = bits_.find(name);
+    if (it != bits_.end()) return it->second;
+    const Signal* s = design_.find(name);
+    const auto drv = design_.comb.find(name);
+    if (s == nullptr || drv == design_.comb.end()) {
+      throw std::runtime_error("undriven signal " + name);
+    }
+    if (in_progress_.count(name) != 0) {
+      throw std::runtime_error("combinational cycle through " + name);
+    }
+    in_progress_.insert(name);
+    std::vector<int> v = blast(*drv->second);
+    in_progress_.erase(name);
+    bits_[name] = v;
+    return v;
+  }
+
+  std::vector<int> blast(const Expr& e) {
+    const std::size_t w = static_cast<std::size_t>(e.width);
+    switch (e.op) {
+      case Op::Const: {
+        std::vector<int> v(w);
+        for (std::size_t b = 0; b < w; ++b) {
+          v[b] = ((e.value >> b) & 1u) != 0 ? const_one_ : const_zero_;
+        }
+        return v;
+      }
+      case Op::Ref: return signal_bits(e.name);
+      case Op::Index:
+      case Op::Slice: {
+        const std::vector<int> a = blast(*e.args[0]);
+        return {a.begin() + e.lo, a.begin() + e.hi + 1};
+      }
+      case Op::Concat: {
+        // args[0] is most significant.
+        std::vector<int> v;
+        for (std::size_t i = e.args.size(); i-- > 0;) {
+          const std::vector<int> p = blast(*e.args[i]);
+          v.insert(v.end(), p.begin(), p.end());
+        }
+        return v;
+      }
+      case Op::Not: {
+        std::vector<int> a = blast(*e.args[0]);
+        for (int& b : a) b = nl_.add_gate(GateKind::Not, {b});
+        return a;
+      }
+      case Op::And:
+      case Op::Or:
+      case Op::Xor: {
+        const GateKind k = e.op == Op::And ? GateKind::And
+                           : e.op == Op::Or ? GateKind::Or
+                                            : GateKind::Xor;
+        const std::vector<int> a = blast(*e.args[0]);
+        const std::vector<int> b = blast(*e.args[1]);
+        std::vector<int> v(w);
+        for (std::size_t i = 0; i < w; ++i) v[i] = nl_.add_gate(k, {a[i], b[i]});
+        return v;
+      }
+      case Op::Add:
+      case Op::Sub: {
+        const std::vector<int> a = blast(*e.args[0]);
+        std::vector<int> b = blast(*e.args[1]);
+        if (e.op == Op::Sub) {
+          for (int& x : b) x = nl_.add_gate(GateKind::Not, {x});
+        }
+        int carry = e.op == Op::Sub ? const_one_ : const_zero_;
+        std::vector<int> v(w);
+        for (std::size_t i = 0; i < w; ++i) {
+          const int axb = nl_.add_gate(GateKind::Xor, {a[i], b[i]});
+          v[i] = nl_.add_gate(GateKind::Xor, {axb, carry});
+          const int c1 = nl_.add_gate(GateKind::And, {a[i], b[i]});
+          const int c2 = nl_.add_gate(GateKind::And, {axb, carry});
+          carry = nl_.add_gate(GateKind::Or, {c1, c2});
+        }
+        return v;
+      }
+      case Op::Eq:
+      case Op::Ne: {
+        const std::vector<int> a = blast(*e.args[0]);
+        const std::vector<int> b = blast(*e.args[1]);
+        int acc = const_one_;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          const int eq = nl_.add_gate(GateKind::Xnor, {a[i], b[i]});
+          acc = nl_.add_gate(GateKind::And, {acc, eq});
+        }
+        if (e.op == Op::Ne) acc = nl_.add_gate(GateKind::Not, {acc});
+        return {acc};
+      }
+      case Op::Lt:
+      case Op::Le:
+      case Op::Gt:
+      case Op::Ge: {
+        // Normalize to a<b / a<=b by swapping.
+        const bool swap = e.op == Op::Gt || e.op == Op::Ge;
+        const bool or_equal = e.op == Op::Le || e.op == Op::Ge;
+        const std::vector<int> a = blast(*e.args[swap ? 1 : 0]);
+        const std::vector<int> b = blast(*e.args[swap ? 0 : 1]);
+        int lt = or_equal ? const_one_ : const_zero_;  // a<=b: start equal-true
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          // lt_i = (~a&b) | ((a xnor b) & lt_{i-1}), LSB to MSB.
+          const int na = nl_.add_gate(GateKind::Not, {a[i]});
+          const int less = nl_.add_gate(GateKind::And, {na, b[i]});
+          const int same = nl_.add_gate(GateKind::Xnor, {a[i], b[i]});
+          const int keep = nl_.add_gate(GateKind::And, {same, lt});
+          lt = nl_.add_gate(GateKind::Or, {less, keep});
+        }
+        return {lt};
+      }
+      case Op::Shl:
+      case Op::Shr: {
+        const std::vector<int> a = blast(*e.args[0]);
+        if (e.args[1]->op != Op::Const) {
+          throw std::runtime_error("shift amount must be constant");
+        }
+        const int k = static_cast<int>(e.args[1]->value);
+        std::vector<int> v(w, const_zero_);
+        for (std::size_t i = 0; i < w; ++i) {
+          const long long src = e.op == Op::Shl ? static_cast<long long>(i) - k
+                                                : static_cast<long long>(i) + k;
+          if (src >= 0 && src < static_cast<long long>(a.size())) {
+            v[i] = a[static_cast<std::size_t>(src)];
+          }
+        }
+        return v;
+      }
+      case Op::Mux: {
+        const std::vector<int> c = blast(*e.args[0]);
+        const std::vector<int> t = blast(*e.args[1]);
+        const std::vector<int> f = blast(*e.args[2]);
+        std::vector<int> v(w);
+        for (std::size_t i = 0; i < w; ++i) {
+          v[i] = nl_.add_gate(GateKind::Mux, {c[0], f[i], t[i]});
+        }
+        return v;
+      }
+    }
+    throw std::runtime_error("unhandled expression op");
+  }
+
+  const Design& design_;
+  Netlist nl_;
+  std::map<std::string, std::vector<int>> bits_;
+  std::set<std::string> in_progress_;
+  int const_zero_ = -1, const_one_ = -1;
+};
+
+}  // namespace
+
+Netlist bit_blast(const Design& design) { return BitBlaster(design).run(); }
+
+// -------------------------------------------------------- module mapping --
+
+namespace {
+
+// Count datapath operators in an expression tree; logic falls into a gate
+// bucket. Widths drive 4-bit-slice chip counts. Structurally identical
+// subexpressions are counted once: the module allocator shares hardware
+// (one adder serves every path that computes the same sum), which is what
+// the Parker-style flow did and what board designs do with buses.
+struct ModuleCounter {
+  std::map<std::string, int> modules;
+  int gate_equivalents = 0;
+  std::set<std::string> seen;
+  std::map<const Expr*, std::string> keys;
+
+  static int slices(int width) { return (width + 3) / 4; }
+
+  const std::string& key_of(const Expr& e) {
+    const auto it = keys.find(&e);
+    if (it != keys.end()) return it->second;
+    std::string k = std::to_string(static_cast<int>(e.op)) + ":" +
+                    std::to_string(e.width) + ":" + std::to_string(e.value) +
+                    ":" + e.name + ":" + std::to_string(e.hi) + ":" +
+                    std::to_string(e.lo) + "(";
+    for (const ExprPtr& a : e.args) k += key_of(*a) + ",";
+    k += ")";
+    return keys.emplace(&e, std::move(k)).first->second;
+  }
+
+  void count(const Expr& e) {
+    if (!seen.insert(key_of(e)).second) return;  // hardware already allocated
+    for (const ExprPtr& a : e.args) count(*a);
+    switch (e.op) {
+      case Op::Add:
+      case Op::Sub:
+        modules["alu4"] += slices(e.width);
+        break;
+      case Op::Mux:
+        modules["mux4"] += slices(e.width);
+        break;
+      case Op::Eq:
+      case Op::Ne:
+      case Op::Lt:
+      case Op::Le:
+      case Op::Gt:
+      case Op::Ge:
+        modules["cmp4"] += slices(e.args[0]->width);
+        break;
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+        gate_equivalents += e.width;
+        break;
+      case Op::Not:
+        gate_equivalents += e.width;
+        break;
+      default:
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+int ModuleReport::chip_count() const {
+  int n = 0;
+  for (const auto& [kind, count] : modules) n += count;
+  return n;
+}
+
+std::string ModuleReport::to_string() const {
+  std::ostringstream os;
+  for (const auto& [kind, count] : modules) os << kind << "=" << count << " ";
+  os << "total_chips=" << chip_count();
+  return os.str();
+}
+
+ModuleReport map_to_modules(const Design& design) {
+  ModuleCounter mc;
+  for (const auto& [name, expr] : design.comb) mc.count(*expr);
+  for (const auto& [name, expr] : design.next) mc.count(*expr);
+  ModuleReport r;
+  r.modules = std::move(mc.modules);
+  for (const Signal& s : design.signals) {
+    if (s.kind == SignalKind::Reg) {
+      r.modules["reg4"] += ModuleCounter::slices(s.width);
+    }
+  }
+  // Quad-gate packages.
+  if (mc.gate_equivalents > 0) {
+    r.modules["gates4"] += (mc.gate_equivalents + 3) / 4;
+  }
+  return r;
+}
+
+// ------------------------------------------------------------- encodings --
+
+int bits_for(int num_states, Encoding e) {
+  if (e == Encoding::OneHot) return num_states;
+  int b = 1;
+  while ((1 << b) < num_states) ++b;
+  return b;
+}
+
+std::uint32_t encode_state(int state, Encoding e) {
+  switch (e) {
+    case Encoding::Binary: return static_cast<std::uint32_t>(state);
+    case Encoding::Gray:
+      return static_cast<std::uint32_t>(state) ^
+             (static_cast<std::uint32_t>(state) >> 1);
+    case Encoding::OneHot: return 1u << state;
+  }
+  return 0;
+}
+
+logic::MultiFunction encode(const Fsm& fsm, Encoding e) {
+  const int sb = bits_for(fsm.num_states, e);
+  const int ni = sb + fsm.num_inputs;
+  if (ni > 20) throw std::runtime_error("encoded FSM too wide");
+  logic::MultiFunction f;
+  f.num_inputs = ni;
+  const int no = sb + fsm.num_outputs;
+  for (int k = 0; k < no; ++k) f.outputs.emplace_back(ni);
+
+  // Reverse map code -> state.
+  std::map<std::uint32_t, int> state_of;
+  for (int s = 0; s < fsm.num_states; ++s) state_of[encode_state(s, e)] = s;
+
+  for (std::uint32_t m = 0; m < (1u << ni); ++m) {
+    const std::uint32_t code = m & ((1u << sb) - 1);
+    const std::uint32_t input = m >> sb;
+    const auto it = state_of.find(code);
+    if (it == state_of.end()) {
+      for (int k = 0; k < no; ++k) {
+        f.outputs[static_cast<std::size_t>(k)].set(m, logic::Tri::DontCare);
+      }
+      continue;
+    }
+    const int s = it->second;
+    const std::uint32_t ncode = encode_state(
+        fsm.next[static_cast<std::size_t>(s)][input], e);
+    const std::uint32_t out = fsm.out[static_cast<std::size_t>(s)][input];
+    for (int k = 0; k < sb; ++k) {
+      f.outputs[static_cast<std::size_t>(k)].set(
+          m, ((ncode >> k) & 1u) != 0 ? logic::Tri::One : logic::Tri::Zero);
+    }
+    for (int k = 0; k < fsm.num_outputs; ++k) {
+      f.outputs[static_cast<std::size_t>(sb + k)].set(
+          m, ((out >> k) & 1u) != 0 ? logic::Tri::One : logic::Tri::Zero);
+    }
+  }
+  return f;
+}
+
+}  // namespace silc::synth

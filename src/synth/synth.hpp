@@ -1,0 +1,87 @@
+// Synthesis: behavioral description -> structure.
+//
+// Three lowering paths, matching the flows the paper contrasts:
+//  1. tabulate():  small synchronous designs become a single truth table
+//     (state+inputs -> next-state+outputs), ready for the PLA generator —
+//     the canonical Mead & Conway "any synchronous machine is a PLA plus
+//     feedback registers" flow. Exact by construction (built by running
+//     the behavioral simulator over every state/input combination).
+//  2. bit_blast(): arbitrary designs become a gate-level netlist (ripple
+//     adders/comparators, mux trees, one DFF per register bit).
+//  3. map_to_modules(): the Parker-style "standard modules" flow [6] —
+//     count the 4-bit-slice MSI modules (registers, ALUs, muxes,
+//     comparators, gate packs) a board-level build would need. This is
+//     what the paper's "chip count within 50% of a commercial design"
+//     claim is measured with.
+//
+// Plus FSM state-encoding utilities (binary/gray/one-hot) for the
+// encoding-choice ablation.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "logic/logic.hpp"
+#include "net/net.hpp"
+#include "rtl/rtl.hpp"
+
+namespace silc::synth {
+
+// ------------------------------------------------------------ tabulation --
+
+/// Bit assignment of a tabulated design: PLA input minterm layout is
+/// [state bits LSB-first per reg, in declaration order][input bits ...];
+/// PLA outputs are [next-state bits][output bits].
+struct TabulatedFsm {
+  logic::MultiFunction function;
+  std::vector<std::string> input_names;   // one per PLA input bit
+  std::vector<std::string> output_names;  // one per PLA output bit
+  int state_bits = 0;                     // leading inputs/outputs are state
+};
+
+/// Tabulate a design whose state_bits()+input_bits() <= max_bits.
+/// Throws std::runtime_error when too wide.
+[[nodiscard]] TabulatedFsm tabulate(const rtl::Design& design, int max_bits = 16);
+
+// ------------------------------------------------------------ bit blasting --
+
+/// Lower a design to a gate netlist. Net names: "sig[i]" per bit (plus
+/// "sig" alias for 1-bit signals).
+[[nodiscard]] net::Netlist bit_blast(const rtl::Design& design);
+
+// --------------------------------------------------------- module mapping --
+
+/// MSI standard-module inventory (4-bit slices, 74-series flavored).
+struct ModuleReport {
+  std::map<std::string, int> modules;  // kind -> count
+  [[nodiscard]] int chip_count() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] ModuleReport map_to_modules(const rtl::Design& design);
+
+// ----------------------------------------------------------- FSM encoding --
+
+/// Abstract Moore/Mealy FSM for encoding experiments.
+struct Fsm {
+  int num_states = 0;
+  int num_inputs = 0;   // input bits
+  int num_outputs = 0;  // output bits
+  /// next[state][input_minterm] -> state
+  std::vector<std::vector<int>> next;
+  /// out[state][input_minterm] -> output bits
+  std::vector<std::vector<std::uint32_t>> out;
+};
+
+enum class Encoding { Binary, Gray, OneHot };
+
+/// State code for `state` under the encoding; `bits` is bits_for().
+[[nodiscard]] std::uint32_t encode_state(int state, Encoding e);
+[[nodiscard]] int bits_for(int num_states, Encoding e);
+
+/// Express the FSM as a PLA function: inputs [state code, inputs],
+/// outputs [next-state code, outputs]. Unreachable codes are don't-care.
+[[nodiscard]] logic::MultiFunction encode(const Fsm& fsm, Encoding e);
+
+}  // namespace silc::synth

@@ -1,0 +1,88 @@
+#include "tech/tech.hpp"
+
+namespace silc::tech {
+
+const char* name(Layer l) {
+  switch (l) {
+    case Layer::Diff: return "diff";
+    case Layer::Poly: return "poly";
+    case Layer::Contact: return "contact";
+    case Layer::Metal: return "metal";
+    case Layer::Implant: return "implant";
+    case Layer::Buried: return "buried";
+    case Layer::Glass: return "glass";
+  }
+  return "?";
+}
+
+const char* cif_name(Layer l) {
+  switch (l) {
+    case Layer::Diff: return "ND";
+    case Layer::Poly: return "NP";
+    case Layer::Contact: return "NC";
+    case Layer::Metal: return "NM";
+    case Layer::Implant: return "NI";
+    case Layer::Buried: return "NB";
+    case Layer::Glass: return "NG";
+  }
+  return "??";
+}
+
+bool layer_from_cif(const std::string& s, Layer& out) {
+  for (int i = 0; i < kNumLayers; ++i) {
+    const Layer l = static_cast<Layer>(i);
+    if (s == cif_name(l)) {
+      out = l;
+      return true;
+    }
+  }
+  return false;
+}
+
+const Tech& nmos() {
+  static const Tech t = [] {
+    Tech t;
+    t.name = "nmos-mead-conway";
+    t.lambda = 2;
+    t.cif_units_per_coord = 125;  // lambda = 2.5 um
+
+    auto& w = t.min_width;
+    auto& s = t.min_space;
+    const auto lam = [&t](int n) { return t.lam(n); };
+
+    w[index(Layer::Diff)] = lam(2);
+    w[index(Layer::Poly)] = lam(2);
+    w[index(Layer::Contact)] = lam(2);
+    w[index(Layer::Metal)] = lam(3);
+    w[index(Layer::Implant)] = lam(2);
+    w[index(Layer::Buried)] = lam(2);
+    w[index(Layer::Glass)] = lam(10);
+
+    s[index(Layer::Diff)] = lam(3);
+    s[index(Layer::Poly)] = lam(2);
+    s[index(Layer::Contact)] = lam(2);
+    s[index(Layer::Metal)] = lam(3);
+    s[index(Layer::Implant)] = lam(2);
+    s[index(Layer::Buried)] = lam(2);
+    s[index(Layer::Glass)] = lam(10);
+
+    t.poly_diff_space = lam(1);
+    t.gate_poly_overhang = lam(2);
+    t.gate_diff_overhang = lam(2);
+    t.contact_size = lam(2);
+    t.contact_surround = lam(1);
+    t.contact_to_gate = lam(2);
+    t.implant_surround = Tech::half_lam(3);  // 1.5 lambda
+    t.implant_to_gate = Tech::half_lam(3);   // 1.5 lambda
+    // Simplification of the asymmetric Mead & Conway buried rules: the
+    // window itself must be fully covered by poly AND diffusion (surround
+    // 0); the extraction treats buried poly-diff overlap as a connection,
+    // not a channel. This keeps gate-source ties (PLA pullups) free of
+    // parasitic sliver channels.
+    t.buried_surround = 0;
+    return t;
+  }();
+  return t;
+}
+
+}  // namespace silc::tech

@@ -1,0 +1,81 @@
+// Mead & Conway NMOS technology: mask layers and lambda design rules.
+//
+// The 1979-era silicon compilation target was the multi-project-chip NMOS
+// process described in Mead & Conway, "Introduction to VLSI Systems" (the
+// paper's reference [1]). All rules are expressed relative to the scale
+// parameter lambda. We store coordinates in integer *half-lambda* units so
+// the 1.5-lambda implant rules stay on-grid; tech.lambda == 2 coordinate
+// units, and helpers below convert.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "geom/geom.hpp"
+
+namespace silc::tech {
+
+using geom::Coord;
+
+/// NMOS mask layers in drawing order. Glass (overglass cuts) is only used on
+/// pads.
+enum class Layer : std::uint8_t {
+  Diff,     // ND: diffusion (green)
+  Poly,     // NP: polysilicon (red)
+  Contact,  // NC: contact cut (black)
+  Metal,    // NM: metal (blue)
+  Implant,  // NI: depletion-mode implant (yellow)
+  Buried,   // NB: buried contact window (brown)
+  Glass,    // NG: overglass cut
+};
+
+inline constexpr int kNumLayers = 7;
+
+[[nodiscard]] constexpr std::size_t index(Layer l) {
+  return static_cast<std::size_t>(l);
+}
+[[nodiscard]] const char* name(Layer l);
+[[nodiscard]] const char* cif_name(Layer l);
+/// Parse a CIF layer name ("ND", "NP", ...); returns false if unknown.
+[[nodiscard]] bool layer_from_cif(const std::string& s, Layer& out);
+
+/// True for layers that carry signal connectivity (diff/poly/metal).
+[[nodiscard]] constexpr bool is_conductor(Layer l) {
+  return l == Layer::Diff || l == Layer::Poly || l == Layer::Metal;
+}
+
+/// A technology: rule tables in half-lambda coordinate units.
+struct Tech {
+  std::string name;
+
+  /// Lambda in coordinate units (always 2: coordinates are half-lambdas).
+  Coord lambda = 2;
+  /// CIF centimicrons per coordinate unit (lambda = 2.5 um -> 125).
+  int cif_units_per_coord = 125;
+
+  /// Minimum drawn width per layer (0 = no rule).
+  std::array<Coord, kNumLayers> min_width{};
+  /// Minimum same-layer spacing between electrically distinct shapes.
+  std::array<Coord, kNumLayers> min_space{};
+
+  // Cross-layer and structure rules.
+  Coord poly_diff_space = 0;      // poly to unrelated diffusion
+  Coord gate_poly_overhang = 0;   // poly extension past channel
+  Coord gate_diff_overhang = 0;   // source/drain extension past channel
+  Coord contact_size = 0;         // contact cut is square, exactly this size
+  Coord contact_surround = 0;     // metal and poly/diff surround of a cut
+  Coord contact_to_gate = 0;      // contact cut to transistor channel
+  Coord implant_surround = 0;     // implant past depletion channel (1.5 lambda)
+  Coord implant_to_gate = 0;      // implant to enhancement channel
+  Coord buried_surround = 0;      // poly & diff surround of buried window
+
+  [[nodiscard]] Coord lam(int n) const { return n * lambda; }
+  /// n half-lambdas (for 1.5-lambda rules: half_lam(3)).
+  [[nodiscard]] static constexpr Coord half_lam(int n) { return n; }
+};
+
+/// The canonical Mead & Conway NMOS rule set.
+[[nodiscard]] const Tech& nmos();
+
+}  // namespace silc::tech

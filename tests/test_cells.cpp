@@ -1,0 +1,284 @@
+// Leaf-cell generator tests: every generated cell must be DRC-clean for
+// every legal parameter value, and must compute its logic function when
+// extracted and switch-level simulated.
+#include <gtest/gtest.h>
+
+#include "cells/cells.hpp"
+#include "drc/drc.hpp"
+#include "extract/extract.hpp"
+#include "swsim/swsim.hpp"
+
+namespace silc {
+namespace {
+
+using cells::inverter;
+using cells::nand2;
+using cells::nor2;
+using layout::Cell;
+using layout::Library;
+using swsim::Val;
+
+// ------------------------------------------------------------- DRC sweeps --
+
+class InverterDrc : public ::testing::TestWithParam<int> {};
+
+TEST_P(InverterDrc, CleanAcrossPullupLengths) {
+  Library lib;
+  Cell& c = inverter(lib, {.pullup_len = GetParam()});
+  const drc::Result r = drc::check(c);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(PullupSweep, InverterDrc,
+                         ::testing::Values(4, 6, 8, 10, 12, 16, 20));
+
+class Nor2Drc : public ::testing::TestWithParam<int> {};
+
+TEST_P(Nor2Drc, CleanAcrossPullupLengths) {
+  Library lib;
+  Cell& c = nor2(lib, {.pullup_len = GetParam()});
+  const drc::Result r = drc::check(c);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(PullupSweep, Nor2Drc, ::testing::Values(4, 8, 12, 16));
+
+class Nand2Drc : public ::testing::TestWithParam<int> {};
+
+TEST_P(Nand2Drc, CleanAcrossPullupLengths) {
+  Library lib;
+  Cell& c = nand2(lib, {.pullup_len = GetParam()});
+  const drc::Result r = drc::check(c);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(PullupSweep, Nand2Drc, ::testing::Values(4, 8, 12, 16));
+
+TEST(CellDrc, PassGateClean) {
+  Library lib;
+  const drc::Result r = drc::check(cells::pass_gate(lib));
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(CellDrc, ShiftStageClean) {
+  Library lib;
+  const drc::Result r = drc::check(cells::shift_stage(lib));
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(CellDrc, SuperBufferClean) {
+  Library lib;
+  const drc::Result r = drc::check(cells::super_buffer(lib));
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(CellDrc, BondPadClean) {
+  Library lib;
+  const drc::Result r = drc::check(cells::bond_pad(lib, {.size = 40}));
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(CellDrc, BadParamsRejected) {
+  Library lib;
+  EXPECT_THROW(inverter(lib, {.pullup_len = 2}), std::invalid_argument);
+  EXPECT_THROW(inverter(lib, {.pullup_len = 5}), std::invalid_argument);
+  EXPECT_THROW(cells::bond_pad(lib, {.size = 10}), std::invalid_argument);
+}
+
+// The checker itself must catch broken layouts (verifies the DRC finds what
+// the generators avoid).
+TEST(CellDrc, DetectsInjectedViolations) {
+  Library lib;
+  Cell& c = inverter(lib, {.name = "broken"});
+  // A stray narrow metal sliver too close to the GND rail.
+  c.add_rect(tech::Layer::Metal, {30, 8, 33, 40});
+  const drc::Result r = drc::check(c);
+  EXPECT_FALSE(r.ok());
+  EXPECT_GT(r.count("metal."), 0u);
+}
+
+// ------------------------------------------------------------ extraction --
+
+TEST(CellExtract, InverterDevices) {
+  Library lib;
+  Cell& c = inverter(lib);
+  const extract::Netlist nl = extract::extract(c);
+  EXPECT_TRUE(nl.warnings.empty())
+      << (nl.warnings.empty() ? "" : nl.warnings.front());
+  EXPECT_EQ(nl.transistors.size(), 2u);
+  EXPECT_EQ(nl.enhancement_count(), 1u);
+  EXPECT_EQ(nl.depletion_count(), 1u);
+  EXPECT_EQ(nl.vdd_nodes.size(), 1u);
+  EXPECT_EQ(nl.gnd_nodes.size(), 1u);
+  EXPECT_GE(nl.find_node("in"), 0);
+  EXPECT_GE(nl.find_node("out"), 0);
+  // Pulldown: gate=in, channel 2x2 lambda between gnd and out.
+  for (const extract::Transistor& t : nl.transistors) {
+    if (t.type == extract::Device::Enhancement) {
+      EXPECT_EQ(t.gate, nl.find_node("in"));
+      EXPECT_EQ(t.width, 4);
+      EXPECT_EQ(t.length, 4);
+      const bool gnd_out = (nl.is_gnd(t.source) && t.drain == nl.find_node("out")) ||
+                           (nl.is_gnd(t.drain) && t.source == nl.find_node("out"));
+      EXPECT_TRUE(gnd_out);
+    } else {
+      // Pullup: gate tied to out, channel L = pullup_len lambda.
+      EXPECT_EQ(t.gate, nl.find_node("out"));
+      EXPECT_EQ(t.length, 2 * 8);
+    }
+  }
+}
+
+TEST(CellExtract, PassGateIsSingleEnhancement) {
+  Library lib;
+  const extract::Netlist nl = extract::extract(cells::pass_gate(lib));
+  EXPECT_EQ(nl.transistors.size(), 1u);
+  EXPECT_EQ(nl.enhancement_count(), 1u);
+}
+
+TEST(CellExtract, ShiftStageDevices) {
+  Library lib;
+  const extract::Netlist nl = extract::extract(cells::shift_stage(lib));
+  // pass + inverter = 2 enhancement + 1 depletion.
+  EXPECT_EQ(nl.transistors.size(), 3u);
+  EXPECT_EQ(nl.enhancement_count(), 2u);
+  EXPECT_EQ(nl.depletion_count(), 1u);
+}
+
+// ------------------------------------------------- switch-level function --
+
+// Drive a cell's inputs through every combination and compare the output
+// against the expected boolean function.
+template <typename Fn>
+void check_truth_table(const Cell& c, const std::vector<std::string>& ins,
+                       const std::string& out, Fn&& expected) {
+  const extract::Netlist nl = extract::extract(c);
+  swsim::Simulator sim(nl);
+  const std::size_t n = ins.size();
+  for (std::size_t bits = 0; bits < (1u << n); ++bits) {
+    std::vector<bool> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = ((bits >> i) & 1u) != 0;
+    for (std::size_t i = 0; i < n; ++i) sim.set(ins[i], v[i]);
+    ASSERT_TRUE(sim.settle());
+    EXPECT_EQ(sim.get(out), swsim::from_bool(expected(v)))
+        << c.name() << " inputs=" << bits;
+  }
+}
+
+TEST(CellFunction, Inverter) {
+  Library lib;
+  check_truth_table(inverter(lib), {"in"}, "out",
+                    [](const std::vector<bool>& v) { return !v[0]; });
+}
+
+TEST(CellFunction, InverterHighRatio) {
+  Library lib;
+  check_truth_table(inverter(lib, {.pullup_len = 16}), {"in"}, "out",
+                    [](const std::vector<bool>& v) { return !v[0]; });
+}
+
+TEST(CellFunction, Nor2) {
+  Library lib;
+  check_truth_table(nor2(lib), {"in_a", "in_b"}, "out",
+                    [](const std::vector<bool>& v) { return !(v[0] || v[1]); });
+}
+
+TEST(CellFunction, Nand2) {
+  Library lib;
+  check_truth_table(nand2(lib), {"in_a", "in_b"}, "out",
+                    [](const std::vector<bool>& v) { return !(v[0] && v[1]); });
+}
+
+TEST(CellFunction, SuperBufferIsNonInverting) {
+  Library lib;
+  check_truth_table(cells::super_buffer(lib), {"in"}, "out",
+                    [](const std::vector<bool>& v) { return v[0]; });
+}
+
+TEST(CellFunction, PassGateTransmitsAndIsolates) {
+  Library lib;
+  const extract::Netlist nl = extract::extract(cells::pass_gate(lib));
+  swsim::Simulator sim(nl);
+  sim.set("in", true);
+  sim.set("gate", true);
+  ASSERT_TRUE(sim.settle());
+  EXPECT_EQ(sim.get("out"), Val::V1);
+  sim.set("gate", false);
+  sim.set("in", false);
+  ASSERT_TRUE(sim.settle());
+  // Gate off: output keeps its stored charge.
+  EXPECT_EQ(sim.get("out"), Val::V1);
+}
+
+TEST(CellFunction, ShiftStageSamplesOnPhi) {
+  Library lib;
+  const extract::Netlist nl = extract::extract(cells::shift_stage(lib));
+  swsim::Simulator sim(nl);
+  sim.set("in", true);
+  sim.set("phi", true);
+  ASSERT_TRUE(sim.settle());
+  EXPECT_EQ(sim.get("out"), Val::V0);  // inverting stage
+  // Close the pass gate; output must hold even when the input flips.
+  sim.set("phi", false);
+  ASSERT_TRUE(sim.settle());
+  sim.set("in", false);
+  ASSERT_TRUE(sim.settle());
+  EXPECT_EQ(sim.get("out"), Val::V0);
+  // Reopen: new value propagates.
+  sim.set("phi", true);
+  ASSERT_TRUE(sim.settle());
+  EXPECT_EQ(sim.get("out"), Val::V1);
+}
+
+// Two cascaded stages on alternate clocks = one shift-register bit.
+TEST(CellFunction, TwoStageShiftRegisterBit) {
+  Library lib;
+  Cell& top = lib.create("sr_bit");
+  Cell& stage = cells::shift_stage(lib);
+  const geom::Coord pitch = 72;  // stage is 66 wide; leave rail slack
+  top.add_instance(stage, {geom::Orient::R0, {0, 0}}, "s1");
+  top.add_instance(stage, {geom::Orient::R0, {pitch, 0}}, "s2");
+  // Abut the stages' rails and connect s1.out -> s2.in in metal.
+  const Cell* s = lib.find("shift_stage");
+  ASSERT_NE(s, nullptr);
+  const geom::Rect out1 = s->find_port("out")->rect;                 // s1 coords
+  const geom::Rect in2 = s->find_port("in")->rect.translated({pitch, 0});
+  top.add_rect(tech::Layer::Metal,
+               {out1.x0, out1.y0, in2.x1, out1.y1});  // straight strap
+  top.add_rect(tech::Layer::Metal, {-48, 0, pitch + 18, 6});
+  const geom::Rect vdd = s->find_port("vdd")->rect;
+  top.add_rect(tech::Layer::Metal, {-48, vdd.y0, pitch + 18, vdd.y1});
+
+  const extract::Netlist nl = extract::extract(top);
+  swsim::Simulator sim(nl);
+  const auto cycle = [&sim](bool d) {
+    sim.set("s1.in", d);
+    sim.set("s1.phi", true);
+    sim.set("s2.phi", false);
+    ASSERT_TRUE(sim.settle());
+    sim.set("s1.phi", false);
+    ASSERT_TRUE(sim.settle());
+    sim.set("s2.phi", true);
+    ASSERT_TRUE(sim.settle());
+    sim.set("s2.phi", false);
+    ASSERT_TRUE(sim.settle());
+  };
+  cycle(true);
+  EXPECT_EQ(sim.get("s2.out"), Val::V1);
+  cycle(false);
+  EXPECT_EQ(sim.get("s2.out"), Val::V0);
+  cycle(true);
+  EXPECT_EQ(sim.get("s2.out"), Val::V1);
+}
+
+TEST(CellFunction, UnknownInputYieldsUnknownOutput) {
+  Library lib;
+  const extract::Netlist nl = extract::extract(inverter(lib));
+  swsim::Simulator sim(nl);
+  sim.set(nl.find_node("in"), Val::VX);
+  ASSERT_TRUE(sim.settle());
+  EXPECT_EQ(sim.get("out"), Val::VX);
+}
+
+}  // namespace
+}  // namespace silc

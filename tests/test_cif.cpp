@@ -1,0 +1,254 @@
+// CIF writer/parser tests: roundtrip fidelity, foreign-dialect parsing,
+// polygon/wire conversion, and error reporting.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "cif/cif.hpp"
+#include "geom/rectset.hpp"
+#include "layout/layout.hpp"
+
+namespace silc {
+namespace {
+
+using geom::Orient;
+using geom::Point;
+using geom::Rect;
+using geom::RectSet;
+using geom::Transform;
+using layout::Cell;
+using layout::Library;
+using tech::Layer;
+
+// Compare two cells' flattened geometry as *regions* per layer (the rect
+// decomposition may differ; the covered area must not).
+void expect_same_regions(const Cell& a, const Cell& b) {
+  std::map<Layer, RectSet> ra, rb;
+  for (const layout::Shape& s : layout::flatten(a)) ra[s.layer].add(s.rect);
+  for (const layout::Shape& s : layout::flatten(b)) rb[s.layer].add(s.rect);
+  for (int i = 0; i < tech::kNumLayers; ++i) {
+    const Layer l = static_cast<Layer>(i);
+    EXPECT_EQ(ra[l], rb[l]) << "layer " << tech::name(l);
+  }
+}
+
+TEST(CifWriter, EmitsSymbolsChildrenFirst) {
+  Library lib;
+  Cell& leaf = lib.create("leaf");
+  leaf.add_rect(Layer::Metal, {0, 0, 6, 6});
+  Cell& top = lib.create("top");
+  top.add_instance(leaf, {Orient::R0, {0, 0}});
+  const std::string text = cif::write(top);
+  EXPECT_LT(text.find("9 leaf;"), text.find("9 top;"));
+  EXPECT_NE(text.find("DS 1 125 2;"), std::string::npos);
+  EXPECT_NE(text.find("E\n"), std::string::npos);
+}
+
+TEST(CifRoundTrip, FlatCell) {
+  Library lib;
+  Cell& c = lib.create("flat");
+  c.add_rect(Layer::Diff, {0, 0, 4, 12});
+  c.add_rect(Layer::Poly, {-2, 4, 6, 8});
+  c.add_rect(Layer::Metal, {0, 0, 6, 6});
+  c.add_label("out", Layer::Metal, {3, 3});
+
+  Library lib2;
+  Cell& back = cif::parse(cif::write(c), lib2);
+  expect_same_regions(c, back);
+  ASSERT_EQ(back.labels().size(), 1u);
+  EXPECT_EQ(back.labels()[0].text, "out");
+  EXPECT_EQ(back.labels()[0].at, (Point{3, 3}));
+  EXPECT_EQ(back.name(), "flat");
+}
+
+class CifOrientRoundTrip : public ::testing::TestWithParam<Orient> {};
+
+TEST_P(CifOrientRoundTrip, InstanceTransformSurvives) {
+  Library lib;
+  Cell& leaf = lib.create("leaf");
+  // Asymmetric so any orientation mistake changes the region.
+  leaf.add_rect(Layer::Poly, {0, 0, 8, 2});
+  leaf.add_rect(Layer::Poly, {0, 0, 2, 6});
+  Cell& top = lib.create("top");
+  top.add_instance(leaf, {GetParam(), {14, -6}});
+
+  Library lib2;
+  Cell& back = cif::parse(cif::write(top), lib2);
+  expect_same_regions(top, back);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrients, CifOrientRoundTrip,
+    ::testing::Values(Orient::R0, Orient::R90, Orient::R180, Orient::R270,
+                      Orient::MX, Orient::MY, Orient::MXR90, Orient::MYR90),
+    [](const auto& info) { return geom::to_string(info.param); });
+
+TEST(CifRoundTrip, DeepHierarchyWithSharedCells) {
+  Library lib;
+  Cell& unit = lib.create("unit");
+  unit.add_rect(Layer::Diff, {0, 0, 4, 4});
+  Cell& row = lib.create("row");
+  for (int i = 0; i < 4; ++i) {
+    row.add_instance(unit, {Orient::R0, {i * 10, 0}});
+  }
+  Cell& grid = lib.create("grid");
+  for (int j = 0; j < 3; ++j) {
+    grid.add_instance(row, {j % 2 != 0 ? Orient::MX : Orient::R0, {0, j * 10}});
+  }
+  Library lib2;
+  Cell& back = cif::parse(cif::write(grid), lib2);
+  expect_same_regions(grid, back);
+  // Hierarchy is preserved, not flattened: 3 symbols.
+  EXPECT_EQ(lib2.size(), 3u);
+}
+
+TEST(CifRoundTrip, RandomizedCells) {
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<int> c(-30, 30), w(1, 10), li(0, 4);
+  for (int trial = 0; trial < 20; ++trial) {
+    Library lib;
+    Cell& cell = lib.create("rand");
+    for (int i = 0; i < 30; ++i) {
+      const int x = c(rng), y = c(rng);
+      cell.add_rect(static_cast<Layer>(li(rng)), {x, y, x + w(rng), y + w(rng)});
+    }
+    Library lib2;
+    Cell& back = cif::parse(cif::write(cell), lib2);
+    expect_same_regions(cell, back);
+  }
+}
+
+TEST(CifParser, ForeignDialectBoxesAndWires) {
+  // Centimicron-scaled file (DS scale 250/1 => 1 unit = 1 lambda = 2 of our
+  // half-lambda units), with a wire and a rotated box.
+  const std::string text =
+      "( hand-written );\n"
+      "DS 1 250 1;\n"
+      "9 thing;\n"
+      "L NM;\n"
+      "B 4 2 2 1;\n"
+      "B 2 4 10 2 0 1;\n"  // direction (0,1): quarter turn -> 4 wide, 2 tall
+      "L NP;\n"
+      "W 2 0 10 8 10 8 14;\n"
+      "DF;\n"
+      "C 1;\n"
+      "E\n";
+  Library lib;
+  Cell& top = cif::parse(text, lib);
+  EXPECT_EQ(top.name(), "thing");
+  RectSet metal, poly;
+  for (const layout::Shape& s : top.shapes()) {
+    if (s.layer == Layer::Metal) metal.add(s.rect);
+    if (s.layer == Layer::Poly) poly.add(s.rect);
+  }
+  RectSet expect_metal;
+  expect_metal.add({0, 0, 8, 4});
+  expect_metal.add({16, 2, 24, 6});  // 2x4 box, quarter-turned, center (10,2)
+  EXPECT_EQ(metal, expect_metal);
+  RectSet expect_poly;  // wire width 2 (=> half-width 1 lambda = 2 units)
+  expect_poly.add({-2, 18, 18, 22});
+  expect_poly.add({14, 18, 18, 30});
+  EXPECT_EQ(poly, expect_poly);
+}
+
+TEST(CifParser, PolygonDecomposition) {
+  // An L-shaped rectilinear polygon in lambda units.
+  const std::string text =
+      "DS 1 250 1;\nL ND;\n"
+      "P 0 0 6 0 6 2 2 2 2 6 0 6;\n"
+      "DF;\nC 1;\nE\n";
+  Library lib;
+  Cell& top = cif::parse(text, lib);
+  RectSet got;
+  for (const layout::Shape& s : top.shapes()) got.add(s.rect);
+  RectSet want;
+  want.add({0, 0, 12, 4});
+  want.add({0, 4, 4, 12});
+  EXPECT_EQ(got, want);
+}
+
+TEST(CifParser, CallBeforeDefinition) {
+  const std::string text =
+      "DS 2 125 2;\n9 outer;\nC 1 T 20 0;\nDF;\n"
+      "DS 1 125 2;\n9 inner;\nL NM;\nB 12 12 6 6;\nDF;\n"
+      "C 2;\nE\n";
+  Library lib;
+  Cell& top = cif::parse(text, lib);
+  EXPECT_EQ(top.name(), "outer");
+  ASSERT_EQ(top.instances().size(), 1u);
+  EXPECT_EQ(top.instances()[0].cell->name(), "inner");
+  EXPECT_EQ(top.instances()[0].transform.offset, (Point{10, 0}));
+}
+
+TEST(CifParser, TopLevelGeometryMakesImplicitTop) {
+  // Unscaled top level: raw units are centimicrons (125 per half-lambda).
+  const std::string text = "L NM; B 500 500 250 250; E\n";
+  Library lib;
+  Cell& top = cif::parse(text, lib);
+  EXPECT_EQ(top.name(), "cif_top");
+  ASSERT_EQ(top.shapes().size(), 1u);
+  EXPECT_EQ(top.shapes()[0].rect, (Rect{0, 0, 4, 4}));
+}
+
+TEST(CifParser, Errors) {
+  Library lib;
+  const auto bad = [&lib](const std::string& text) {
+    Library fresh;
+    EXPECT_THROW(cif::parse(text, fresh), cif::CifError) << text;
+  };
+  bad("");                                     // missing E
+  bad("L NM; B 4 4 2 2; E\n");                 // geometry before DS, off-grid
+  bad("DS 1 125 2;\nDS 2 125 2;\nDF;\nE\n");   // nested DS
+  bad("DF;\nE\n");                             // DF without DS
+  bad("DS 1 125 2;\nL NM;\nB 4 4 1 1;\nDF;\nC 1;\nE\n");  // off-grid (125/2)
+  bad("DS 1 125 2;\nL XX;\nDF;\nC 1;\nE\n");   // unknown layer
+  bad("DS 1 125 2;\nL NM;\nR 4 0 0;\nDF;\nC 1;\nE\n");  // round flash
+  bad("DS 1 125 2;\nC 7;\nDF;\nC 1;\nE\n");    // undefined symbol
+  bad("DS 1 125 2;\nDF;\nC 1;\nQ;\nE\n");      // unknown command
+  bad("DS 1 0 2;\nDF;\nE\n");                  // invalid scale
+  bad("DS 1 125 2;\nL NP;\nP 0 0 4 4 0 8;\nDF;\nC 1;\nE\n");  // non-Manhattan
+}
+
+TEST(CifParser, OffGridCoordinateMessage) {
+  Library lib;
+  try {
+    cif::parse("DS 1 1 1;\nL NM;\nB 4 4 2 2;\nDF;\nC 1;\nE\n", lib);
+    FAIL() << "expected CifError";
+  } catch (const cif::CifError& e) {
+    EXPECT_NE(std::string(e.what()).find("off the half-lambda grid"),
+              std::string::npos);
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(CifParser, UnknownUserExtensionIsSkipped) {
+  const std::string text =
+      "DS 1 125 2;\n9 x;\n91 arbitrary junk 1 2 3;\nL NM;\nB 12 12 6 6;\nDF;\nC 1;\nE\n";
+  Library lib;
+  Cell& top = cif::parse(text, lib);
+  EXPECT_EQ(top.shapes().size(), 1u);
+}
+
+TEST(CifParser, CommentsAndCommasAreWhitespace) {
+  const std::string text =
+      "(header (nested) comment);DS 1 125 2;9 c;L NM;B 12,12,6,6;DF;C 1;E";
+  Library lib;
+  Cell& top = cif::parse(text, lib);
+  ASSERT_EQ(top.shapes().size(), 1u);
+  EXPECT_EQ(top.shapes()[0].rect, (Rect{0, 0, 6, 6}));
+}
+
+TEST(CifFile, WriteAndParseFile) {
+  Library lib;
+  Cell& c = lib.create("filecell");
+  c.add_rect(Layer::Metal, {0, 0, 6, 6});
+  const std::string path = ::testing::TempDir() + "/silc_test.cif";
+  cif::write_file(path, c);
+  Library lib2;
+  Cell& back = cif::parse_file(path, lib2);
+  expect_same_regions(c, back);
+}
+
+}  // namespace
+}  // namespace silc

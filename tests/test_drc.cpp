@@ -1,0 +1,160 @@
+// DRC negative tests: every rule family must catch a deliberately broken
+// layout (the generator tests prove the absence of false positives; these
+// prove the absence of false negatives rule by rule).
+#include <gtest/gtest.h>
+
+#include "drc/drc.hpp"
+#include "layout/layout.hpp"
+
+namespace silc::drc {
+namespace {
+
+using geom::Rect;
+using layout::Cell;
+using layout::Library;
+using tech::Layer;
+
+Result check_shapes(const std::vector<layout::Shape>& shapes) {
+  return check_flat(shapes);
+}
+
+TEST(DrcRules, MinWidth) {
+  // 2.5-lambda metal wire (needs 3).
+  const Result r = check_shapes({{Layer::Metal, Rect{0, 0, 40, 5}}});
+  EXPECT_EQ(r.count("metal.width"), 1u);
+  // Exactly minimum width passes.
+  EXPECT_TRUE(check_shapes({{Layer::Metal, Rect{0, 0, 40, 6}}}).ok());
+}
+
+TEST(DrcRules, WidthOfProtrusionsIsLocal) {
+  // A wide rail with a wide tab: no violation even though the tab is short.
+  const Result ok = check_shapes({{Layer::Metal, Rect{0, 0, 60, 6}},
+                                  {Layer::Metal, Rect{10, 6, 22, 8}}});
+  EXPECT_TRUE(ok.ok()) << ok.summary();
+  // A 2-unit-wide spike off the rail is a violation.
+  const Result bad = check_shapes({{Layer::Metal, Rect{0, 0, 60, 6}},
+                                   {Layer::Metal, Rect{10, 6, 12, 20}}});
+  EXPECT_GT(bad.count("metal.width"), 0u);
+}
+
+TEST(DrcRules, SpacingSameLayer) {
+  // Two diffusion shapes 2.5 lambda apart (need 3).
+  const Result r = check_shapes({{Layer::Diff, Rect{0, 0, 10, 4}},
+                                 {Layer::Diff, Rect{0, 9, 10, 13}}});
+  EXPECT_EQ(r.count("diff.space"), 1u);
+  EXPECT_TRUE(check_shapes({{Layer::Diff, Rect{0, 0, 10, 4}},
+                            {Layer::Diff, Rect{0, 10, 10, 14}}})
+                  .ok());
+}
+
+TEST(DrcRules, SpacingDiagonal) {
+  // Corner-to-corner closer than the rule in both axes.
+  const Result r = check_shapes({{Layer::Poly, Rect{0, 0, 4, 4}},
+                                 {Layer::Poly, Rect{6, 6, 10, 10}}});
+  EXPECT_EQ(r.count("poly.space"), 1u);
+  EXPECT_TRUE(check_shapes({{Layer::Poly, Rect{0, 0, 4, 4}},
+                            {Layer::Poly, Rect{6, 8, 10, 12}}})
+                  .ok());
+}
+
+TEST(DrcRules, NotchInsideOneNet) {
+  // A U-shape whose slot is 2 units wide (metal needs 6).
+  const Result r = check_shapes({{Layer::Metal, Rect{0, 0, 20, 6}},
+                                 {Layer::Metal, Rect{0, 6, 8, 20}},
+                                 {Layer::Metal, Rect{10, 6, 20, 20}}});
+  EXPECT_GT(r.count("metal.notch"), 0u);
+}
+
+TEST(DrcRules, PolyToUnrelatedDiffusion) {
+  const Result r = check_shapes({{Layer::Diff, Rect{0, 0, 10, 4}},
+                                 {Layer::Poly, Rect{0, 5, 10, 9}}});
+  EXPECT_EQ(r.count("poly.diff.space"), 1u);
+  EXPECT_TRUE(check_shapes({{Layer::Diff, Rect{0, 0, 10, 4}},
+                            {Layer::Poly, Rect{0, 6, 10, 10}}})
+                  .ok());
+}
+
+TEST(DrcRules, GateOverhangExcusesPolyOnDiff) {
+  // A proper transistor: poly crossing diffusion with full overhangs.
+  const Result ok = check_shapes({{Layer::Diff, Rect{0, -8, 4, 12}},
+                                  {Layer::Poly, Rect{-4, 0, 8, 4}}});
+  EXPECT_TRUE(ok.ok()) << ok.summary();
+  // Insufficient poly overhang (1 lambda instead of 2).
+  const Result bad = check_shapes({{Layer::Diff, Rect{0, -8, 4, 12}},
+                                   {Layer::Poly, Rect{-2, 0, 6, 4}}});
+  EXPECT_EQ(bad.count("gate.overhang"), 1u);
+}
+
+TEST(DrcRules, ContactRules) {
+  // Good: 2x2 cut with 1-lambda metal+diff surround.
+  const Result ok = check_shapes({{Layer::Contact, Rect{0, 0, 4, 4}},
+                                  {Layer::Metal, Rect{-2, -2, 6, 6}},
+                                  {Layer::Diff, Rect{-2, -2, 6, 6}}});
+  EXPECT_TRUE(ok.ok()) << ok.summary();
+  // Wrong cut size.
+  EXPECT_EQ(check_shapes({{Layer::Contact, Rect{0, 0, 6, 4}},
+                          {Layer::Metal, Rect{-2, -2, 8, 6}},
+                          {Layer::Diff, Rect{-2, -2, 8, 6}}})
+                .count("contact.size"),
+            1u);
+  // Missing metal surround.
+  EXPECT_EQ(check_shapes({{Layer::Contact, Rect{0, 0, 4, 4}},
+                          {Layer::Metal, Rect{0, 0, 4, 4}},
+                          {Layer::Diff, Rect{-2, -2, 6, 6}}})
+                .count("contact.metal.surround"),
+            1u);
+  // Neither poly nor diffusion under the cut.
+  EXPECT_EQ(check_shapes({{Layer::Contact, Rect{0, 0, 4, 4}},
+                          {Layer::Metal, Rect{-2, -2, 6, 6}}})
+                .count("contact.surround"),
+            1u);
+}
+
+TEST(DrcRules, ContactToGateSpacing) {
+  // Cut 1 lambda from a transistor channel (needs 2).
+  const Result r = check_shapes({{Layer::Diff, Rect{0, -8, 4, 20}},
+                                 {Layer::Poly, Rect{-4, 0, 8, 4}},
+                                 {Layer::Contact, Rect{0, 6, 4, 10}},
+                                 {Layer::Metal, Rect{-2, 4, 6, 12}},
+                                 {Layer::Diff, Rect{-2, 4, 6, 12}}});
+  EXPECT_GT(r.count("contact.gate.space"), 0u);
+}
+
+TEST(DrcRules, ImplantRules) {
+  // Depletion gate with insufficient implant surround.
+  const Result bad = check_shapes({{Layer::Diff, Rect{0, -8, 4, 12}},
+                                   {Layer::Poly, Rect{-4, 0, 8, 4}},
+                                   {Layer::Implant, Rect{0, 0, 4, 4}}});
+  EXPECT_EQ(bad.count("implant.surround"), 1u);
+  // Proper 1.5-lambda surround is clean.
+  const Result ok = check_shapes({{Layer::Diff, Rect{0, -8, 4, 12}},
+                                  {Layer::Poly, Rect{-4, 0, 8, 4}},
+                                  {Layer::Implant, Rect{-3, -3, 7, 7}}});
+  EXPECT_TRUE(ok.ok()) << ok.summary();
+  // Implant grazing an enhancement gate.
+  const Result graze = check_shapes({{Layer::Diff, Rect{0, -8, 4, 12}},
+                                     {Layer::Poly, Rect{-4, 0, 8, 4}},
+                                     {Layer::Implant, Rect{6, 0, 16, 10}}});
+  EXPECT_EQ(graze.count("implant.gate.space"), 1u);
+}
+
+TEST(DrcRules, BuriedSurround) {
+  // Buried window sticking out of the poly.
+  const Result r = check_shapes({{Layer::Diff, Rect{0, 0, 12, 4}},
+                                 {Layer::Poly, Rect{0, 0, 6, 4}},
+                                 {Layer::Buried, Rect{4, 0, 8, 4}}});
+  EXPECT_EQ(r.count("buried.surround"), 1u);
+}
+
+TEST(DrcRules, CleanEmptyLayout) {
+  EXPECT_TRUE(check_shapes({}).ok());
+}
+
+TEST(DrcRules, SummaryFormatting) {
+  const Result r = check_shapes({{Layer::Metal, Rect{0, 0, 40, 5}}});
+  EXPECT_NE(r.summary().find("metal.width"), std::string::npos);
+  EXPECT_EQ(check_shapes({}).summary(), "DRC clean");
+}
+
+}  // namespace
+}  // namespace silc::drc

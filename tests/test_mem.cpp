@@ -1,0 +1,81 @@
+// ROM generator tests: the artwork must read back every stored word
+// through extraction + switch-level simulation.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "drc/drc.hpp"
+#include "extract/extract.hpp"
+#include "mem/mem.hpp"
+#include "swsim/swsim.hpp"
+
+namespace silc::mem {
+namespace {
+
+void verify_rom(const std::vector<std::uint32_t>& words, int bits,
+                const std::string& name) {
+  layout::Library lib;
+  const RomResult rom = generate_rom(lib, words, bits, {.name = name});
+  ASSERT_NE(rom.cell, nullptr);
+  EXPECT_EQ(rom.stats.words, words.size());
+  EXPECT_EQ(rom.stats.bits, words.size() * static_cast<std::size_t>(bits));
+
+  const drc::Result d = drc::check(*rom.cell);
+  EXPECT_TRUE(d.ok()) << name << ": " << d.summary();
+
+  const extract::Netlist nl = extract::extract(*rom.cell);
+  EXPECT_TRUE(nl.warnings.empty());
+  swsim::Simulator sim(nl);
+  for (std::size_t a = 0; a < words.size(); ++a) {
+    for (int b = 0; b < rom.stats.address_bits; ++b) {
+      sim.set("in" + std::to_string(b), ((a >> b) & 1u) != 0);
+    }
+    ASSERT_TRUE(sim.settle());
+    std::uint32_t got = 0;
+    for (int k = 0; k < bits; ++k) {
+      if (sim.get_bool("out" + std::to_string(k))) got |= 1u << k;
+    }
+    EXPECT_EQ(got, words[a] & ((1u << bits) - 1)) << name << " addr " << a;
+  }
+}
+
+TEST(Rom, FourWords) { verify_rom({0b01, 0b10, 0b11, 0b00}, 2, "rom4x2"); }
+
+TEST(Rom, EightWordLookupTable) {
+  // Squares mod 16.
+  std::vector<std::uint32_t> words;
+  for (std::uint32_t i = 0; i < 8; ++i) words.push_back((i * i) & 0xF);
+  verify_rom(words, 4, "rom_squares");
+}
+
+TEST(Rom, AllOnesWordsNeedNoDevices) {
+  verify_rom({0x3, 0x3, 0x3, 0x3}, 2, "rom_ones");
+}
+
+TEST(Rom, RandomContents) {
+  std::mt19937 rng(5);
+  std::uniform_int_distribution<std::uint32_t> w(0, 255);
+  std::vector<std::uint32_t> words;
+  for (int i = 0; i < 16; ++i) words.push_back(w(rng));
+  verify_rom(words, 8, "rom_rand");
+}
+
+TEST(Rom, RejectsBadShapes) {
+  layout::Library lib;
+  EXPECT_THROW(generate_rom(lib, {}, 4), std::invalid_argument);
+  EXPECT_THROW(generate_rom(lib, {1, 2, 3}, 4), std::invalid_argument);  // not 2^n
+  EXPECT_THROW(generate_rom(lib, {1, 2}, 0), std::invalid_argument);
+  EXPECT_THROW(generate_rom(lib, {1}, 4), std::invalid_argument);  // 1 word
+}
+
+TEST(Rom, AreaScalesWithContents) {
+  layout::Library lib;
+  std::vector<std::uint32_t> small(4, 0), big(32, 0);
+  const RomResult a = generate_rom(lib, small, 4, {.name = "rs"});
+  const RomResult b = generate_rom(lib, big, 4, {.name = "rb"});
+  EXPECT_GT(b.stats.area, a.stats.area);
+  EXPECT_GT(b.stats.crosspoints, a.stats.crosspoints);
+}
+
+}  // namespace
+}  // namespace silc::mem

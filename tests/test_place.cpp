@@ -1,0 +1,89 @@
+// Floorplanner tests: legality (no overlaps, blocks inside the die) and
+// packing quality across random block sets.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "place/place.hpp"
+
+namespace silc::place {
+namespace {
+
+void expect_legal(const std::vector<Block>& blocks, const FloorplanResult& fp,
+                  Coord spacing) {
+  ASSERT_EQ(fp.placements.size(), blocks.size());
+  std::vector<geom::Rect> rects;
+  for (const Placement& p : fp.placements) {
+    const Block& b = blocks[static_cast<std::size_t>(p.block)];
+    const Coord w = p.rotated ? b.height : b.width;
+    const Coord h = p.rotated ? b.width : b.height;
+    const geom::Rect r{p.at.x, p.at.y, p.at.x + w, p.at.y + h};
+    EXPECT_GE(r.x0, 0);
+    EXPECT_GE(r.y0, 0);
+    EXPECT_LE(r.x1, fp.width);
+    EXPECT_LE(r.y1, fp.height);
+    for (const geom::Rect& o : rects) {
+      EXPECT_FALSE(r.overlaps(o)) << "blocks overlap";
+      // Spacing margin between distinct blocks.
+      const Coord gx = std::max(r.x0, o.x0) - std::min(r.x1, o.x1);
+      const Coord gy = std::max(r.y0, o.y0) - std::min(r.y1, o.y1);
+      EXPECT_TRUE(gx >= spacing || gy >= spacing) << "blocks too close";
+    }
+    rects.push_back(r);
+  }
+}
+
+TEST(Floorplan, SingleBlock) {
+  const std::vector<Block> blocks = {{"a", 100, 50, true}};
+  const FloorplanResult fp = floorplan(blocks, {.spacing = 10});
+  expect_legal(blocks, fp, 10);  // may be rotated; legality is what matters
+  EXPECT_GE(fp.area(), 100 * 50);
+}
+
+TEST(Floorplan, TwoBlocksPackTightly) {
+  const std::vector<Block> blocks = {{"a", 100, 100, true}, {"b", 100, 100, true}};
+  const FloorplanResult fp = floorplan(blocks, {.spacing = 0});
+  expect_legal(blocks, fp, 0);
+  EXPECT_EQ(fp.area(), 200 * 100);  // perfect 2x1 packing
+}
+
+TEST(Floorplan, RotationHelps) {
+  // Two 100x20 strips: best packing stacks them (100x40); without rotation
+  // of a 20x100 one, side-by-side would waste area.
+  const std::vector<Block> blocks = {{"a", 100, 20, true}, {"b", 20, 100, true}};
+  const FloorplanResult fp = floorplan(blocks, {.spacing = 0});
+  expect_legal(blocks, fp, 0);
+  EXPECT_LE(fp.area(), 100 * 40);
+}
+
+TEST(Floorplan, RespectsNonRotatable) {
+  const std::vector<Block> blocks = {{"a", 300, 20, false}, {"b", 300, 20, false}};
+  const FloorplanResult fp = floorplan(blocks, {.spacing = 0});
+  expect_legal(blocks, fp, 0);
+  for (const Placement& p : fp.placements) EXPECT_FALSE(p.rotated);
+}
+
+TEST(Floorplan, EmptyThrows) {
+  EXPECT_THROW(floorplan({}), std::invalid_argument);
+}
+
+class FloorplanRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(FloorplanRandom, LegalAndReasonablyPacked) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::uniform_int_distribution<int> dim(20, 300);
+  std::uniform_int_distribution<int> count(2, 14);
+  const int n = count(rng);
+  std::vector<Block> blocks;
+  for (int i = 0; i < n; ++i) {
+    blocks.push_back({"b" + std::to_string(i), dim(rng), dim(rng), true});
+  }
+  const FloorplanResult fp = floorplan(blocks, {.spacing = 8});
+  expect_legal(blocks, fp, 8);
+  EXPECT_GT(fp.utilization, 0.35) << "poor packing for n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FloorplanRandom, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace silc::place
