@@ -7,55 +7,13 @@
 #include <cstdio>
 
 #include "net/net.hpp"
+#include "pdp8_model.hpp"
 #include "rtl/rtl.hpp"
 #include "synth/synth.hpp"
 
 namespace {
 
-const char* kPdp8 = R"(
-  processor pdp8 (input mem_rdata<12>; input run;
-                  output mem_addr<12>; output mem_wdata<12>; output mem_we;
-                  output acc<12>; output halted;) {
-    reg AC<12>; reg L; reg PC<12>; reg IR<12>; reg MA<12>;
-    reg state<2>; reg halt;
-    wire op<3>;     op = IR[11:9];
-    wire ea<12>;    ea = {IR[7] ? PC[11:7] : 0, IR[6:0]};
-    wire sum13<13>; sum13 = {0, AC} + {0, mem_rdata};
-    wire cla_v<12>; cla_v = IR[7] ? 0 : AC;
-    wire cma_v<12>; cma_v = IR[5] ? ~cla_v : cla_v;
-    wire opr1<12>;  opr1 = IR[0] ? cma_v + 1 : cma_v;
-    wire l1;        l1 = IR[6] ? 0 : L;
-    wire l2;        l2 = IR[4] ? ~l1 : l1;
-    wire skip;      skip = (IR[6] & AC[11]) | (IR[5] & (AC == 0));
-    mem_addr  = (state == 0) ? PC : MA;
-    mem_we    = (state == 3) & ((op == 2) | (op == 3) | (op == 4));
-    mem_wdata = (op == 2) ? mem_rdata + 1 : ((op == 3) ? AC : PC);
-    acc       = AC;
-    halted    = halt;
-    always {
-      if (run & (halt == 0)) {
-        case (state) {
-          0: { IR := mem_rdata; PC := PC + 1; state := 1; }
-          1: { MA := ea; if ((op <= 5) & IR[8]) state := 2; else state := 3; }
-          2: { MA := mem_rdata; state := 3; }
-          3: { state := 0;
-               case (op) {
-                 0: AC := AC & mem_rdata;
-                 1: { AC := sum13[11:0]; L := L ^ sum13[12]; }
-                 2: if (mem_rdata + 1 == 0) PC := PC + 1;
-                 3: AC := 0;
-                 4: PC := MA + 1;
-                 5: PC := MA;
-                 6: { }
-                 7: { if (IR[8] == 0) { AC := opr1; L := l2; }
-                      else { if (skip) PC := PC + 1;
-                             if (IR[7]) AC := 0;
-                             if (IR[1]) halt := 1; } }
-               } }
-        }
-      }
-    }
-  })";
+const char* kPdp8 = silc_fixtures::kPdp8Source;
 
 constexpr int kCommercialChips = 100;  // PDP-8/E M8300+M8310+M8330 boards
 

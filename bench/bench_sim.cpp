@@ -1,0 +1,160 @@
+// The compiled-simulation speedup claim: on the PDP-8 netlist, the
+// levelized bit-parallel CompiledSim must beat the relaxation-based
+// switch-level simulator by >= 10x cycles/sec (it is closer to 10^4-10^6x,
+// and each compiled cycle carries 64 stimulus lanes). Prints a
+// cycles/sec table for swsim / interpretive GateSim / CompiledSim plus the
+// three-model crosscheck, then runs the microbenchmarks.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "net/net.hpp"
+#include "pdp8_model.hpp"
+#include "rtl/rtl.hpp"
+#include "sim/sim.hpp"
+#include "swsim/swsim.hpp"
+#include "synth/synth.hpp"
+
+namespace {
+
+const char* kPdp8 = silc_fixtures::kPdp8Source;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Clocked swsim cycles/sec on the switch-level expansion of the netlist.
+double swsim_cycles_per_sec(const silc::net::Netlist& nl, int cycles,
+                            std::size_t* transistors) {
+  using namespace silc;
+  const extract::Netlist xnl = sim::to_switch_level(nl);
+  *transistors = xnl.transistors.size();
+  swsim::Simulator sw(xnl);
+  std::string detail;
+  if (!sim::switch_power_on(nl, xnl, sw, detail)) {
+    std::printf("WARNING: swsim power-on failed: %s\n", detail.c_str());
+  }
+  sw.set("run", true);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < cycles; ++c) {
+    if (!sim::switch_cycle(sw, detail)) {
+      std::printf("WARNING: %s at cycle %d\n", detail.c_str(), c);
+    }
+  }
+  return cycles / seconds_since(t0);
+}
+
+double gatesim_cycles_per_sec(const silc::net::Netlist& nl, int cycles) {
+  silc::net::GateSim gs(nl);
+  gs.reset_state(false);
+  gs.set("run", true);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < cycles; ++c) gs.tick();
+  return cycles / seconds_since(t0);
+}
+
+double compiled_cycles_per_sec(const silc::net::Netlist& nl, int cycles) {
+  silc::sim::CompiledSim cs(nl);
+  cs.reset();
+  cs.poke("run", 1);
+  const auto t0 = std::chrono::steady_clock::now();
+  cs.step(cycles);
+  return cycles / seconds_since(t0);
+}
+
+void print_table() {
+  using namespace silc;
+  const rtl::Design design = rtl::parse(kPdp8);
+  const net::Netlist nl = synth::bit_blast(design);
+  std::printf("=== compiled vs interpretive vs relaxation simulation "
+              "(PDP-8 netlist) ===\n");
+  std::printf("%-24s %zu logic gates + %zu DFFs, levelized depth %d\n",
+              "netlist", nl.logic_gate_count(), nl.dff_count(),
+              sim::levelize(nl).depth());
+
+  std::size_t transistors = 0;
+  const double sw = swsim_cycles_per_sec(nl, 6, &transistors);
+  const double gs = gatesim_cycles_per_sec(nl, 20000);
+  const double cc = compiled_cycles_per_sec(nl, 200000);
+  std::printf("%-24s %12.1f cycles/sec (%zu transistors, relaxation)\n",
+              "swsim::Simulator", sw, transistors);
+  std::printf("%-24s %12.1f cycles/sec (scalar, levelized)\n",
+              "net::GateSim", gs);
+  std::printf("%-24s %12.1f cycles/sec x %d lanes = %.3g vector-cycles/sec\n",
+              "sim::CompiledSim", cc, sim::kLanes,
+              cc * sim::kLanes);
+  std::printf("%-24s %.0fx cycles/sec, %.3gx vector throughput (>=10x: %s)\n",
+              "compiled / swsim", cc / sw, cc * sim::kLanes / sw,
+              cc >= 10 * sw ? "HOLDS" : "FAILS");
+
+  sim::CrosscheckOptions opt;
+  opt.cycles = 64;
+  opt.lanes = 8;
+  opt.switch_cycles = 2;
+  const sim::CrosscheckReport r = sim::crosscheck(design, opt);
+  std::printf("%-24s %s -> %s\n\n", "three-model crosscheck",
+              r.detail.c_str(), r.ok ? "OK" : "MISMATCH");
+}
+
+void BM_Levelize(benchmark::State& state) {
+  const silc::rtl::Design d = silc::rtl::parse(kPdp8);
+  const silc::net::Netlist nl = silc::synth::bit_blast(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(silc::sim::levelize(nl));
+  }
+}
+BENCHMARK(BM_Levelize);
+
+void BM_CompiledCycle(benchmark::State& state) {
+  const silc::rtl::Design d = silc::rtl::parse(kPdp8);
+  silc::sim::CompiledSim cs(d);
+  cs.poke("run", 1);
+  for (auto _ : state) cs.step();
+  state.SetItemsProcessed(state.iterations() * silc::sim::kLanes);
+}
+BENCHMARK(BM_CompiledCycle);
+
+void BM_GateSimCycle(benchmark::State& state) {
+  const silc::rtl::Design d = silc::rtl::parse(kPdp8);
+  const silc::net::Netlist nl = silc::synth::bit_blast(d);
+  silc::net::GateSim gs(nl);
+  gs.reset_state(false);
+  gs.set("run", true);
+  for (auto _ : state) gs.tick();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GateSimCycle);
+
+void BM_SwsimCycle(benchmark::State& state) {
+  using namespace silc;
+  const rtl::Design d = rtl::parse(kPdp8);
+  const net::Netlist nl = synth::bit_blast(d);
+  const extract::Netlist xnl = sim::to_switch_level(nl);
+  swsim::Simulator sw(xnl);
+  std::string detail;
+  if (!sim::switch_power_on(nl, xnl, sw, detail)) {
+    state.SkipWithError(detail.c_str());
+    return;
+  }
+  sw.set("run", true);
+  for (auto _ : state) {
+    if (!sim::switch_cycle(sw, detail)) {
+      state.SkipWithError(detail.c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwsimCycle)->Iterations(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Shared test/bench fixture: the mini PDP-8 behavioral description (full
+// 8-opcode instruction set, 12-bit datapath, multi-cycle
+// fetch/decode/defer/execute control; 4K memory modeled externally).
+// Keep this the single copy — the benchmarked design and the crosschecked
+// design must stay the same machine. examples/pdp8.cpp carries its own
+// annotated copy on purpose (examples read standalone).
+#pragma once
+
+namespace silc_fixtures {
+
+inline const char* kPdp8Source = R"(
+  processor pdp8 (input mem_rdata<12>; input run;
+                  output mem_addr<12>; output mem_wdata<12>; output mem_we;
+                  output acc<12>; output halted;) {
+    reg AC<12>; reg L; reg PC<12>; reg IR<12>; reg MA<12>;
+    reg state<2>;  // 0 fetch, 1 decode, 2 defer, 3 execute
+    reg halt;
+    wire op<3>;     op = IR[11:9];
+    wire ea<12>;    ea = {IR[7] ? PC[11:7] : 0, IR[6:0]};
+    wire sum13<13>; sum13 = {0, AC} + {0, mem_rdata};
+    wire cla_v<12>; cla_v = IR[7] ? 0 : AC;
+    wire cma_v<12>; cma_v = IR[5] ? ~cla_v : cla_v;
+    wire opr1<12>;  opr1 = IR[0] ? cma_v + 1 : cma_v;
+    wire l1;        l1 = IR[6] ? 0 : L;
+    wire l2;        l2 = IR[4] ? ~l1 : l1;
+    wire skip;      skip = (IR[6] & AC[11]) | (IR[5] & (AC == 0));
+    mem_addr  = (state == 0) ? PC : MA;
+    mem_we    = (state == 3) & ((op == 2) | (op == 3) | (op == 4));
+    mem_wdata = (op == 2) ? mem_rdata + 1 : ((op == 3) ? AC : PC);
+    acc       = AC;
+    halted    = halt;
+    always {
+      if (run & (halt == 0)) {
+        case (state) {
+          0: { IR := mem_rdata; PC := PC + 1; state := 1; }
+          1: { MA := ea; if ((op <= 5) & IR[8]) state := 2; else state := 3; }
+          2: { MA := mem_rdata; state := 3; }
+          3: { state := 0;
+               case (op) {
+                 0: AC := AC & mem_rdata;                      // AND
+                 1: { AC := sum13[11:0]; L := L ^ sum13[12]; } // TAD
+                 2: if (mem_rdata + 1 == 0) PC := PC + 1;      // ISZ
+                 3: AC := 0;                                   // DCA
+                 4: PC := MA + 1;                              // JMS
+                 5: PC := MA;                                  // JMP
+                 6: { }                                        // IOT (no-op)
+                 7: { if (IR[8] == 0) { AC := opr1; L := l2; }
+                      else { if (skip) PC := PC + 1;
+                             if (IR[7]) AC := 0;
+                             if (IR[1]) halt := 1; } }
+               } }
+        }
+      }
+    }
+  })";
+
+}  // namespace silc_fixtures

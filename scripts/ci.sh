@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build everything, run the registered tests.
+# Usage: scripts/ci.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+cd "$BUILD_DIR"
+ctest --output-on-failure --no-tests=error -j

@@ -5,13 +5,20 @@
 
 #include "cif/cif.hpp"
 #include "lang/lang.hpp"
+#include "sim/sim.hpp"
 #include "swsim/swsim.hpp"
 
 namespace silc::core {
 
 bool verify_chip_against_rtl(const layout::Cell& chip, const rtl::Design& design,
                              int cycles, unsigned seed, std::string& detail) {
-  const extract::Netlist nl = extract::extract(chip);
+  return verify_chip_against_rtl(extract::extract(chip), design, cycles, seed,
+                                 detail);
+}
+
+bool verify_chip_against_rtl(const extract::Netlist& nl,
+                             const rtl::Design& design, int cycles,
+                             unsigned seed, std::string& detail) {
   std::ostringstream os;
   for (const std::string& w : nl.warnings) os << "extract: " << w << "\n";
   if (!nl.warnings.empty()) {
@@ -59,19 +66,11 @@ bool verify_chip_against_rtl(const layout::Cell& chip, const rtl::Design& design
         sw.set("x" + std::to_string(bit), ((v >> b) & 1u) != 0);
       }
     }
-    // Two-phase clock.
-    for (const char* phase : {"phi1", "phi2"}) {
-      sw.set(phase, true);
-      if (!sw.settle()) {
-        detail = "no settle on " + std::string(phase) + " in cycle " +
-                 std::to_string(cycle);
-        return false;
-      }
-      sw.set(phase, false);
-      if (!sw.settle()) {
-        detail = "no settle after " + std::string(phase);
-        return false;
-      }
+    // Two-phase clock (one copy of the protocol: sim::switch_cycle).
+    std::string phase_detail;
+    if (!sim::switch_cycle(sw, phase_detail)) {
+      detail = phase_detail + " in cycle " + std::to_string(cycle);
+      return false;
     }
     bsim.tick();
     // Compare outputs.
@@ -108,11 +107,27 @@ CompileResult SiliconCompiler::compile_behavioral(const std::string& rtl_source,
   result.cif = cif::write(*chip.chip);
   result.rect_count = chip.chip->flat_shape_count();
   if (options.run_drc) result.drc = drc::check(*chip.chip);
-  result.transistors = extract::extract(*chip.chip).transistors.size();
+  const extract::Netlist extracted = extract::extract(*chip.chip);
+  result.transistors = extracted.transistors.size();
   if (options.verify) {
-    result.verified = verify_chip_against_rtl(*chip.chip, design,
-                                              options.verify_cycles, 1u,
-                                              result.verify_detail);
+    // Behavioral-vs-gates: the compiled bit-parallel simulator covers
+    // thousands of vectors for less than the artwork check's cost.
+    sim::CrosscheckOptions co;
+    co.cycles = options.gate_verify_cycles;
+    co.lanes = options.gate_verify_lanes;
+    co.switch_cycles = 0;  // swsim is reserved for the extracted artwork
+    const sim::CrosscheckReport gates = sim::crosscheck(design, co);
+    if (!gates.ok) {
+      // The cheap check already failed; skip the expensive artwork run.
+      result.verify_detail = gates.detail + "; artwork check skipped";
+      return result;
+    }
+    // Artwork: extracted transistors under the switch-level simulator.
+    std::string artwork_detail;
+    const bool artwork_ok = verify_chip_against_rtl(
+        extracted, design, options.verify_cycles, 1u, artwork_detail);
+    result.verified = artwork_ok;
+    result.verify_detail = gates.detail + "; artwork: " + artwork_detail;
   }
   return result;
 }

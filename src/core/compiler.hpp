@@ -9,8 +9,10 @@
 //
 // Both return the emitted CIF plus the verification evidence the 1979
 // methodology called for: design-rule check results and (for behavioral
-// designs) a switch-level-vs-behavioral equivalence check of the actual
-// artwork.
+// designs) two equivalence checks — a fast behavioral-vs-gates check under
+// the compiled bit-parallel simulator (sim::crosscheck, thousands of
+// vectors), and a switch-level check of the actual extracted artwork
+// (swsim, a few dozen cycles).
 #pragma once
 
 #include <cstdint>
@@ -28,8 +30,12 @@ namespace silc::core {
 struct CompileOptions {
   std::string name = "chip";
   bool run_drc = true;
-  bool verify = true;      // behavioral flow: switch-level equivalence check
-  int verify_cycles = 32;  // clocked cycles of random stimulus
+  bool verify = true;      // behavioral flow: equivalence checks below
+  int verify_cycles = 32;  // artwork check: switch-level cycles on the
+                           // extracted chip (slow, relaxation-based)
+  int gate_verify_cycles = 1024;  // behavioral-vs-gates check: cycles per
+                                  // lane under the compiled simulator
+  int gate_verify_lanes = 8;      // independent stimulus lanes (<= 64)
 };
 
 struct CompileResult {
@@ -66,5 +72,10 @@ class SiliconCompiler {
 /// Returns true when all cycles match; detail describes the run.
 bool verify_chip_against_rtl(const layout::Cell& chip, const rtl::Design& design,
                              int cycles, unsigned seed, std::string& detail);
+/// Same, over an already-extracted netlist (the compile path extracts once
+/// for both the transistor count and this check).
+bool verify_chip_against_rtl(const extract::Netlist& netlist,
+                             const rtl::Design& design, int cycles,
+                             unsigned seed, std::string& detail);
 
 }  // namespace silc::core

@@ -61,14 +61,19 @@ void Netlist::add_gate_driving(GateKind kind, const std::vector<int>& inputs,
   gates_.push_back({kind, inputs, output, name});
 }
 
+void Netlist::add_alias(int net, const std::string& name) {
+  if (!name.empty() && net_by_name_.count(name) == 0) {
+    net_by_name_[name] = net;
+  }
+}
+
 int Netlist::find_net(const std::string& name) const {
   const auto it = net_by_name_.find(name);
   return it == net_by_name_.end() ? -1 : it->second;
 }
 
-std::vector<int> Netlist::topo_order() const {
-  const std::size_t nn = net_names_.size();
-  std::vector<int> driver(nn, -1);
+std::vector<int> Netlist::driver_map() const {
+  std::vector<int> driver(net_names_.size(), -1);
   for (std::size_t g = 0; g < gates_.size(); ++g) {
     const int out = gates_[g].output;
     if (driver[static_cast<std::size_t>(out)] >= 0) {
@@ -76,6 +81,12 @@ std::vector<int> Netlist::topo_order() const {
     }
     driver[static_cast<std::size_t>(out)] = static_cast<int>(g);
   }
+  return driver;
+}
+
+std::vector<int> Netlist::topo_order() const {
+  const std::size_t nn = net_names_.size();
+  const std::vector<int> driver = driver_map();
   // Kahn's algorithm over combinational gates; DFF outputs are sources.
   std::vector<int> pending(gates_.size(), 0);
   std::vector<std::vector<int>> dependents(nn);

@@ -43,19 +43,31 @@ class Netlist {
   /// Add a gate driving an existing net.
   void add_gate_driving(GateKind kind, const std::vector<int>& inputs, int output,
                         const std::string& name = "");
+  /// Register an extra lookup name for an existing net (no-op when taken).
+  void add_alias(int net, const std::string& name);
 
   [[nodiscard]] std::size_t net_count() const { return net_names_.size(); }
   [[nodiscard]] const std::vector<Gate>& gates() const { return gates_; }
+  [[nodiscard]] const Gate& gate(int g) const {
+    return gates_[static_cast<std::size_t>(g)];
+  }
   [[nodiscard]] const std::string& net_name(int net) const {
     return net_names_[static_cast<std::size_t>(net)];
   }
   [[nodiscard]] int find_net(const std::string& name) const;
   [[nodiscard]] const std::vector<int>& inputs() const { return inputs_; }
   [[nodiscard]] const std::vector<int>& outputs() const { return outputs_; }
+  /// Every (name or alias, net) lookup pair.
+  [[nodiscard]] const std::map<std::string, int>& name_map() const {
+    return net_by_name_;
+  }
 
   /// Gates in dependency order (DFF outputs and inputs are sources).
   /// Throws std::runtime_error on combinational cycles or multiple drivers.
   [[nodiscard]] std::vector<int> topo_order() const;
+  /// Driving gate index per net, -1 for sources (primary inputs, undriven).
+  /// Throws std::runtime_error when a net has multiple drivers.
+  [[nodiscard]] std::vector<int> driver_map() const;
 
   [[nodiscard]] std::size_t count(GateKind k) const;
   [[nodiscard]] std::size_t dff_count() const { return count(GateKind::Dff); }

@@ -1,0 +1,151 @@
+// Netlist -> evaluation tape: rank every combinational gate by logic level
+// (sources — primary inputs, DFF outputs, undriven nets — are level 0; a
+// gate is one past its deepest driver), then emit ops level by level.
+// N-ary gates decompose into two-input chains through temporary slots; the
+// chain stays inside its gate's level block, which keeps the invariant that
+// an op only reads slots finalized earlier in the tape.
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/sim.hpp"
+
+namespace silc::sim {
+
+using net::Gate;
+using net::GateKind;
+
+namespace {
+
+/// The two-input op and (for And/Or-based chains) the op used for all but
+/// the final link; inversion happens only at the chain's last op.
+TapeOp::Code final_code(GateKind k) {
+  switch (k) {
+    case GateKind::And: return TapeOp::Code::And;
+    case GateKind::Or: return TapeOp::Code::Or;
+    case GateKind::Nand: return TapeOp::Code::Nand;
+    case GateKind::Nor: return TapeOp::Code::Nor;
+    case GateKind::Xor: return TapeOp::Code::Xor;
+    case GateKind::Xnor: return TapeOp::Code::Xnor;
+    default: throw std::runtime_error("not an n-ary gate");
+  }
+}
+
+TapeOp::Code chain_code(GateKind k) {
+  switch (k) {
+    case GateKind::And:
+    case GateKind::Nand: return TapeOp::Code::And;
+    case GateKind::Or:
+    case GateKind::Nor: return TapeOp::Code::Or;
+    case GateKind::Xor:
+    case GateKind::Xnor: return TapeOp::Code::Xor;
+    default: throw std::runtime_error("not an n-ary gate");
+  }
+}
+
+/// Single-input degenerate forms: And(a)=Or(a)=Xor(a)=a, Nand(a)=Nor(a)=
+/// Xnor(a)=~a.
+TapeOp::Code unary_code(GateKind k) {
+  switch (k) {
+    case GateKind::And:
+    case GateKind::Or:
+    case GateKind::Xor: return TapeOp::Code::Copy;
+    default: return TapeOp::Code::Not;
+  }
+}
+
+}  // namespace
+
+Tape levelize(const net::Netlist& nl) {
+  const std::vector<int> driver = nl.driver_map();
+  const std::vector<int> topo = nl.topo_order();  // validates acyclicity
+
+  // Combinational level per gate (DFFs are level-0 sources).
+  std::vector<int> glevel(nl.gates().size(), 0);
+  int depth = 0;
+  for (const int gi : topo) {
+    const Gate& g = nl.gate(gi);
+    if (g.kind == GateKind::Dff) continue;
+    int lv = 0;
+    for (const int in : g.inputs) {
+      const int d = driver[static_cast<std::size_t>(in)];
+      if (d >= 0 && nl.gate(d).kind != GateKind::Dff) {
+        lv = std::max(lv, glevel[static_cast<std::size_t>(d)]);
+      }
+    }
+    glevel[static_cast<std::size_t>(gi)] = lv + 1;
+    depth = std::max(depth, lv + 1);
+  }
+
+  // Bucket combinational gates by level, keeping topo order within a level.
+  std::vector<std::vector<int>> by_level(static_cast<std::size_t>(depth) + 1);
+  for (const int gi : topo) {
+    const Gate& g = nl.gate(gi);
+    if (g.kind == GateKind::Dff) continue;
+    by_level[static_cast<std::size_t>(glevel[static_cast<std::size_t>(gi)])]
+        .push_back(gi);
+  }
+
+  Tape tape;
+  std::uint32_t temp = static_cast<std::uint32_t>(nl.net_count());
+  const auto slot = [](int net) { return static_cast<std::uint32_t>(net); };
+
+  for (int lv = 1; lv <= depth; ++lv) {
+    tape.level_begin.push_back(static_cast<std::uint32_t>(tape.ops.size()));
+    for (const int gi : by_level[static_cast<std::size_t>(lv)]) {
+      const Gate& g = nl.gate(gi);
+      const std::uint32_t out = slot(g.output);
+      switch (g.kind) {
+        case GateKind::Const0:
+          tape.ops.push_back({TapeOp::Code::Const0, out, 0, 0, 0});
+          break;
+        case GateKind::Const1:
+          tape.ops.push_back({TapeOp::Code::Const1, out, 0, 0, 0});
+          break;
+        case GateKind::Buf:
+          tape.ops.push_back({TapeOp::Code::Copy, out, slot(g.inputs[0]), 0, 0});
+          break;
+        case GateKind::Not:
+          tape.ops.push_back({TapeOp::Code::Not, out, slot(g.inputs[0]), 0, 0});
+          break;
+        case GateKind::Mux:
+          tape.ops.push_back({TapeOp::Code::Mux, out, slot(g.inputs[1]),
+                              slot(g.inputs[2]), slot(g.inputs[0])});
+          break;
+        case GateKind::Dff:
+          break;  // handled below
+        default: {  // n-ary And/Or/Nand/Nor/Xor/Xnor
+          if (g.inputs.empty()) {
+            throw std::runtime_error("gate " + g.name + " has no inputs");
+          }
+          if (g.inputs.size() == 1) {
+            tape.ops.push_back(
+                {unary_code(g.kind), out, slot(g.inputs[0]), 0, 0});
+            break;
+          }
+          std::uint32_t acc = slot(g.inputs[0]);
+          for (std::size_t i = 1; i + 1 < g.inputs.size(); ++i) {
+            const std::uint32_t t = temp++;
+            tape.ops.push_back({chain_code(g.kind), t, acc, slot(g.inputs[i]), 0});
+            acc = t;
+          }
+          tape.ops.push_back(
+              {final_code(g.kind), out, acc, slot(g.inputs.back()), 0});
+          break;
+        }
+      }
+    }
+  }
+  if (depth > 0) {
+    tape.level_begin.push_back(static_cast<std::uint32_t>(tape.ops.size()));
+  }
+
+  for (const Gate& g : nl.gates()) {
+    if (g.kind == GateKind::Dff) {
+      tape.dffs.emplace_back(slot(g.output), slot(g.inputs[0]));
+    }
+  }
+  tape.slots = temp;
+  return tape;
+}
+
+}  // namespace silc::sim

@@ -1,0 +1,317 @@
+// CompiledSim: own the netlist + tape, map signal names to value slots,
+// and drive the bit-parallel kernel. crosscheck(): the three-model
+// equivalence harness (behavioral / compiled / switch-level).
+#include "sim/sim.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "extract/extract.hpp"
+#include "swsim/swsim.hpp"
+#include "synth/synth.hpp"
+
+namespace silc::sim {
+
+CompiledSim::CompiledSim(const net::Netlist& nl)
+    : nl_(nl),
+      tape_(levelize(nl_)),
+      slots_(tape_.slots, 0),
+      scratch_(tape_.dffs.size(), 0) {}
+
+CompiledSim::CompiledSim(const rtl::Design& design)
+    : nl_(synth::bit_blast(design)),
+      tape_(levelize(nl_)),
+      slots_(tape_.slots, 0),
+      scratch_(tape_.dffs.size(), 0) {
+  for (const rtl::Signal& s : design.signals) {
+    widths_[s.name] = s.width;
+    if (s.kind == rtl::SignalKind::Output) output_names_.push_back(s.name);
+  }
+}
+
+const std::vector<std::uint32_t>& CompiledSim::bits_of(const std::string& name) {
+  const auto cached = by_name_.find(name);
+  if (cached != by_name_.end()) return cached->second;
+
+  std::vector<std::uint32_t> v;
+  const auto wit = widths_.find(name);
+  if (wit != widths_.end()) {
+    for (int b = 0; b < wit->second; ++b) {
+      int net = nl_.find_net(name + "[" + std::to_string(b) + "]");
+      if (net < 0 && wit->second == 1) net = nl_.find_net(name);
+      if (net < 0) {
+        throw std::runtime_error("signal " + name + " bit " + std::to_string(b) +
+                                 " has no net (interior wires are not blasted "
+                                 "to named nets)");
+      }
+      v.push_back(static_cast<std::uint32_t>(net));
+    }
+  } else if (nl_.find_net(name + "[0]") >= 0) {
+    for (int b = 0;; ++b) {
+      const int net = nl_.find_net(name + "[" + std::to_string(b) + "]");
+      if (net < 0) break;
+      v.push_back(static_cast<std::uint32_t>(net));
+    }
+  } else if (const int net = nl_.find_net(name); net >= 0) {
+    v.push_back(static_cast<std::uint32_t>(net));
+  } else {
+    throw std::runtime_error("no signal named " + name);
+  }
+  return by_name_.emplace(name, std::move(v)).first->second;
+}
+
+void CompiledSim::poke(const std::string& signal, std::uint64_t value) {
+  for (std::size_t b = 0; const std::uint32_t slot : bits_of(signal)) {
+    slots_[slot] = ((value >> b++) & 1u) != 0 ? ~std::uint64_t{0} : 0;
+  }
+  dirty_ = true;
+}
+
+namespace {
+
+int checked_lane(int lane) {
+  if (lane < 0 || lane >= kLanes) {
+    throw std::out_of_range("lane " + std::to_string(lane) +
+                            " out of range [0, " + std::to_string(kLanes) + ")");
+  }
+  return lane;
+}
+
+}  // namespace
+
+void CompiledSim::poke_lane(int lane, const std::string& signal,
+                            std::uint64_t value) {
+  const std::uint64_t mask = std::uint64_t{1} << checked_lane(lane);
+  for (std::size_t b = 0; const std::uint32_t slot : bits_of(signal)) {
+    if (((value >> b++) & 1u) != 0) slots_[slot] |= mask;
+    else slots_[slot] &= ~mask;
+  }
+  dirty_ = true;
+}
+
+std::uint64_t CompiledSim::peek(const std::string& signal) {
+  return peek_lane(0, signal);
+}
+
+std::uint64_t CompiledSim::peek_lane(int lane, const std::string& signal) {
+  checked_lane(lane);
+  if (dirty_) eval();
+  std::uint64_t v = 0;
+  for (std::size_t b = 0; const std::uint32_t slot : bits_of(signal)) {
+    v |= ((slots_[slot] >> lane) & 1u) << b++;
+  }
+  return v;
+}
+
+void CompiledSim::eval() {
+  eval_tape(tape_, slots_.data());
+  dirty_ = false;
+}
+
+void CompiledSim::step(int n) {
+  for (int i = 0; i < n; ++i) {
+    eval_tape(tape_, slots_.data());
+    commit_tape(tape_, slots_.data(), scratch_.data());
+  }
+  eval_tape(tape_, slots_.data());
+  dirty_ = false;
+}
+
+void CompiledSim::reset(bool v) {
+  for (const auto& [q, d] : tape_.dffs) {
+    slots_[q] = v ? ~std::uint64_t{0} : 0;
+  }
+  dirty_ = true;
+}
+
+std::vector<Trace> CompiledSim::run(const std::vector<Trace>& stimuli,
+                                    const std::vector<std::string>& probes) {
+  if (stimuli.empty()) return {};
+  if (stimuli.size() > static_cast<std::size_t>(kLanes)) {
+    throw std::runtime_error("more stimulus sequences than lanes");
+  }
+  const std::vector<std::string>& record =
+      probes.empty() ? output_names_ : probes;
+  if (record.empty()) {
+    throw std::runtime_error("no probes: pass signal names to record");
+  }
+  std::size_t cycles = 0;
+  for (const Trace& t : stimuli) cycles = std::max(cycles, t.size());
+
+  std::fill(slots_.begin(), slots_.end(), 0);
+  dirty_ = true;
+  std::vector<Trace> traces(stimuli.size());
+  for (std::size_t c = 0; c < cycles; ++c) {
+    for (std::size_t l = 0; l < stimuli.size(); ++l) {
+      if (stimuli[l].empty()) continue;
+      const Vector& row = stimuli[l][std::min(c, stimuli[l].size() - 1)];
+      for (const auto& [name, value] : row) {
+        poke_lane(static_cast<int>(l), name, value);
+      }
+    }
+    step(1);
+    for (std::size_t l = 0; l < stimuli.size(); ++l) {
+      Vector out;
+      for (const std::string& p : record) {
+        out[p] = peek_lane(static_cast<int>(l), p);
+      }
+      traces[l].push_back(std::move(out));
+    }
+  }
+  return traces;
+}
+
+// --------------------------------------------------------------- crosscheck --
+
+namespace {
+
+/// Behavioral reference trace: apply each row, tick, record outputs (the
+/// same convention CompiledSim::run and the swsim driver use).
+Trace behavioral_trace(const rtl::Design& design, const Trace& stimulus,
+                       const std::vector<const rtl::Signal*>& outs) {
+  rtl::BehavioralSim b(design);
+  Trace trace;
+  for (const Vector& row : stimulus) {
+    for (const auto& [name, value] : row) b.set(name, value);
+    b.tick();
+    Vector out;
+    for (const rtl::Signal* o : outs) out[o->name] = b.get(o->name);
+    trace.push_back(std::move(out));
+  }
+  return trace;
+}
+
+/// Drive the switch-level expansion through `cycles` of the stimulus with
+/// the two-phase clock and record outputs. Returns false (with detail) on
+/// non-settling networks, missing nodes, or X outputs.
+bool switch_level_trace(const rtl::Design& design, const net::Netlist& nl,
+                        const extract::Netlist& xnl, const Trace& stimulus,
+                        std::size_t cycles,
+                        const std::vector<const rtl::Signal*>& outs,
+                        Trace& trace, std::string& detail) {
+  swsim::Simulator sw(xnl);
+  const auto ins = design.of_kind(rtl::SignalKind::Input);
+  const auto input_node = [&](const rtl::Signal* s, int b) {
+    return s->width == 1 ? s->name : s->name + "[" + std::to_string(b) + "]";
+  };
+
+  if (!switch_power_on(nl, xnl, sw, detail)) return false;
+
+  for (std::size_t c = 0; c < cycles; ++c) {
+    const Vector& row = stimulus[std::min(c, stimulus.size() - 1)];
+    for (const rtl::Signal* s : ins) {
+      const auto it = row.find(s->name);
+      const std::uint64_t v = it == row.end() ? 0 : it->second;
+      for (int b = 0; b < s->width; ++b) {
+        sw.set(input_node(s, b), ((v >> b) & 1u) != 0);
+      }
+    }
+    if (!switch_cycle(sw, detail)) {
+      detail += ", cycle " + std::to_string(c);
+      return false;
+    }
+    Vector out;
+    for (const rtl::Signal* o : outs) {
+      std::uint64_t v = 0;
+      for (int b = 0; b < o->width; ++b) {
+        const std::string n =
+            o->width == 1 ? o->name : o->name + "[" + std::to_string(b) + "]";
+        const swsim::Val sv = sw.get(n);
+        if (sv == swsim::Val::VX) {
+          detail = "output " + n + " is X at cycle " + std::to_string(c);
+          return false;
+        }
+        if (sv == swsim::Val::V1) v |= std::uint64_t{1} << b;
+      }
+      out[o->name] = v;
+    }
+    trace.push_back(std::move(out));
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace {
+
+CrosscheckReport crosscheck_impl(const rtl::Design& design,
+                                 const CrosscheckOptions& options) {
+  CrosscheckReport r;
+  r.cycles = std::max(0, options.cycles);
+  r.lanes = std::clamp(options.lanes, 1, kLanes);
+  const auto outs = design.of_kind(rtl::SignalKind::Output);
+
+  std::vector<Trace> stimuli;
+  for (int l = 0; l < r.lanes; ++l) {
+    stimuli.push_back(random_stimulus(design, r.cycles, options.seed +
+                                      static_cast<unsigned>(l)));
+  }
+
+  CompiledSim cs(design);
+  const std::vector<Trace> compiled = cs.run(stimuli);
+
+  Trace lane0_ref;
+  for (int l = 0; l < r.lanes; ++l) {
+    const Trace ref =
+        behavioral_trace(design, stimuli[static_cast<std::size_t>(l)], outs);
+    const TraceDiff d =
+        diff_traces(ref, compiled[static_cast<std::size_t>(l)]);
+    if (!d.identical) {
+      r.detail = "behavioral vs compiled, lane " + std::to_string(l) + ": " +
+                 d.to_string();
+      return r;
+    }
+    if (l == 0) lane0_ref = ref;
+  }
+
+  std::ostringstream os;
+  os << "crosscheck " << design.name << ": behavioral == compiled over "
+     << r.cycles << " cycles x " << r.lanes << " lanes";
+
+  const std::size_t sw_cycles = static_cast<std::size_t>(
+      std::clamp(options.switch_cycles, 0, r.cycles));
+  if (sw_cycles > 0) {
+    const net::Netlist& nl = cs.netlist();
+    const extract::Netlist xnl = to_switch_level(nl);
+    r.transistors = xnl.transistors.size();
+    Trace sw_trace;
+    std::string sw_detail;
+    if (!switch_level_trace(design, nl, xnl, stimuli[0], sw_cycles, outs,
+                            sw_trace, sw_detail)) {
+      r.detail = "switch-level: " + sw_detail;
+      return r;
+    }
+    lane0_ref.resize(sw_cycles);
+    const TraceDiff d = diff_traces(lane0_ref, sw_trace);
+    if (!d.identical) {
+      r.detail = "behavioral vs switch-level: " + d.to_string();
+      return r;
+    }
+    r.switch_cycles = static_cast<int>(sw_cycles);
+    os << "; == switch-level over " << sw_cycles << " cycles ("
+       << r.transistors << " transistors)";
+  }
+
+  r.ok = true;
+  r.detail = os.str();
+  return r;
+}
+
+}  // namespace
+
+CrosscheckReport crosscheck(const rtl::Design& design,
+                            const CrosscheckOptions& options) {
+  // Verification failure is data, not control flow: callers get
+  // r.ok = false + detail even when a model cannot be built at all
+  // (no outputs to probe, reserved net names, ...).
+  try {
+    return crosscheck_impl(design, options);
+  } catch (const std::exception& e) {
+    CrosscheckReport r;
+    r.detail = std::string("crosscheck error: ") + e.what();
+    return r;
+  }
+}
+
+}  // namespace silc::sim

@@ -1,0 +1,213 @@
+// Compiled, levelized, bit-parallel gate/RTL simulation engine.
+//
+// The relaxation-based switch-level simulator (swsim) is the right tool for
+// checking extracted artwork, but it pays a whole-network fixpoint per clock
+// phase — far too slow to be the compiler's routine equivalence check. This
+// subsystem instead *compiles* the design, in the lineage of compiled-code
+// simulators (CVC-style flow-graph compilation, CCSS-style cheap sequential
+// synchronization):
+//
+//   * levelize():  topologically rank the combinational gates of a
+//     net::Netlist and flatten them into a linear evaluation tape; n-ary
+//     gates are decomposed into two-input ops at compile time, so the inner
+//     loop is a branch-light switch over a dense op array;
+//   * CompiledSim: evaluates the tape over 64-bit words, one bit per
+//     stimulus lane — one pass through the tape simulates 64 independent
+//     vectors — and synchronizes all registers once per clock cycle with a
+//     two-phase gather-then-commit (no event queue, no relaxation);
+//   * to_switch_level(): expands a gate netlist into a ratioed-NMOS
+//     transistor network (depletion pullups, enhancement pulldown trees,
+//     two-phase dynamic master/slave registers) so the *same* design can be
+//     run under swsim without needing artwork;
+//   * crosscheck(): one stimulus, three models — rtl::BehavioralSim,
+//     sim::CompiledSim, and swsim::Simulator — with a cycle-by-cycle
+//     trace diff. This is the compiler's behavioral-vs-gates check.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/net.hpp"
+#include "rtl/rtl.hpp"
+
+namespace silc::extract {
+struct Netlist;  // sim -> swsim lowering target (switch_level.cpp)
+}
+namespace silc::swsim {
+class Simulator;  // driven by the switch-level harness helpers
+}
+
+namespace silc::sim {
+
+/// Stimulus lanes evaluated per pass: one bit of every tape word each.
+inline constexpr int kLanes = 64;
+
+// ------------------------------------------------------------ levelizing --
+
+/// One two-input op of the flattened evaluation tape. `a`/`b` index value
+/// slots; `sel` is used by Mux only (out = sel ? b : a, matching
+/// net::GateKind::Mux's {sel, a, b} convention).
+struct TapeOp {
+  enum class Code : std::uint8_t {
+    Const0, Const1, Copy, Not, And, Or, Nand, Nor, Xor, Xnor, Mux,
+  };
+  Code code{};
+  std::uint32_t out = 0;
+  std::uint32_t a = 0, b = 0, sel = 0;
+};
+
+/// A levelized netlist: ops sorted by combinational level (level l reads
+/// only slots written at levels < l or source slots), plus the register
+/// commit list. Slots 0..net_count-1 mirror the netlist's nets; slots
+/// beyond that are temporaries introduced by n-ary gate decomposition.
+struct Tape {
+  std::vector<TapeOp> ops;
+  /// level_begin[l] is the index of the first op of level l+1 (levels are
+  /// 1-based; level 0 holds only sources). Size = depth()+1; the last
+  /// entry equals ops.size().
+  std::vector<std::uint32_t> level_begin;
+  /// Register commits as (q slot, d slot), all latched together per cycle.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> dffs;
+  std::size_t slots = 0;
+
+  [[nodiscard]] int depth() const {
+    return level_begin.empty() ? 0 : static_cast<int>(level_begin.size()) - 1;
+  }
+};
+
+/// Compile a netlist into an evaluation tape. Throws std::runtime_error on
+/// combinational cycles or multiply-driven nets.
+[[nodiscard]] Tape levelize(const net::Netlist& nl);
+
+/// Evaluate every tape op, in order, over 64-lane words (vector.cpp).
+void eval_tape(const Tape& tape, std::uint64_t* slots);
+
+/// Latch every register: gather all D values, then write all Q slots, so
+/// register-to-register paths see pre-clock values (two-phase semantics).
+/// `scratch` must hold at least tape.dffs.size() words.
+void commit_tape(const Tape& tape, std::uint64_t* slots, std::uint64_t* scratch);
+
+// ------------------------------------------------------- traces & vectors --
+
+/// One cycle of named values (inputs of a stimulus, outputs of a response).
+using Vector = std::map<std::string, std::uint64_t>;
+/// One Vector per cycle.
+using Trace = std::vector<Vector>;
+
+/// `cycles` rows of seeded uniform random values for every design input.
+[[nodiscard]] Trace random_stimulus(const rtl::Design& design, int cycles,
+                                    unsigned seed);
+
+/// First point where two traces disagree (missing keys count as disagreement).
+struct TraceDiff {
+  bool identical = true;
+  int cycle = -1;
+  std::string signal;
+  std::uint64_t a = 0, b = 0;
+  [[nodiscard]] std::string to_string() const;
+};
+[[nodiscard]] TraceDiff diff_traces(const Trace& a, const Trace& b);
+
+// ------------------------------------------------------------ CompiledSim --
+
+class CompiledSim {
+ public:
+  /// Compile an existing gate netlist (copied; names resolve via name_map).
+  explicit CompiledSim(const net::Netlist& nl);
+  /// Bit-blast and compile an elaborated RTL design; signal names resolve
+  /// with the design's declared widths, and run() records design outputs.
+  explicit CompiledSim(const rtl::Design& design);
+
+  /// Drive an input (or force a register) to `value` in every lane.
+  void poke(const std::string& signal, std::uint64_t value);
+  /// Drive one lane of an input; other lanes keep their values.
+  void poke_lane(int lane, const std::string& signal, std::uint64_t value);
+  /// Read any named signal in lane 0 / a given lane (evaluates if stale).
+  [[nodiscard]] std::uint64_t peek(const std::string& signal);
+  [[nodiscard]] std::uint64_t peek_lane(int lane, const std::string& signal);
+
+  /// Re-evaluate all combinational logic from current inputs + state.
+  void eval();
+  /// Advance `n` clock cycles: evaluate, commit all registers, re-settle.
+  void step(int n = 1);
+  /// Set every register bit to `v` in all lanes and re-evaluate.
+  void reset(bool v = false);
+
+  /// Batch run: up to kLanes stimulus sequences, one lane each, all from
+  /// reset state. Returns one trace per sequence recording `probes` (or the
+  /// design's outputs when constructed from a Design and probes is empty)
+  /// after each cycle's register commit. Sequences shorter than the longest
+  /// hold their last inputs.
+  [[nodiscard]] std::vector<Trace> run(const std::vector<Trace>& stimuli,
+                                       const std::vector<std::string>& probes = {});
+
+  [[nodiscard]] const net::Netlist& netlist() const { return nl_; }
+  [[nodiscard]] const Tape& tape() const { return tape_; }
+  [[nodiscard]] int depth() const { return tape_.depth(); }
+
+ private:
+  /// LSB-first value slots of a named signal; resolved via "name" then
+  /// "name[b]", design widths when known. Throws when unknown.
+  const std::vector<std::uint32_t>& bits_of(const std::string& name);
+
+  net::Netlist nl_;
+  Tape tape_;
+  std::vector<std::uint64_t> slots_;
+  std::vector<std::uint64_t> scratch_;
+  std::map<std::string, std::vector<std::uint32_t>> by_name_;
+  std::map<std::string, int> widths_;       // declared widths (Design ctor)
+  std::vector<std::string> output_names_;   // default run() probes
+  bool dirty_ = true;
+};
+
+// ------------------------------------------------- switch-level lowering --
+
+/// Expand a gate netlist into a ratioed-NMOS transistor network for
+/// swsim: every combinational gate becomes a depletion pullup plus an
+/// enhancement pulldown tree; every DFF becomes a two-phase dynamic
+/// master/slave latch pair clocked by "phi1"/"phi2" whose slave storage
+/// node is named "<reg bit>.s" (drive it high, settle, release to preset
+/// the register to 0). Net names and aliases carry over.
+[[nodiscard]] extract::Netlist to_switch_level(const net::Netlist& nl);
+
+/// Power-on a to_switch_level() network under swsim: clocks low, every
+/// primary input driven 0, every register preset to 0 through its
+/// "<bit>.s" slave node (drive high, settle, release). Returns false with
+/// `detail` on missing nodes or a non-settling network. This is the one
+/// copy of the preset protocol — benches and crosscheck share it.
+[[nodiscard]] bool switch_power_on(const net::Netlist& nl,
+                                   const extract::Netlist& xnl,
+                                   swsim::Simulator& sw, std::string& detail);
+
+/// One two-phase clock cycle: raise and lower phi1 then phi2, settling
+/// after every edge. Returns false with `detail` when a settle fails.
+[[nodiscard]] bool switch_cycle(swsim::Simulator& sw, std::string& detail);
+
+// -------------------------------------------------------------- crosscheck --
+
+struct CrosscheckOptions {
+  int cycles = 256;        // cycles checked behavioral-vs-compiled, per lane
+  int lanes = 8;           // independent stimulus sequences (<= kLanes)
+  int switch_cycles = 16;  // lane-0 prefix also run under swsim; 0 disables
+  unsigned seed = 1;
+};
+
+struct CrosscheckReport {
+  bool ok = false;
+  int cycles = 0;         // behavioral-vs-compiled cycles, per lane
+  int lanes = 0;
+  int switch_cycles = 0;  // cycles additionally checked under swsim
+  std::size_t transistors = 0;  // switch-level network size (when run)
+  std::string detail;     // summary, or the first mismatch
+};
+
+/// Run the same seeded random stimulus through rtl::BehavioralSim,
+/// sim::CompiledSim, and (for a prefix) swsim::Simulator on the
+/// switch-level expansion, and diff the output traces cycle by cycle.
+[[nodiscard]] CrosscheckReport crosscheck(const rtl::Design& design,
+                                          const CrosscheckOptions& options = {});
+
+}  // namespace silc::sim

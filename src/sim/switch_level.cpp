@@ -1,0 +1,274 @@
+// Gate netlist -> ratioed-NMOS transistor network, so swsim can run a
+// design that has no artwork yet. Uses the same circuit idioms the cell
+// library lays out: every combinational gate is a depletion pullup plus an
+// enhancement pulldown tree (XOR/XNOR/MUX as AOI complex gates), and every
+// DFF is the two-phase dynamic master/slave pair
+//
+//   d --[phi1 pass]-- m --inv-- mb --[phi2 pass]-- s --inv-- q
+//
+// whose storage nodes m and s rely on swsim's stored-charge rule. Names
+// and aliases carry over from the netlist; "phi1"/"phi2" are the clocks,
+// and each slave node answers to "<reg bit name>.s" so a testbench can
+// preset the machine (drive high, settle, release -> q = 0).
+#include <stdexcept>
+
+#include "extract/extract.hpp"
+#include "sim/sim.hpp"
+#include "swsim/swsim.hpp"
+
+namespace silc::sim {
+
+using extract::Device;
+using net::Gate;
+using net::GateKind;
+
+namespace {
+
+class SwitchLowerer {
+ public:
+  explicit SwitchLowerer(const net::Netlist& nl) : nl_(nl) {
+    // The clock, rail, and latch storage nodes are found by name
+    // afterwards, and find_node resolves the first match — a design net
+    // with one of these names would silently shadow them.
+    for (const char* reserved : {"phi1", "phi2", "Vdd", "GND"}) {
+      if (nl.find_net(reserved) >= 0) {
+        throw std::runtime_error(std::string("net name ") + reserved +
+                                 " is reserved by the switch-level lowering");
+      }
+    }
+    for (const Gate& g : nl.gates()) {
+      if (g.kind != GateKind::Dff) continue;
+      for (const char* suffix : {".m", ".mb", ".s"}) {
+        if (nl.find_net(g.name + suffix) >= 0) {
+          throw std::runtime_error("net name " + g.name + suffix +
+                                   " shadows a register storage node of the "
+                                   "switch-level lowering");
+        }
+      }
+    }
+    for (std::size_t i = 0; i < nl.net_count(); ++i) {
+      x_.node_names.push_back(nl.net_name(static_cast<int>(i)));
+      x_.node_aliases.emplace_back();
+    }
+    for (const auto& [name, net] : nl.name_map()) {
+      if (name != nl.net_name(net)) {
+        x_.node_aliases[static_cast<std::size_t>(net)].push_back(name);
+      }
+    }
+    vdd_ = new_node("Vdd");
+    gnd_ = new_node("GND");
+    x_.vdd_nodes.push_back(vdd_);
+    x_.gnd_nodes.push_back(gnd_);
+    phi1_ = new_node("phi1");
+    phi2_ = new_node("phi2");
+  }
+
+  extract::Netlist run() {
+    for (const Gate& g : nl_.gates()) lower(g);
+    return std::move(x_);
+  }
+
+ private:
+  int new_node(const std::string& name) {
+    const int id = static_cast<int>(x_.node_names.size());
+    x_.node_names.push_back(name);
+    x_.node_aliases.emplace_back();
+    return id;
+  }
+
+  void fet(Device type, int gate, int source, int drain) {
+    x_.transistors.push_back({type, gate, source, drain, 2, 2, {}});
+  }
+  /// Depletion load: always conducting path to Vdd (the ratioed weak 1).
+  void pullup(int out) { fet(Device::Depletion, out, vdd_, out); }
+  void nfet(int gate, int a, int b) { fet(Device::Enhancement, gate, a, b); }
+  void inv(int in, int out) {
+    pullup(out);
+    nfet(in, out, gnd_);
+  }
+  /// Cached inverted copy of a node (XOR/XNOR/MUX need complements).
+  int inverted(int node) {
+    const auto it = inverted_.find(node);
+    if (it != inverted_.end()) return it->second;
+    const int n = new_node(x_.node_names[static_cast<std::size_t>(node)] + ".n");
+    inv(node, n);
+    inverted_[node] = n;
+    return n;
+  }
+  /// Series pulldown from `out` to ground through all gate nodes.
+  void series_pulldown(int out, const std::vector<int>& gates) {
+    int prev = out;
+    for (std::size_t i = 0; i + 1 < gates.size(); ++i) {
+      const int mid = new_node("");
+      nfet(gates[i], prev, mid);
+      prev = mid;
+    }
+    nfet(gates.back(), prev, gnd_);
+  }
+  void nand_into(const std::vector<int>& in, int out) {
+    pullup(out);
+    series_pulldown(out, in);
+  }
+  void nor_into(const std::vector<int>& in, int out) {
+    pullup(out);
+    for (const int g : in) nfet(g, out, gnd_);
+  }
+  /// AOI: out = ~((p0 & p1) | (q0 & q1)).
+  void aoi22(int p0, int p1, int q0, int q1, int out) {
+    pullup(out);
+    series_pulldown(out, {p0, p1});
+    series_pulldown(out, {q0, q1});
+  }
+  /// out = a XOR b, as ~((a & b) | (~a & ~b)).
+  void xor_into(int a, int b, int out) {
+    aoi22(a, b, inverted(a), inverted(b), out);
+  }
+  /// out = a XNOR b, as ~((a & ~b) | (~a & b)).
+  void xnor_into(int a, int b, int out) {
+    aoi22(a, inverted(b), inverted(a), b, out);
+  }
+  /// Binary-reduce an n-ary XOR through temp nodes; the final link is
+  /// XNOR when `invert_last` (degenerate 1-input forms: buffer / NOT).
+  void xor_chain(const std::vector<int>& in, int out, bool invert_last) {
+    if (in.size() == 1) {
+      if (invert_last) {
+        inv(in[0], out);
+      } else {
+        const int t = new_node("");
+        inv(in[0], t);
+        inv(t, out);
+      }
+      return;
+    }
+    int acc = in[0];
+    for (std::size_t i = 1; i + 1 < in.size(); ++i) {
+      const int t = new_node("");
+      xor_into(acc, in[i], t);
+      acc = t;
+    }
+    if (invert_last) xnor_into(acc, in.back(), out);
+    else xor_into(acc, in.back(), out);
+  }
+
+  void lower(const Gate& g) {
+    const int out = g.output;
+    std::vector<int> in(g.inputs.begin(), g.inputs.end());
+    if (g.kind != GateKind::Const0 && g.kind != GateKind::Const1 &&
+        g.kind != GateKind::Dff && in.empty()) {
+      throw std::runtime_error("gate " + g.name + " has no inputs");
+    }
+    switch (g.kind) {
+      case GateKind::Const0:
+        nfet(vdd_, out, gnd_);  // always-on pulldown: strong 0
+        break;
+      case GateKind::Const1:
+        pullup(out);  // depletion load alone: weak 1
+        break;
+      case GateKind::Buf: {
+        const int t = new_node("");
+        inv(in[0], t);
+        inv(t, out);
+        break;
+      }
+      case GateKind::Not:
+        inv(in[0], out);
+        break;
+      case GateKind::And: {
+        const int t = new_node("");
+        nand_into(in, t);
+        inv(t, out);
+        break;
+      }
+      case GateKind::Nand:
+        nand_into(in, out);
+        break;
+      case GateKind::Or: {
+        const int t = new_node("");
+        nor_into(in, t);
+        inv(t, out);
+        break;
+      }
+      case GateKind::Nor:
+        nor_into(in, out);
+        break;
+      case GateKind::Xor:
+        xor_chain(in, out, /*invert_last=*/false);
+        break;
+      case GateKind::Xnor:
+        xor_chain(in, out, /*invert_last=*/true);
+        break;
+      case GateKind::Mux: {
+        // {sel, a, b} -> sel ? b : a; AOI then invert.
+        const int sel = in[0], a = in[1], b = in[2];
+        const int t = new_node("");
+        aoi22(sel, b, inverted(sel), a, t);
+        inv(t, out);
+        break;
+      }
+      case GateKind::Dff: {
+        const int m = new_node(g.name + ".m");
+        const int mb = new_node(g.name + ".mb");
+        const int s = new_node(g.name + ".s");
+        nfet(phi1_, in[0], m);
+        inv(m, mb);
+        nfet(phi2_, mb, s);
+        inv(s, out);
+        break;
+      }
+    }
+  }
+
+  const net::Netlist& nl_;
+  extract::Netlist x_;
+  std::map<int, int> inverted_;
+  int vdd_ = -1, gnd_ = -1, phi1_ = -1, phi2_ = -1;
+};
+
+}  // namespace
+
+extract::Netlist to_switch_level(const net::Netlist& nl) {
+  return SwitchLowerer(nl).run();
+}
+
+bool switch_power_on(const net::Netlist& nl, const extract::Netlist& xnl,
+                     swsim::Simulator& sw, std::string& detail) {
+  sw.set("phi1", false);
+  sw.set("phi2", false);
+  // Nodes 0..net_count-1 mirror the netlist's nets one-to-one.
+  for (const int in : nl.inputs()) sw.set(in, swsim::Val::V0);
+  std::vector<int> stores;
+  for (const Gate& g : nl.gates()) {
+    if (g.kind != GateKind::Dff) continue;
+    const int node = xnl.find_node(g.name + ".s");
+    if (node < 0) {
+      detail = "missing slave storage node " + g.name + ".s";
+      return false;
+    }
+    stores.push_back(node);
+    sw.set(node, swsim::Val::V1);
+  }
+  if (!sw.settle()) {
+    detail = "switch-level network failed to settle at power-on";
+    return false;
+  }
+  for (const int node : stores) sw.release(node);
+  return true;
+}
+
+bool switch_cycle(swsim::Simulator& sw, std::string& detail) {
+  for (const char* phase : {"phi1", "phi2"}) {
+    sw.set(phase, true);
+    if (!sw.settle()) {
+      detail = "no settle on " + std::string(phase) + " high";
+      return false;
+    }
+    sw.set(phase, false);
+    if (!sw.settle()) {
+      detail = "no settle on " + std::string(phase) + " low";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace silc::sim

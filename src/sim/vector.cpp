@@ -1,0 +1,106 @@
+// The bit-parallel inner loop: every value slot is one uint64_t word whose
+// bit b is stimulus lane b, so each pass through the tape evaluates 64
+// independent vectors with ordinary word-wide boolean ops — no events, no
+// relaxation, no per-lane dispatch. Plus trace utilities (seeded random
+// stimulus, first-divergence diff) shared by crosscheck and the tests.
+#include <algorithm>
+#include <random>
+#include <sstream>
+
+#include "sim/sim.hpp"
+
+namespace silc::sim {
+
+void eval_tape(const Tape& tape, std::uint64_t* v) {
+  for (const TapeOp& op : tape.ops) {
+    switch (op.code) {
+      case TapeOp::Code::Const0: v[op.out] = 0; break;
+      case TapeOp::Code::Const1: v[op.out] = ~std::uint64_t{0}; break;
+      case TapeOp::Code::Copy: v[op.out] = v[op.a]; break;
+      case TapeOp::Code::Not: v[op.out] = ~v[op.a]; break;
+      case TapeOp::Code::And: v[op.out] = v[op.a] & v[op.b]; break;
+      case TapeOp::Code::Or: v[op.out] = v[op.a] | v[op.b]; break;
+      case TapeOp::Code::Nand: v[op.out] = ~(v[op.a] & v[op.b]); break;
+      case TapeOp::Code::Nor: v[op.out] = ~(v[op.a] | v[op.b]); break;
+      case TapeOp::Code::Xor: v[op.out] = v[op.a] ^ v[op.b]; break;
+      case TapeOp::Code::Xnor: v[op.out] = ~(v[op.a] ^ v[op.b]); break;
+      case TapeOp::Code::Mux:
+        v[op.out] = (v[op.sel] & v[op.b]) | (~v[op.sel] & v[op.a]);
+        break;
+    }
+  }
+}
+
+void commit_tape(const Tape& tape, std::uint64_t* v, std::uint64_t* scratch) {
+  for (std::size_t i = 0; i < tape.dffs.size(); ++i) {
+    scratch[i] = v[tape.dffs[i].second];
+  }
+  for (std::size_t i = 0; i < tape.dffs.size(); ++i) {
+    v[tape.dffs[i].first] = scratch[i];
+  }
+}
+
+Trace random_stimulus(const rtl::Design& design, int cycles, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> word;
+  const auto inputs = design.of_kind(rtl::SignalKind::Input);
+  Trace trace(static_cast<std::size_t>(std::max(0, cycles)));
+  for (Vector& row : trace) {
+    for (const rtl::Signal* in : inputs) {
+      row[in->name] = rtl::mask_to(word(rng), in->width);
+    }
+  }
+  return trace;
+}
+
+std::string TraceDiff::to_string() const {
+  if (identical) return "traces identical";
+  std::ostringstream os;
+  os << "cycle " << cycle << " signal " << signal << ": " << a << " != " << b;
+  return os.str();
+}
+
+TraceDiff diff_traces(const Trace& a, const Trace& b) {
+  TraceDiff d;
+  const std::size_t n = std::max(a.size(), b.size());
+  for (std::size_t c = 0; c < n; ++c) {
+    if (c >= a.size() || c >= b.size()) {
+      d.identical = false;
+      d.cycle = static_cast<int>(c);
+      d.signal = "<trace length>";
+      d.a = a.size();
+      d.b = b.size();
+      return d;
+    }
+    for (const auto& [name, va] : a[c]) {
+      const auto it = b[c].find(name);
+      if (it == b[c].end()) {
+        d.identical = false;
+        d.cycle = static_cast<int>(c);
+        d.signal = name + " (missing in second trace)";
+        d.a = va;
+        return d;
+      }
+      if (va != it->second) {
+        d.identical = false;
+        d.cycle = static_cast<int>(c);
+        d.signal = name;
+        d.a = va;
+        d.b = it->second;
+        return d;
+      }
+    }
+    for (const auto& [name, vb] : b[c]) {
+      if (a[c].count(name) == 0) {
+        d.identical = false;
+        d.cycle = static_cast<int>(c);
+        d.signal = name + " (missing in first trace)";
+        d.b = vb;
+        return d;
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace silc::sim

@@ -123,6 +123,7 @@ class BitBlaster {
                              q[static_cast<std::size_t>(b)],
                              s.name + "[" + std::to_string(b) + "]");
       }
+      if (s.width == 1) nl_.add_alias(q[0], s.name);
     }
     // Outputs.
     for (const Signal& s : design_.signals) {
@@ -132,6 +133,7 @@ class BitBlaster {
         nl_.mark_output(v[static_cast<std::size_t>(b)],
                         s.name + "[" + std::to_string(b) + "]");
       }
+      if (s.width == 1) nl_.add_alias(v[0], s.name);
     }
     return std::move(nl_);
   }
@@ -144,6 +146,7 @@ class BitBlaster {
                                 ? s.name
                                 : s.name + "[" + std::to_string(b) + "]";
       v[static_cast<std::size_t>(b)] = as_input ? nl_.add_input(n) : nl_.add_net(n);
+      if (s.width == 1 && as_input) nl_.add_alias(v[0], s.name + "[0]");
     }
     return v;
   }

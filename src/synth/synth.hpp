@@ -46,8 +46,13 @@ struct TabulatedFsm {
 
 // ------------------------------------------------------------ bit blasting --
 
-/// Lower a design to a gate netlist. Net names: "sig[i]" per bit (plus
-/// "sig" alias for 1-bit signals).
+/// Lower a design to a gate netlist. Net names: "sig[i]" per bit; every
+/// 1-bit input, register, and output additionally answers to the bare
+/// "sig" name (see net::Netlist::add_alias). Consumers that need the
+/// netlist's structure (the compiled simulator's levelizer, the module
+/// mapper) should use the [[nodiscard]] net::Netlist accessors —
+/// gates()/gate(), driver_map(), topo_order(), name_map() — rather than
+/// re-deriving connectivity.
 [[nodiscard]] net::Netlist bit_blast(const rtl::Design& design);
 
 // --------------------------------------------------------- module mapping --
