@@ -1,0 +1,84 @@
+// Seeded random netlist generator for simulator stress tests: a DAG of
+// mixed gate kinds (n-ary chains, muxes, constants, inverter stacks) over
+// a register core, with the deepest nets marked as outputs. Deterministic
+// per seed so fused-vs-unfused / wide-vs-narrow / threaded-vs-sequential
+// comparisons replay the same design.
+#pragma once
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/net.hpp"
+
+namespace silc_fixtures {
+
+struct RandomNetlistSpec {
+  int inputs = 6;
+  int gates = 150;
+  int dffs = 8;
+  int outputs = 6;
+};
+
+inline silc::net::Netlist random_netlist(unsigned seed,
+                                         const RandomNetlistSpec& spec = {}) {
+  using silc::net::GateKind;
+  std::mt19937 rng(seed);
+  silc::net::Netlist nl;
+
+  std::vector<int> pool;
+  for (int i = 0; i < spec.inputs; ++i) {
+    pool.push_back(nl.add_input("in" + std::to_string(i)));
+  }
+  // Constants seed the fusion pass's folding rules.
+  pool.push_back(nl.add_gate(GateKind::Const0, {}, "c0"));
+  pool.push_back(nl.add_gate(GateKind::Const1, {}, "c1"));
+
+  // Register outputs exist up front so combinational logic can read state.
+  std::vector<int> qs;
+  for (int i = 0; i < spec.dffs; ++i) {
+    const int q = nl.add_net("q" + std::to_string(i));
+    qs.push_back(q);
+    pool.push_back(q);
+  }
+
+  const GateKind kinds[] = {GateKind::Not,  GateKind::Buf, GateKind::And,
+                            GateKind::Or,   GateKind::Nand, GateKind::Nor,
+                            GateKind::Xor,  GateKind::Xnor, GateKind::Mux};
+  std::uniform_int_distribution<std::size_t> pick_kind(0, std::size(kinds) - 1);
+  std::uniform_int_distribution<int> pick_arity(2, 4);
+  for (int g = 0; g < spec.gates; ++g) {
+    std::uniform_int_distribution<std::size_t> pick_net(0, pool.size() - 1);
+    const GateKind k = kinds[pick_kind(rng)];
+    std::vector<int> ins;
+    int arity = 1;
+    if (k == GateKind::Mux) arity = 3;
+    else if (k != GateKind::Not && k != GateKind::Buf) arity = pick_arity(rng);
+    for (int i = 0; i < arity; ++i) ins.push_back(pool[pick_net(rng)]);
+    pool.push_back(nl.add_gate(k, ins, "g" + std::to_string(g)));
+  }
+
+  // Close the state loop: every register samples recent logic.
+  for (int i = 0; i < spec.dffs; ++i) {
+    std::uniform_int_distribution<std::size_t> pick_net(0, pool.size() - 1);
+    nl.add_gate_driving(GateKind::Dff, {pool[pick_net(rng)]}, qs[i],
+                        "r" + std::to_string(i));
+  }
+
+  // Observe the most recently created nets — the deepest logic.
+  for (int i = 0; i < spec.outputs && i < static_cast<int>(pool.size()); ++i) {
+    nl.mark_output(pool[pool.size() - 1 - static_cast<std::size_t>(i)],
+                   "out" + std::to_string(i));
+  }
+  return nl;
+}
+
+/// The names CompiledSim::run probes for this netlist's outputs.
+inline std::vector<std::string> output_probe_names(
+    const silc::net::Netlist& nl) {
+  std::vector<std::string> names;
+  for (const int n : nl.outputs()) names.push_back(nl.net_name(n));
+  return names;
+}
+
+}  // namespace silc_fixtures

@@ -1,12 +1,54 @@
 #!/usr/bin/env bash
-# Tier-1 verify: configure, build everything, run the registered tests.
+# Tier-1 verify: configure, build everything, run the registered tests,
+# then a smoke perf bench.
+#
+# Guard rails:
+#   * every tests/test_*.cpp must be registered with ctest — a suite that
+#     silently drops out of the build (glob typo, filter, GTest missing)
+#     fails the run, it does not skip;
+#   * ctest runs with --no-tests=error and any skipped/not-run test fails;
+#   * the sim bench must produce BENCH_sim.json (cycles/sec and
+#     vectors/sec per word backend x thread count) so perf regressions are
+#     visible; set SILC_SKIP_BENCH=1 to bypass on machines without
+#     google-benchmark.
 # Usage: scripts/ci.sh [build-dir]   (default: build)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+ROOT="$(pwd)"
 BUILD_DIR="${1:-build}"
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
-cd "$BUILD_DIR"
-ctest --output-on-failure --no-tests=error -j
+
+# --- every test suite in tests/ must actually be registered -------------
+EXPECTED=$(ls tests/test_*.cpp | wc -l)
+REGISTERED=$(cd "$BUILD_DIR" && ctest -N | sed -n 's/^Total Tests: //p')
+if [ "${REGISTERED:-0}" -ne "$EXPECTED" ]; then
+  echo "ERROR: $EXPECTED test suites in tests/ but ctest registers" \
+       "${REGISTERED:-0} — a suite was silently dropped" >&2
+  exit 1
+fi
+
+# --- run them; skipped or not-run tests are failures --------------------
+CTEST_LOG=$(mktemp)
+(cd "$BUILD_DIR" && ctest --output-on-failure --no-tests=error -j) | tee "$CTEST_LOG"
+if grep -qE '\*\*\*Skipped|\*\*\*Not Run|[1-9][0-9]* tests? skipped' "$CTEST_LOG"; then
+  echo "ERROR: ctest skipped or did not run some tests" >&2
+  rm -f "$CTEST_LOG"
+  exit 1
+fi
+rm -f "$CTEST_LOG"
+
+# --- smoke perf bench: BENCH_sim.json tracks the speedup claims ---------
+if [ "${SILC_SKIP_BENCH:-0}" = "1" ]; then
+  echo "SILC_SKIP_BENCH=1: skipping the sim smoke bench"
+elif [ -x "$BUILD_DIR/bench_sim" ]; then
+  "$BUILD_DIR/bench_sim" --smoke --json="$ROOT/BENCH_sim.json"
+  echo "--- BENCH_sim.json ---"
+  cat "$ROOT/BENCH_sim.json"
+else
+  echo "ERROR: $BUILD_DIR/bench_sim was not built (google-benchmark" \
+       "missing?); set SILC_SKIP_BENCH=1 to bypass" >&2
+  exit 1
+fi

@@ -49,6 +49,7 @@ FsmChipResult assemble_fsm_chip(Library& lib, const synth::TabulatedFsm& fsm,
       pla::generate(lib, fsm.function, {.name = options.name + "_pla"});
   chip.add_instance(*p.cell, {Orient::R0, {0, 0}}, "pla");
   st.pla = p.stats;
+  result.personality = p.personality;
 
   const Rect pla_bb = p.cell->bbox();
   const Coord pla_top = p.cell->find_port("in0")->rect.y1;

@@ -48,6 +48,9 @@ struct FsmChipStats {
 struct FsmChipResult {
   layout::Cell* chip = nullptr;
   FsmChipStats stats;
+  /// The complement covers actually programmed into the NOR-NOR planes —
+  /// the artifact sim::check_pla verifies against the compiled tape.
+  logic::PlaTerms personality;
 };
 
 /// Assemble a complete chip for a tabulated synchronous design.

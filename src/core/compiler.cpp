@@ -111,7 +111,8 @@ CompileResult SiliconCompiler::compile_behavioral(const std::string& rtl_source,
   result.transistors = extracted.transistors.size();
   if (options.verify) {
     // Behavioral-vs-gates: the compiled bit-parallel simulator covers
-    // thousands of vectors for less than the artwork check's cost.
+    // thousands of vectors for less than the artwork check's cost (the
+    // compiled side carries every lane of the widest word per pass).
     sim::CrosscheckOptions co;
     co.cycles = options.gate_verify_cycles;
     co.lanes = options.gate_verify_lanes;
@@ -122,12 +123,24 @@ CompileResult SiliconCompiler::compile_behavioral(const std::string& rtl_source,
       result.verify_detail = gates.detail + "; artwork check skipped";
       return result;
     }
+    // PLA path: replay the personality actually programmed into the
+    // NOR-NOR planes against the compiled tape, pre-artwork — the same
+    // discipline the gate path gets, for the tabulate->PLA lowering.
+    const sim::PlaCheckReport pla = sim::check_pla(
+        design, fsm, chip.personality, options.pla_verify_cycles,
+        /*lanes=*/0, /*seed=*/2u);
+    if (!pla.ok) {
+      result.verify_detail =
+          gates.detail + "; " + pla.detail + "; artwork check skipped";
+      return result;
+    }
     // Artwork: extracted transistors under the switch-level simulator.
     std::string artwork_detail;
     const bool artwork_ok = verify_chip_against_rtl(
         extracted, design, options.verify_cycles, 1u, artwork_detail);
     result.verified = artwork_ok;
-    result.verify_detail = gates.detail + "; artwork: " + artwork_detail;
+    result.verify_detail = gates.detail + "; " + pla.detail +
+                           "; artwork: " + artwork_detail;
   }
   return result;
 }

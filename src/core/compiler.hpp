@@ -33,9 +33,13 @@ struct CompileOptions {
   bool verify = true;      // behavioral flow: equivalence checks below
   int verify_cycles = 32;  // artwork check: switch-level cycles on the
                            // extracted chip (slow, relaxation-based)
-  int gate_verify_cycles = 1024;  // behavioral-vs-gates check: cycles per
-                                  // lane under the compiled simulator
-  int gate_verify_lanes = 8;      // independent stimulus lanes (<= 64)
+  int gate_verify_cycles = 512;  // behavioral-vs-gates check: cycles per
+                                 // lane under the compiled simulator (the
+                                 // compiled side always runs the widest
+                                 // word; this bounds the behavioral refs)
+  int gate_verify_lanes = 16;    // independent behavioral stimulus lanes
+  int pla_verify_cycles = 256;   // programmed-PLA replay vs compiled tape,
+                                 // over every lane of the widest word
 };
 
 struct CompileResult {

@@ -1,13 +1,16 @@
-// Netlist -> evaluation tape: rank every combinational gate by logic level
-// (sources — primary inputs, DFF outputs, undriven nets — are level 0; a
-// gate is one past its deepest driver), then emit ops level by level.
-// N-ary gates decompose into two-input chains through temporary slots; the
-// chain stays inside its gate's level block, which keeps the invariant that
-// an op only reads slots finalized earlier in the tape.
+// Netlist -> evaluation tape: decompose every gate into two-input ops in
+// topological order, then assemble_tape() ranks each *op* by logic level
+// (sources — primary inputs, DFF outputs, undriven nets — are level 0; an
+// op is one past its deepest operand) and emits ops level by level. Levels
+// are op-granular, so n-ary decomposition chains spread across levels and
+// the invariant every consumer relies on — an op at level l reads only
+// slots finalized at levels < l — holds for *parallel* evaluation of a
+// level, not just sequential tape order.
 #include <algorithm>
 #include <stdexcept>
 
 #include "sim/sim.hpp"
+#include "sim/tape_util.hpp"
 
 namespace silc::sim {
 
@@ -55,97 +58,101 @@ TapeOp::Code unary_code(GateKind k) {
 
 }  // namespace
 
-Tape levelize(const net::Netlist& nl) {
-  const std::vector<int> driver = nl.driver_map();
-  const std::vector<int> topo = nl.topo_order();  // validates acyclicity
-
-  // Combinational level per gate (DFFs are level-0 sources).
-  std::vector<int> glevel(nl.gates().size(), 0);
-  int depth = 0;
-  for (const int gi : topo) {
-    const Gate& g = nl.gate(gi);
-    if (g.kind == GateKind::Dff) continue;
-    int lv = 0;
-    for (const int in : g.inputs) {
-      const int d = driver[static_cast<std::size_t>(in)];
-      if (d >= 0 && nl.gate(d).kind != GateKind::Dff) {
-        lv = std::max(lv, glevel[static_cast<std::size_t>(d)]);
-      }
-    }
-    glevel[static_cast<std::size_t>(gi)] = lv + 1;
-    depth = std::max(depth, lv + 1);
+Tape assemble_tape(std::vector<TapeOp> ops, std::size_t slots,
+                   std::vector<std::pair<std::uint32_t, std::uint32_t>> dffs) {
+  // Slot levels: sources (never written by an op) stay 0; a written slot
+  // takes its op's level. Ops must arrive in dependency order.
+  std::vector<std::uint32_t> slot_level(slots, 0);
+  std::vector<std::uint32_t> op_level(ops.size(), 0);
+  std::uint32_t depth = 0;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const TapeOp& op = ops[i];
+    std::uint32_t lv = 0;
+    const int arity = op_arity(op.code);
+    if (arity >= 1) lv = std::max(lv, slot_level[op.a]);
+    if (arity >= 2) lv = std::max(lv, slot_level[op.b]);
+    if (arity >= 3) lv = std::max(lv, slot_level[op.sel]);
+    ++lv;
+    op_level[i] = lv;
+    slot_level[op.out] = lv;
+    depth = std::max(depth, lv);
   }
 
-  // Bucket combinational gates by level, keeping topo order within a level.
-  std::vector<std::vector<int>> by_level(static_cast<std::size_t>(depth) + 1);
-  for (const int gi : topo) {
-    const Gate& g = nl.gate(gi);
-    if (g.kind == GateKind::Dff) continue;
-    by_level[static_cast<std::size_t>(glevel[static_cast<std::size_t>(gi)])]
-        .push_back(gi);
-  }
-
+  // Stable counting sort of ops by level.
   Tape tape;
+  tape.slots = slots;
+  tape.dffs = std::move(dffs);
+  if (depth > 0) {
+    std::vector<std::uint32_t> count(depth + 1, 0);
+    for (const std::uint32_t lv : op_level) ++count[lv];
+    tape.level_begin.resize(depth + 1);
+    std::vector<std::uint32_t> at(depth + 2, 0);
+    for (std::uint32_t lv = 1; lv <= depth; ++lv) {
+      tape.level_begin[lv - 1] = at[lv];
+      at[lv + 1] = at[lv] + count[lv];
+    }
+    tape.level_begin[depth] = static_cast<std::uint32_t>(ops.size());
+    tape.ops.resize(ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      tape.ops[at[op_level[i]]++] = ops[i];
+    }
+  }
+  return tape;
+}
+
+Tape levelize(const net::Netlist& nl) {
+  const std::vector<int> topo = nl.topo_order();  // validates acyclicity
+  (void)nl.driver_map();                          // validates single drivers
+
+  std::vector<TapeOp> ops;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> dffs;
   std::uint32_t temp = static_cast<std::uint32_t>(nl.net_count());
   const auto slot = [](int net) { return static_cast<std::uint32_t>(net); };
 
-  for (int lv = 1; lv <= depth; ++lv) {
-    tape.level_begin.push_back(static_cast<std::uint32_t>(tape.ops.size()));
-    for (const int gi : by_level[static_cast<std::size_t>(lv)]) {
-      const Gate& g = nl.gate(gi);
-      const std::uint32_t out = slot(g.output);
-      switch (g.kind) {
-        case GateKind::Const0:
-          tape.ops.push_back({TapeOp::Code::Const0, out, 0, 0, 0});
-          break;
-        case GateKind::Const1:
-          tape.ops.push_back({TapeOp::Code::Const1, out, 0, 0, 0});
-          break;
-        case GateKind::Buf:
-          tape.ops.push_back({TapeOp::Code::Copy, out, slot(g.inputs[0]), 0, 0});
-          break;
-        case GateKind::Not:
-          tape.ops.push_back({TapeOp::Code::Not, out, slot(g.inputs[0]), 0, 0});
-          break;
-        case GateKind::Mux:
-          tape.ops.push_back({TapeOp::Code::Mux, out, slot(g.inputs[1]),
-                              slot(g.inputs[2]), slot(g.inputs[0])});
-          break;
-        case GateKind::Dff:
-          break;  // handled below
-        default: {  // n-ary And/Or/Nand/Nor/Xor/Xnor
-          if (g.inputs.empty()) {
-            throw std::runtime_error("gate " + g.name + " has no inputs");
-          }
-          if (g.inputs.size() == 1) {
-            tape.ops.push_back(
-                {unary_code(g.kind), out, slot(g.inputs[0]), 0, 0});
-            break;
-          }
-          std::uint32_t acc = slot(g.inputs[0]);
-          for (std::size_t i = 1; i + 1 < g.inputs.size(); ++i) {
-            const std::uint32_t t = temp++;
-            tape.ops.push_back({chain_code(g.kind), t, acc, slot(g.inputs[i]), 0});
-            acc = t;
-          }
-          tape.ops.push_back(
-              {final_code(g.kind), out, acc, slot(g.inputs.back()), 0});
+  for (const int gi : topo) {
+    const Gate& g = nl.gate(gi);
+    const std::uint32_t out = slot(g.output);
+    switch (g.kind) {
+      case GateKind::Const0:
+        ops.push_back({TapeOp::Code::Const0, out, 0, 0, 0});
+        break;
+      case GateKind::Const1:
+        ops.push_back({TapeOp::Code::Const1, out, 0, 0, 0});
+        break;
+      case GateKind::Buf:
+        ops.push_back({TapeOp::Code::Copy, out, slot(g.inputs[0]), 0, 0});
+        break;
+      case GateKind::Not:
+        ops.push_back({TapeOp::Code::Not, out, slot(g.inputs[0]), 0, 0});
+        break;
+      case GateKind::Mux:
+        ops.push_back({TapeOp::Code::Mux, out, slot(g.inputs[1]),
+                       slot(g.inputs[2]), slot(g.inputs[0])});
+        break;
+      case GateKind::Dff:
+        dffs.emplace_back(out, slot(g.inputs[0]));
+        break;
+      default: {  // n-ary And/Or/Nand/Nor/Xor/Xnor
+        if (g.inputs.empty()) {
+          throw std::runtime_error("gate " + g.name + " has no inputs");
+        }
+        if (g.inputs.size() == 1) {
+          ops.push_back({unary_code(g.kind), out, slot(g.inputs[0]), 0, 0});
           break;
         }
+        std::uint32_t acc = slot(g.inputs[0]);
+        for (std::size_t i = 1; i + 1 < g.inputs.size(); ++i) {
+          const std::uint32_t t = temp++;
+          ops.push_back({chain_code(g.kind), t, acc, slot(g.inputs[i]), 0});
+          acc = t;
+        }
+        ops.push_back(
+            {final_code(g.kind), out, acc, slot(g.inputs.back()), 0});
+        break;
       }
     }
   }
-  if (depth > 0) {
-    tape.level_begin.push_back(static_cast<std::uint32_t>(tape.ops.size()));
-  }
-
-  for (const Gate& g : nl.gates()) {
-    if (g.kind == GateKind::Dff) {
-      tape.dffs.emplace_back(slot(g.output), slot(g.inputs[0]));
-    }
-  }
-  tape.slots = temp;
-  return tape;
+  return assemble_tape(std::move(ops), temp, std::move(dffs));
 }
 
 }  // namespace silc::sim

@@ -1,0 +1,155 @@
+// Level-parallel tape evaluation: a persistent worker pool strip-mines
+// each level's op range across threads with static chunking and one
+// barrier per level — the levelized tape's op-granular levels make every
+// level a data-parallel strip, so level boundaries are the only sync
+// points (CCSS's observation: combinational computing is the parallel
+// part, sequential synchronization is cheap).
+//
+// The level schedule is precomputed: runs of levels below the
+// min_level_ops threshold are merged into sequential segments executed by
+// the calling thread alone, so shallow or narrow stretches of the tape pay
+// one barrier per *run*, not per level. Workers park on a condition
+// variable between passes; a pass is published by bumping an epoch under
+// the mutex, and the per-segment std::barrier both hands out work and
+// publishes each level's results to the next.
+#include <barrier>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/sim.hpp"
+
+namespace silc::sim {
+
+namespace {
+
+struct Segment {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  bool parallel = false;
+};
+
+std::vector<Segment> plan_segments(const Tape& tape,
+                                   std::uint32_t min_level_ops) {
+  std::vector<Segment> segs;
+  for (int l = 0; l + 1 < static_cast<int>(tape.level_begin.size()); ++l) {
+    const std::uint32_t b = tape.level_begin[l];
+    const std::uint32_t e = tape.level_begin[l + 1];
+    if (e == b) continue;
+    const bool par = e - b >= min_level_ops;
+    if (!par && !segs.empty() && !segs.back().parallel &&
+        segs.back().end == b) {
+      segs.back().end = e;  // merge sequential runs: one barrier, not many
+    } else {
+      segs.push_back({b, e, par});
+    }
+  }
+  return segs;
+}
+
+}  // namespace
+
+struct TapePool::Impl {
+  const Tape* tape = nullptr;
+  WordKind word = WordKind::U64;
+  int nthreads = 1;
+  std::vector<Segment> segments;
+
+  std::mutex m;
+  std::condition_variable cv;
+  std::uint64_t epoch = 0;
+  bool quit = false;
+  std::uint64_t* slots = nullptr;
+
+  std::barrier<> barrier;
+  std::vector<std::thread> workers;
+
+  Impl(const Tape& t, WordKind w, int threads, std::uint32_t min_level_ops)
+      : tape(&t),
+        word(w),
+        nthreads(threads),
+        segments(plan_segments(t, min_level_ops)),
+        barrier(threads) {
+    for (int i = 1; i < nthreads; ++i) {
+      workers.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+
+  ~Impl() {
+    {
+      const std::lock_guard<std::mutex> lk(m);
+      quit = true;
+    }
+    cv.notify_all();
+    for (std::thread& t : workers) t.join();
+  }
+
+  void pass(int self, std::uint64_t* v) {
+    for (const Segment& s : segments) {
+      if (s.parallel) {
+        const std::uint32_t n = s.end - s.begin;
+        const std::uint32_t per =
+            (n + static_cast<std::uint32_t>(nthreads) - 1) /
+            static_cast<std::uint32_t>(nthreads);
+        const std::uint32_t b =
+            s.begin + per * static_cast<std::uint32_t>(self);
+        const std::uint32_t e = std::min(s.end, b + per);
+        if (b < e) eval_range(*tape, word, v, b, e);
+      } else if (self == 0) {
+        eval_range(*tape, word, v, s.begin, s.end);
+      }
+      // Publishes this level's slot writes to every reader of the next.
+      barrier.arrive_and_wait();
+    }
+  }
+
+  void worker_loop(int self) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::uint64_t* v = nullptr;
+      {
+        std::unique_lock<std::mutex> lk(m);
+        cv.wait(lk, [&] { return quit || epoch != seen; });
+        if (quit) return;
+        seen = epoch;
+        v = slots;
+      }
+      pass(self, v);
+    }
+  }
+
+  void eval(std::uint64_t* v) {
+    {
+      const std::lock_guard<std::mutex> lk(m);
+      slots = v;
+      ++epoch;
+    }
+    cv.notify_all();
+    pass(0, v);
+    // The final segment's barrier saw every thread arrive, so all writes
+    // are complete and visible here.
+  }
+};
+
+TapePool::TapePool(const Tape& tape, WordKind word, int threads,
+                   std::uint32_t min_level_ops)
+    : impl_(std::make_unique<Impl>(tape, word, threads < 2 ? 2 : threads,
+                                   min_level_ops)) {}
+
+TapePool::~TapePool() = default;
+
+void TapePool::eval(std::uint64_t* slots) { impl_->eval(slots); }
+
+int TapePool::threads() const { return impl_->nthreads; }
+
+bool TapePool::worth_threading(const Tape& tape, std::uint32_t min_level_ops) {
+  for (int l = 0; l + 1 < static_cast<int>(tape.level_begin.size()); ++l) {
+    if (tape.level_begin[l + 1] - tape.level_begin[l] >= min_level_ops) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace silc::sim

@@ -1,11 +1,14 @@
-// CompiledSim: own the netlist + tape, map signal names to value slots,
-// and drive the bit-parallel kernel. crosscheck(): the three-model
-// equivalence harness (behavioral / compiled / switch-level).
+// CompiledSim: own the netlist + fused tape, map signal names to value
+// slots, and drive the bit-parallel kernel over the configured word
+// backend / thread pool. crosscheck(): the three-model equivalence harness
+// (behavioral / compiled / switch-level). check_pla(): the programmed-PLA
+// replay against the compiled tape.
 #include "sim/sim.hpp"
 
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "extract/extract.hpp"
 #include "swsim/swsim.hpp"
@@ -13,22 +16,89 @@
 
 namespace silc::sim {
 
-CompiledSim::CompiledSim(const net::Netlist& nl)
-    : nl_(nl),
-      tape_(levelize(nl_)),
-      slots_(tape_.slots, 0),
-      scratch_(tape_.dffs.size(), 0) {}
+CompiledSim::CompiledSim(const net::Netlist& nl, const SimConfig& config)
+    : nl_(nl) {
+  init(config);
+}
 
-CompiledSim::CompiledSim(const rtl::Design& design)
-    : nl_(synth::bit_blast(design)),
-      tape_(levelize(nl_)),
-      slots_(tape_.slots, 0),
-      scratch_(tape_.dffs.size(), 0) {
+CompiledSim::CompiledSim(const rtl::Design& design, const SimConfig& config)
+    : nl_(synth::bit_blast(design)) {
   for (const rtl::Signal& s : design.signals) {
     widths_[s.name] = s.width;
     if (s.kind == rtl::SignalKind::Output) output_names_.push_back(s.name);
   }
+  init(config);
 }
+
+CompiledSim::~CompiledSim() = default;
+
+void CompiledSim::init(const SimConfig& config) {
+  word_ = config.word;
+  words_per_slot_ = words_of(word_);
+  tape_ = levelize(nl_);
+  fuse_stats_ = FuseStats{};
+  fuse_stats_.ops_before = fuse_stats_.ops_after = tape_.ops.size();
+
+  // Which slots stay peekable under fusion: primary I/O, register state,
+  // every declared design signal, and anything the caller pins.
+  std::vector<std::uint8_t> unfused_written(tape_.slots, 0);
+  for (const TapeOp& op : tape_.ops) unfused_written[op.out] = 1;
+  if (config.fuse) {
+    std::vector<std::uint8_t> observable(tape_.slots, 0);
+    const auto mark = [&](int net) {
+      if (net >= 0) observable[static_cast<std::size_t>(net)] = 1;
+    };
+    for (const int n : nl_.inputs()) mark(n);
+    for (const int n : nl_.outputs()) mark(n);
+    for (const auto& [q, d] : tape_.dffs) mark(static_cast<int>(q));
+    for (const auto& [name, w] : widths_) {
+      for (int b = 0; b < w; ++b) {
+        int net = nl_.find_net(name + "[" + std::to_string(b) + "]");
+        if (net < 0 && w == 1) net = nl_.find_net(name);
+        mark(net);
+      }
+    }
+    for (const std::string& name : config.keep) {
+      int net = nl_.find_net(name);
+      if (net < 0) net = nl_.find_net(name + "[0]");
+      if (net < 0) {
+        throw std::runtime_error("SimConfig::keep: no signal named " + name);
+      }
+      mark(net);
+      for (int b = 1;; ++b) {
+        const int bit = nl_.find_net(name + "[" + std::to_string(b) + "]");
+        if (bit < 0) break;
+        mark(bit);
+      }
+    }
+    tape_ = fuse_tape(tape_, observable, &fuse_stats_);
+  }
+
+  // A slot still carries a value if the fused tape writes it or nothing
+  // ever wrote it (sources: inputs, register outputs, undriven nets).
+  live_.assign(tape_.slots, 0);
+  for (std::size_t s = 0; s < tape_.slots; ++s) {
+    live_[s] = !unfused_written[s];
+  }
+  for (const TapeOp& op : tape_.ops) live_[op.out] = 1;
+
+  const std::size_t w = static_cast<std::size_t>(words_per_slot_);
+  storage_.assign(tape_.slots * w);
+  scratch_.assign(tape_.dffs.size() * w);
+
+  int threads = config.threads;
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  threads = std::clamp(threads, 1, 64);
+  if (threads > 1 &&
+      TapePool::worth_threading(tape_, config.parallel_min_ops)) {
+    pool_ = std::make_unique<TapePool>(tape_, word_, threads,
+                                       config.parallel_min_ops);
+  }
+}
+
+int CompiledSim::threads() const { return pool_ ? pool_->threads() : 1; }
 
 const std::vector<std::uint32_t>& CompiledSim::bits_of(const std::string& name) {
   const auto cached = by_name_.find(name);
@@ -62,18 +132,22 @@ const std::vector<std::uint32_t>& CompiledSim::bits_of(const std::string& name) 
 }
 
 void CompiledSim::poke(const std::string& signal, std::uint64_t value) {
+  std::uint64_t* const v = slot_words();
+  const std::size_t w = static_cast<std::size_t>(words_per_slot_);
   for (std::size_t b = 0; const std::uint32_t slot : bits_of(signal)) {
-    slots_[slot] = ((value >> b++) & 1u) != 0 ? ~std::uint64_t{0} : 0;
+    const std::uint64_t fill =
+        ((value >> b++) & 1u) != 0 ? ~std::uint64_t{0} : 0;
+    std::fill_n(v + slot * w, w, fill);
   }
   dirty_ = true;
 }
 
 namespace {
 
-int checked_lane(int lane) {
-  if (lane < 0 || lane >= kLanes) {
+int checked_lane(int lane, int lanes) {
+  if (lane < 0 || lane >= lanes) {
     throw std::out_of_range("lane " + std::to_string(lane) +
-                            " out of range [0, " + std::to_string(kLanes) + ")");
+                            " out of range [0, " + std::to_string(lanes) + ")");
   }
   return lane;
 }
@@ -82,10 +156,15 @@ int checked_lane(int lane) {
 
 void CompiledSim::poke_lane(int lane, const std::string& signal,
                             std::uint64_t value) {
-  const std::uint64_t mask = std::uint64_t{1} << checked_lane(lane);
+  checked_lane(lane, lanes());
+  std::uint64_t* const v = slot_words();
+  const std::size_t w = static_cast<std::size_t>(words_per_slot_);
+  const std::size_t word = static_cast<std::size_t>(lane) / 64;
+  const std::uint64_t mask = std::uint64_t{1} << (lane % 64);
   for (std::size_t b = 0; const std::uint32_t slot : bits_of(signal)) {
-    if (((value >> b++) & 1u) != 0) slots_[slot] |= mask;
-    else slots_[slot] &= ~mask;
+    std::uint64_t& limb = v[slot * w + word];
+    if (((value >> b++) & 1u) != 0) limb |= mask;
+    else limb &= ~mask;
   }
   dirty_ = true;
 }
@@ -95,32 +174,48 @@ std::uint64_t CompiledSim::peek(const std::string& signal) {
 }
 
 std::uint64_t CompiledSim::peek_lane(int lane, const std::string& signal) {
-  checked_lane(lane);
+  checked_lane(lane, lanes());
   if (dirty_) eval();
-  std::uint64_t v = 0;
+  const std::uint64_t* const v = slot_words();
+  const std::size_t w = static_cast<std::size_t>(words_per_slot_);
+  const std::size_t word = static_cast<std::size_t>(lane) / 64;
+  const int bit = lane % 64;
+  std::uint64_t out = 0;
   for (std::size_t b = 0; const std::uint32_t slot : bits_of(signal)) {
-    v |= ((slots_[slot] >> lane) & 1u) << b++;
+    if (!live_[slot]) {
+      throw std::runtime_error(
+          "signal " + signal + " was optimized away by tape fusion; disable "
+          "SimConfig::fuse or list it in SimConfig::keep to observe it");
+    }
+    out |= ((v[slot * w + word] >> bit) & 1u) << b++;
   }
-  return v;
+  return out;
+}
+
+void CompiledSim::eval_now() {
+  if (pool_) pool_->eval(slot_words());
+  else eval_tape(tape_, word_, slot_words());
 }
 
 void CompiledSim::eval() {
-  eval_tape(tape_, slots_.data());
+  eval_now();
   dirty_ = false;
 }
 
 void CompiledSim::step(int n) {
   for (int i = 0; i < n; ++i) {
-    eval_tape(tape_, slots_.data());
-    commit_tape(tape_, slots_.data(), scratch_.data());
+    eval_now();
+    commit_tape(tape_, word_, slot_words(), scratch_.data());
   }
-  eval_tape(tape_, slots_.data());
+  eval_now();
   dirty_ = false;
 }
 
 void CompiledSim::reset(bool v) {
+  std::uint64_t* const words = slot_words();
+  const std::size_t w = static_cast<std::size_t>(words_per_slot_);
   for (const auto& [q, d] : tape_.dffs) {
-    slots_[q] = v ? ~std::uint64_t{0} : 0;
+    std::fill_n(words + q * w, w, v ? ~std::uint64_t{0} : 0);
   }
   dirty_ = true;
 }
@@ -128,7 +223,7 @@ void CompiledSim::reset(bool v) {
 std::vector<Trace> CompiledSim::run(const std::vector<Trace>& stimuli,
                                     const std::vector<std::string>& probes) {
   if (stimuli.empty()) return {};
-  if (stimuli.size() > static_cast<std::size_t>(kLanes)) {
+  if (stimuli.size() > static_cast<std::size_t>(lanes())) {
     throw std::runtime_error("more stimulus sequences than lanes");
   }
   const std::vector<std::string>& record =
@@ -139,7 +234,7 @@ std::vector<Trace> CompiledSim::run(const std::vector<Trace>& stimuli,
   std::size_t cycles = 0;
   for (const Trace& t : stimuli) cycles = std::max(cycles, t.size());
 
-  std::fill(slots_.begin(), slots_.end(), 0);
+  storage_.clear();
   dirty_ = true;
   std::vector<Trace> traces(stimuli.size());
   for (std::size_t c = 0; c < cycles; ++c) {
@@ -180,6 +275,13 @@ Trace behavioral_trace(const rtl::Design& design, const Trace& stimulus,
     trace.push_back(std::move(out));
   }
   return trace;
+}
+
+std::map<std::string, int> output_widths(
+    const std::vector<const rtl::Signal*>& outs) {
+  std::map<std::string, int> widths;
+  for (const rtl::Signal* o : outs) widths[o->name] = o->width;
+  return widths;
 }
 
 /// Drive the switch-level expansion through `cycles` of the stimulus with
@@ -231,16 +333,15 @@ bool switch_level_trace(const rtl::Design& design, const net::Netlist& nl,
   return true;
 }
 
-}  // namespace
-
-namespace {
-
 CrosscheckReport crosscheck_impl(const rtl::Design& design,
                                  const CrosscheckOptions& options) {
   CrosscheckReport r;
   r.cycles = std::max(0, options.cycles);
-  r.lanes = std::clamp(options.lanes, 1, kLanes);
   const auto outs = design.of_kind(rtl::SignalKind::Output);
+
+  CompiledSim cs(design, options.sim);
+  r.lanes = options.lanes <= 0 ? cs.lanes()
+                               : std::min(options.lanes, cs.lanes());
 
   std::vector<Trace> stimuli;
   for (int l = 0; l < r.lanes; ++l) {
@@ -248,7 +349,6 @@ CrosscheckReport crosscheck_impl(const rtl::Design& design,
                                       static_cast<unsigned>(l)));
   }
 
-  CompiledSim cs(design);
   const std::vector<Trace> compiled = cs.run(stimuli);
 
   Trace lane0_ref;
@@ -260,6 +360,13 @@ CrosscheckReport crosscheck_impl(const rtl::Design& design,
     if (!d.identical) {
       r.detail = "behavioral vs compiled, lane " + std::to_string(l) + ": " +
                  d.to_string();
+      if (!options.vcd_on_mismatch.empty() &&
+          dump_vcd(options.vcd_on_mismatch,
+                   {{"behavioral", ref},
+                    {"compiled", compiled[static_cast<std::size_t>(l)]}},
+                   output_widths(outs))) {
+        r.detail += "; waveforms: " + options.vcd_on_mismatch;
+      }
       return r;
     }
     if (l == 0) lane0_ref = ref;
@@ -267,7 +374,9 @@ CrosscheckReport crosscheck_impl(const rtl::Design& design,
 
   std::ostringstream os;
   os << "crosscheck " << design.name << ": behavioral == compiled over "
-     << r.cycles << " cycles x " << r.lanes << " lanes";
+     << r.cycles << " cycles x " << r.lanes << " lanes ("
+     << to_string(cs.word()) << " word, " << cs.threads() << " thread"
+     << (cs.threads() == 1 ? "" : "s") << ")";
 
   const std::size_t sw_cycles = static_cast<std::size_t>(
       std::clamp(options.switch_cycles, 0, r.cycles));
@@ -286,6 +395,12 @@ CrosscheckReport crosscheck_impl(const rtl::Design& design,
     const TraceDiff d = diff_traces(lane0_ref, sw_trace);
     if (!d.identical) {
       r.detail = "behavioral vs switch-level: " + d.to_string();
+      if (!options.vcd_on_mismatch.empty() &&
+          dump_vcd(options.vcd_on_mismatch,
+                   {{"behavioral", lane0_ref}, {"switch_level", sw_trace}},
+                   output_widths(outs))) {
+        r.detail += "; waveforms: " + options.vcd_on_mismatch;
+      }
       return r;
     }
     r.switch_cycles = static_cast<int>(sw_cycles);
@@ -310,6 +425,107 @@ CrosscheckReport crosscheck(const rtl::Design& design,
   } catch (const std::exception& e) {
     CrosscheckReport r;
     r.detail = std::string("crosscheck error: ") + e.what();
+    return r;
+  }
+}
+
+// ---------------------------------------------------------- PLA-path check --
+
+namespace {
+
+PlaCheckReport check_pla_impl(const rtl::Design& design,
+                              const synth::TabulatedFsm& fsm,
+                              const logic::PlaTerms& personality, int cycles,
+                              int lanes, unsigned seed) {
+  PlaCheckReport r;
+  r.cycles = std::max(0, cycles);
+  r.terms = personality.term_count();
+  const auto ins = design.of_kind(rtl::SignalKind::Input);
+  const auto outs = design.of_kind(rtl::SignalKind::Output);
+  const int sb = fsm.state_bits;
+
+  CompiledSim cs(design);
+  r.lanes = lanes <= 0 ? cs.lanes() : std::min(lanes, cs.lanes());
+
+  std::vector<Trace> stimuli;
+  for (int l = 0; l < r.lanes; ++l) {
+    stimuli.push_back(random_stimulus(design, r.cycles, seed +
+                                      static_cast<unsigned>(l)));
+  }
+  const std::vector<Trace> compiled = cs.run(stimuli);
+
+  // The programmed personality holds the complement cover of each output
+  // (both PLA planes are NOR arrays): bit k is 0 iff some selected term
+  // covers the minterm.
+  const auto pla_bit = [&](int k, std::uint32_t minterm) {
+    return !personality.evaluate(k, minterm);
+  };
+  const auto pack_inputs = [&](const Vector& row, std::uint32_t state) {
+    std::uint32_t m = state;
+    int pos = sb;
+    for (const rtl::Signal* s : ins) {
+      const auto it = row.find(s->name);
+      const std::uint64_t v = it == row.end() ? 0 : it->second;
+      m |= static_cast<std::uint32_t>(rtl::mask_to(v, s->width)) << pos;
+      pos += s->width;
+    }
+    return m;
+  };
+
+  for (int l = 0; l < r.lanes; ++l) {
+    std::uint32_t state = 0;  // run() starts from all-zero registers
+    const Trace& stim = stimuli[static_cast<std::size_t>(l)];
+    for (int c = 0; c < r.cycles; ++c) {
+      const Vector& row = stim[static_cast<std::size_t>(c)];
+      // Clock edge: next state from the AND/OR planes, then outputs settle
+      // combinationally from the *new* state and held inputs — matching
+      // the record-after-commit convention of run()/behavioral_trace.
+      std::uint32_t next = 0;
+      const std::uint32_t m1 = pack_inputs(row, state);
+      for (int k = 0; k < sb; ++k) {
+        if (pla_bit(k, m1)) next |= 1u << k;
+      }
+      state = next;
+      const std::uint32_t m2 = pack_inputs(row, state);
+      int k = sb;
+      for (const rtl::Signal* o : outs) {
+        std::uint64_t v = 0;
+        for (int b = 0; b < o->width; ++b, ++k) {
+          if (pla_bit(k, m2)) v |= std::uint64_t{1} << b;
+        }
+        const std::uint64_t want =
+            compiled[static_cast<std::size_t>(l)][static_cast<std::size_t>(c)]
+                .at(o->name);
+        if (v != want) {
+          std::ostringstream os;
+          os << "pla vs compiled, lane " << l << " cycle " << c << " signal "
+             << o->name << ": " << v << " != " << want;
+          r.detail = os.str();
+          return r;
+        }
+      }
+    }
+  }
+
+  std::ostringstream os;
+  os << "pla(" << r.terms << " terms) == compiled over " << r.cycles
+     << " cycles x " << r.lanes << " lanes";
+  r.ok = true;
+  r.detail = os.str();
+  return r;
+}
+
+}  // namespace
+
+PlaCheckReport check_pla(const rtl::Design& design,
+                         const synth::TabulatedFsm& fsm,
+                         const logic::PlaTerms& personality, int cycles,
+                         int lanes, unsigned seed) {
+  try {
+    return check_pla_impl(design, fsm, personality, cycles, lanes, seed);
+  } catch (const std::exception& e) {
+    PlaCheckReport r;
+    r.detail = std::string("pla check error: ") + e.what();
     return r;
   }
 }

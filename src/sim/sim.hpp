@@ -7,31 +7,53 @@
 // simulators (CVC-style flow-graph compilation, CCSS-style cheap sequential
 // synchronization):
 //
-//   * levelize():  topologically rank the combinational gates of a
+//   * levelize():  topologically rank the combinational ops of a
 //     net::Netlist and flatten them into a linear evaluation tape; n-ary
 //     gates are decomposed into two-input ops at compile time, so the inner
-//     loop is a branch-light switch over a dense op array;
-//   * CompiledSim: evaluates the tape over 64-bit words, one bit per
-//     stimulus lane — one pass through the tape simulates 64 independent
-//     vectors — and synchronizes all registers once per clock cycle with a
-//     two-phase gather-then-commit (no event queue, no relaxation);
+//     loop is a branch-light switch over a dense op array. Levels are
+//     op-granular: an op at level l reads only slots finalized at levels
+//     < l, which makes every level a data-parallel strip.
+//   * fuse_tape(): a post-levelize peephole pass — Not folds into its
+//     And/Or/Nand/Nor/Xor/Xnor producer, Copy chains are bypassed,
+//     constant operands fold, and ops whose results are unobservable are
+//     dead-code-eliminated — so the tape shrinks before it ever runs.
+//   * word backends (word.hpp): the interpreter is templated over the word
+//     type; one pass evaluates 64 lanes (uint64), 256 or 512 lanes
+//     (GCC/Clang vector extensions, ISA selected at load time via
+//     target_clones, portable fallbacks elsewhere). One bit of every slot
+//     word is one independent stimulus lane.
+//   * TapePool: a persistent worker pool that strip-mines each level's op
+//     range across threads with one barrier per level — level boundaries
+//     are the only sync points a levelized tape needs. Levels below a
+//     configurable op threshold run sequentially so small designs don't
+//     pay barrier latency.
+//   * CompiledSim: owns netlist + fused tape + lane storage, evaluates via
+//     the configured word/threads (SimConfig), and synchronizes all
+//     registers once per clock cycle with a two-phase gather-then-commit
+//     (no event queue, no relaxation);
 //   * to_switch_level(): expands a gate netlist into a ratioed-NMOS
 //     transistor network (depletion pullups, enhancement pulldown trees,
 //     two-phase dynamic master/slave registers) so the *same* design can be
 //     run under swsim without needing artwork;
 //   * crosscheck(): one stimulus, three models — rtl::BehavioralSim,
 //     sim::CompiledSim, and swsim::Simulator — with a cycle-by-cycle
-//     trace diff. This is the compiler's behavioral-vs-gates check.
+//     trace diff (and an optional VCD dump of the diverging traces).
+//     This is the compiler's behavioral-vs-gates check.
+//   * check_pla(): the PLA path's pre-artwork equivalence check — the
+//     personality actually programmed into the NOR-NOR planes, plus state
+//     feedback, replayed against the compiled tape.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "net/net.hpp"
 #include "rtl/rtl.hpp"
+#include "sim/word.hpp"
 
 namespace silc::extract {
 struct Netlist;  // sim -> swsim lowering target (switch_level.cpp)
@@ -39,10 +61,17 @@ struct Netlist;  // sim -> swsim lowering target (switch_level.cpp)
 namespace silc::swsim {
 class Simulator;  // driven by the switch-level harness helpers
 }
+namespace silc::logic {
+struct PlaTerms;  // the programmed personality check_pla replays
+}
+namespace silc::synth {
+struct TabulatedFsm;  // its bit-assignment conventions drive the replay
+}
 
 namespace silc::sim {
 
-/// Stimulus lanes evaluated per pass: one bit of every tape word each.
+/// Stimulus lanes per 64-bit word — the baseline word's lane count. Wide
+/// words carry lanes_of(kind) lanes; CompiledSim::lanes() is authoritative.
 inline constexpr int kLanes = 64;
 
 // ------------------------------------------------------------ levelizing --
@@ -59,10 +88,11 @@ struct TapeOp {
   std::uint32_t a = 0, b = 0, sel = 0;
 };
 
-/// A levelized netlist: ops sorted by combinational level (level l reads
-/// only slots written at levels < l or source slots), plus the register
-/// commit list. Slots 0..net_count-1 mirror the netlist's nets; slots
-/// beyond that are temporaries introduced by n-ary gate decomposition.
+/// A levelized netlist: ops sorted by combinational level (an op at level l
+/// reads only slots written at levels < l or source slots — op-granular, so
+/// any level may be evaluated in parallel), plus the register commit list.
+/// Slots 0..net_count-1 mirror the netlist's nets; slots beyond that are
+/// temporaries introduced by n-ary gate decomposition.
 struct Tape {
   std::vector<TapeOp> ops;
   /// level_begin[l] is the index of the first op of level l+1 (levels are
@@ -82,13 +112,88 @@ struct Tape {
 /// combinational cycles or multiply-driven nets.
 [[nodiscard]] Tape levelize(const net::Netlist& nl);
 
-/// Evaluate every tape op, in order, over 64-lane words (vector.cpp).
-void eval_tape(const Tape& tape, std::uint64_t* slots);
+/// Rebuild a tape from a topologically ordered op list: compute op-granular
+/// levels (1 + deepest operand; unwritten slots are level-0 sources), bucket
+/// ops by level keeping their relative order, and emit level_begin. The
+/// toolkit every tape-producing pass (levelize, fuse_tape) shares.
+[[nodiscard]] Tape assemble_tape(
+    std::vector<TapeOp> ops, std::size_t slots,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> dffs);
+
+// ---------------------------------------------------------- tape fusion --
+
+struct FuseStats {
+  std::size_t ops_before = 0;
+  std::size_t ops_after = 0;
+  std::size_t not_fused = 0;        // Not folded into its producer op
+  std::size_t copies_bypassed = 0;  // reads rerouted past Copy ops
+  std::size_t consts_folded = 0;    // ops simplified by constant operands
+  std::size_t idempotent_folded = 0;  // equal-operand simplifications
+  std::size_t dead_removed = 0;     // unobservable ops eliminated
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Peephole-fuse and shrink a tape. `observable` flags the slots whose
+/// values must survive (slot index -> bool; shorter vectors mean "false");
+/// register D slots and everything an observable or live op reads are kept
+/// automatically. Ops whose results nobody can see are removed.
+[[nodiscard]] Tape fuse_tape(const Tape& tape,
+                             const std::vector<std::uint8_t>& observable,
+                             FuseStats* stats = nullptr);
+
+// ------------------------------------------------------------- evaluation --
+
+/// Evaluate ops [first, last) over the given word. `slots` is the lane
+/// buffer described in word.hpp (words_of(word) uint64 limbs per slot,
+/// 64-byte aligned for the wide words).
+void eval_range(const Tape& tape, WordKind word, std::uint64_t* slots,
+                std::uint32_t first, std::uint32_t last);
+
+/// Evaluate every tape op, in order, over the given word.
+void eval_tape(const Tape& tape, WordKind word, std::uint64_t* slots);
+inline void eval_tape(const Tape& tape, std::uint64_t* slots) {
+  eval_tape(tape, WordKind::U64, slots);
+}
 
 /// Latch every register: gather all D values, then write all Q slots, so
 /// register-to-register paths see pre-clock values (two-phase semantics).
-/// `scratch` must hold at least tape.dffs.size() words.
-void commit_tape(const Tape& tape, std::uint64_t* slots, std::uint64_t* scratch);
+/// `scratch` must hold at least tape.dffs.size() * words_of(word) limbs.
+void commit_tape(const Tape& tape, WordKind word, std::uint64_t* slots,
+                 std::uint64_t* scratch);
+inline void commit_tape(const Tape& tape, std::uint64_t* slots,
+                        std::uint64_t* scratch) {
+  commit_tape(tape, WordKind::U64, slots, scratch);
+}
+
+// --------------------------------------------------- level-parallel pool --
+
+/// Persistent worker pool that strip-mines each tape level across threads
+/// (static chunking, one barrier per level). Levels smaller than
+/// `min_level_ops` — and runs of them — are evaluated by the calling
+/// thread alone, so shallow/narrow stretches don't pay barrier latency.
+class TapePool {
+ public:
+  /// `threads` is the total worker count including the calling thread
+  /// (>= 2). The tape and word must outlive the pool.
+  TapePool(const Tape& tape, WordKind word, int threads,
+           std::uint32_t min_level_ops);
+  ~TapePool();
+  TapePool(const TapePool&) = delete;
+  TapePool& operator=(const TapePool&) = delete;
+
+  /// One full tape pass over `slots` (same buffer contract as eval_tape).
+  void eval(std::uint64_t* slots);
+
+  [[nodiscard]] int threads() const;
+
+  /// True when some level is wide enough that strip-mining can pay.
+  [[nodiscard]] static bool worth_threading(const Tape& tape,
+                                            std::uint32_t min_level_ops);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 // ------------------------------------------------------- traces & vectors --
 
@@ -111,21 +216,86 @@ struct TraceDiff {
 };
 [[nodiscard]] TraceDiff diff_traces(const Trace& a, const Trace& b);
 
+// -------------------------------------------------------------- VCD dump --
+
+/// Render traces as a VCD document (one $scope per named trace, one
+/// timestep per cycle) so mismatches can be inspected waveform-by-waveform
+/// in any VCD viewer. Signal widths come from `widths` when present and
+/// are inferred from the largest value otherwise.
+[[nodiscard]] std::string to_vcd(
+    const std::vector<std::pair<std::string, Trace>>& traces,
+    const std::map<std::string, int>& widths = {});
+
+/// to_vcd() straight to a file. Returns false when the file can't be
+/// written.
+bool dump_vcd(const std::string& path,
+              const std::vector<std::pair<std::string, Trace>>& traces,
+              const std::map<std::string, int>& widths = {});
+
+// ------------------------------------------------------------- LaneBuffer --
+
+/// A 64-byte-aligned, zero-initialized uint64 buffer — the wide-word
+/// kernels issue *aligned* vector loads, and allocator-based containers
+/// ignore over-alignment attributes on vector-extension element types, so
+/// lane storage is allocated explicitly.
+class LaneBuffer {
+ public:
+  LaneBuffer() = default;
+  /// Reallocate to `words` limbs, all zero.
+  void assign(std::size_t words);
+  /// Zero every limb, keeping the allocation.
+  void clear();
+  [[nodiscard]] std::uint64_t* data() { return ptr_.get(); }
+  [[nodiscard]] const std::uint64_t* data() const { return ptr_.get(); }
+  [[nodiscard]] std::size_t size() const { return words_; }
+
+ private:
+  struct Free {
+    void operator()(std::uint64_t* p) const {
+      ::operator delete[](p, std::align_val_t{64});
+    }
+  };
+  std::unique_ptr<std::uint64_t[], Free> ptr_;
+  std::size_t words_ = 0;
+};
+
 // ------------------------------------------------------------ CompiledSim --
+
+/// Evaluation knobs. The defaults give the fastest safe configuration:
+/// widest word, auto thread count (engaged only when some level clears
+/// parallel_min_ops), fusion on.
+struct SimConfig {
+  WordKind word = widest_word();
+  /// Total evaluation threads: 1 = sequential, 0 = hardware concurrency.
+  /// A pool is spun up only when the tape has a level worth splitting.
+  int threads = 0;
+  bool fuse = true;
+  /// Strip-mine a level across threads only when it has at least this many
+  /// ops; smaller levels run on the calling thread.
+  std::uint32_t parallel_min_ops = 4096;
+  /// Extra signal names whose nets must stay observable (peekable) under
+  /// fusion, beyond the defaults (primary inputs/outputs, registers, and —
+  /// for the Design constructor — every declared signal).
+  std::vector<std::string> keep;
+};
 
 class CompiledSim {
  public:
   /// Compile an existing gate netlist (copied; names resolve via name_map).
-  explicit CompiledSim(const net::Netlist& nl);
+  explicit CompiledSim(const net::Netlist& nl, const SimConfig& config = {});
   /// Bit-blast and compile an elaborated RTL design; signal names resolve
   /// with the design's declared widths, and run() records design outputs.
-  explicit CompiledSim(const rtl::Design& design);
+  explicit CompiledSim(const rtl::Design& design, const SimConfig& config = {});
+  ~CompiledSim();
+  CompiledSim(const CompiledSim&) = delete;
+  CompiledSim& operator=(const CompiledSim&) = delete;
 
   /// Drive an input (or force a register) to `value` in every lane.
   void poke(const std::string& signal, std::uint64_t value);
   /// Drive one lane of an input; other lanes keep their values.
   void poke_lane(int lane, const std::string& signal, std::uint64_t value);
-  /// Read any named signal in lane 0 / a given lane (evaluates if stale).
+  /// Read any observable signal in lane 0 / a given lane (evaluates if
+  /// stale). Throws for signals fused away — keep them via SimConfig.
   [[nodiscard]] std::uint64_t peek(const std::string& signal);
   [[nodiscard]] std::uint64_t peek_lane(int lane, const std::string& signal);
 
@@ -136,7 +306,7 @@ class CompiledSim {
   /// Set every register bit to `v` in all lanes and re-evaluate.
   void reset(bool v = false);
 
-  /// Batch run: up to kLanes stimulus sequences, one lane each, all from
+  /// Batch run: up to lanes() stimulus sequences, one lane each, all from
   /// reset state. Returns one trace per sequence recording `probes` (or the
   /// design's outputs when constructed from a Design and probes is empty)
   /// after each cycle's register commit. Sequences shorter than the longest
@@ -147,16 +317,30 @@ class CompiledSim {
   [[nodiscard]] const net::Netlist& netlist() const { return nl_; }
   [[nodiscard]] const Tape& tape() const { return tape_; }
   [[nodiscard]] int depth() const { return tape_.depth(); }
+  /// Stimulus lanes per pass under the configured word.
+  [[nodiscard]] int lanes() const { return lanes_of(word_); }
+  [[nodiscard]] WordKind word() const { return word_; }
+  /// Worker threads actually engaged (1 when evaluating sequentially).
+  [[nodiscard]] int threads() const;
+  [[nodiscard]] const FuseStats& fuse_stats() const { return fuse_stats_; }
 
  private:
+  void init(const SimConfig& config);
+  void eval_now();
   /// LSB-first value slots of a named signal; resolved via "name" then
   /// "name[b]", design widths when known. Throws when unknown.
   const std::vector<std::uint32_t>& bits_of(const std::string& name);
+  [[nodiscard]] std::uint64_t* slot_words() { return storage_.data(); }
 
   net::Netlist nl_;
   Tape tape_;
-  std::vector<std::uint64_t> slots_;
-  std::vector<std::uint64_t> scratch_;
+  WordKind word_ = WordKind::U64;
+  int words_per_slot_ = 1;
+  FuseStats fuse_stats_;
+  LaneBuffer storage_;   // 64-byte-aligned lane buffer
+  LaneBuffer scratch_;   // register commit staging
+  std::vector<std::uint8_t> live_;  // slot still carries a value post-fusion
+  std::unique_ptr<TapePool> pool_;
   std::map<std::string, std::vector<std::uint32_t>> by_name_;
   std::map<std::string, int> widths_;       // declared widths (Design ctor)
   std::vector<std::string> output_names_;   // default run() probes
@@ -190,9 +374,15 @@ class CompiledSim {
 
 struct CrosscheckOptions {
   int cycles = 256;        // cycles checked behavioral-vs-compiled, per lane
-  int lanes = 8;           // independent stimulus sequences (<= kLanes)
+  int lanes = 0;           // independent stimulus sequences; 0 = every lane
+                           // of the configured word (256-512 on GCC/Clang)
   int switch_cycles = 16;  // lane-0 prefix also run under swsim; 0 disables
   unsigned seed = 1;
+  SimConfig sim;           // word/threads/fusion for the compiled model
+  /// When non-empty and the behavioral and compiled traces diverge, both
+  /// are dumped here as VCD scopes "behavioral" and "compiled" (plus
+  /// "switch_level" for switch-level divergence).
+  std::string vcd_on_mismatch;
 };
 
 struct CrosscheckReport {
@@ -209,5 +399,27 @@ struct CrosscheckReport {
 /// switch-level expansion, and diff the output traces cycle by cycle.
 [[nodiscard]] CrosscheckReport crosscheck(const rtl::Design& design,
                                           const CrosscheckOptions& options = {});
+
+// ---------------------------------------------------------- PLA-path check --
+
+struct PlaCheckReport {
+  bool ok = false;
+  int cycles = 0;
+  int lanes = 0;
+  std::size_t terms = 0;  // product terms in the programmed personality
+  std::string detail;
+};
+
+/// Pre-artwork equivalence check for the tabulate->PLA flow: replay the
+/// *programmed* PLA (NOR-NOR planes, so `personality` holds the complement
+/// cover of each output: out_k = NOR of its selected terms) plus state
+/// feedback registers over seeded random stimulus, and diff against the
+/// compiled gate tape of the same design. `lanes` = 0 uses every lane of
+/// the widest word.
+[[nodiscard]] PlaCheckReport check_pla(const rtl::Design& design,
+                                       const synth::TabulatedFsm& fsm,
+                                       const logic::PlaTerms& personality,
+                                       int cycles = 256, int lanes = 0,
+                                       unsigned seed = 1);
 
 }  // namespace silc::sim

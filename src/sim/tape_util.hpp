@@ -1,0 +1,49 @@
+// Internal helpers shared by the tape passes (levelize, fuse) — op shape
+// queries that would otherwise be re-derived as ad-hoc switches.
+#pragma once
+
+#include "sim/sim.hpp"
+
+namespace silc::sim {
+
+/// How many value slots an op reads: 0 (consts), 1 (Copy/Not), 2 (binary),
+/// 3 (Mux: a, b, sel).
+[[nodiscard]] constexpr int op_arity(TapeOp::Code c) {
+  switch (c) {
+    case TapeOp::Code::Const0:
+    case TapeOp::Code::Const1: return 0;
+    case TapeOp::Code::Copy:
+    case TapeOp::Code::Not: return 1;
+    case TapeOp::Code::Mux: return 3;
+    default: return 2;
+  }
+}
+
+/// The op computing the complement of the given op's output, for the codes
+/// where one exists (And<->Nand, Or<->Nor, Xor<->Xnor). Copy/Not/consts and
+/// Mux have no single-op complement here — callers must check.
+[[nodiscard]] constexpr bool has_complement(TapeOp::Code c) {
+  switch (c) {
+    case TapeOp::Code::And:
+    case TapeOp::Code::Or:
+    case TapeOp::Code::Nand:
+    case TapeOp::Code::Nor:
+    case TapeOp::Code::Xor:
+    case TapeOp::Code::Xnor: return true;
+    default: return false;
+  }
+}
+
+[[nodiscard]] constexpr TapeOp::Code complement_code(TapeOp::Code c) {
+  switch (c) {
+    case TapeOp::Code::And: return TapeOp::Code::Nand;
+    case TapeOp::Code::Nand: return TapeOp::Code::And;
+    case TapeOp::Code::Or: return TapeOp::Code::Nor;
+    case TapeOp::Code::Nor: return TapeOp::Code::Or;
+    case TapeOp::Code::Xor: return TapeOp::Code::Xnor;
+    case TapeOp::Code::Xnor: return TapeOp::Code::Xor;
+    default: return c;
+  }
+}
+
+}  // namespace silc::sim

@@ -1,0 +1,120 @@
+// VCD trace dump: turn sim::Trace records into a Value Change Dump so a
+// crosscheck mismatch can be debugged waveform-by-waveform in any viewer
+// (GTKWave, surfer, ...) instead of from first-divergence text diffs
+// alone. Each named trace becomes its own $scope, one timestep per cycle;
+// values are emitted at #0 and then only on change, as the format intends.
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "sim/sim.hpp"
+
+namespace silc::sim {
+
+namespace {
+
+/// VCD identifier codes: printable ASCII '!'..'~', base-94 little-endian.
+std::string id_code(std::size_t n) {
+  std::string s;
+  do {
+    s.push_back(static_cast<char>('!' + n % 94));
+    n /= 94;
+  } while (n != 0);
+  return s;
+}
+
+int bits_needed(std::uint64_t v) {
+  int n = 1;
+  while (v >>= 1) ++n;
+  return n;
+}
+
+std::string binary(std::uint64_t v, int width) {
+  std::string s(static_cast<std::size_t>(width), '0');
+  for (int b = 0; b < width; ++b) {
+    if ((v >> b) & 1u) s[static_cast<std::size_t>(width - 1 - b)] = '1';
+  }
+  return s;
+}
+
+struct Var {
+  std::size_t trace;
+  std::string signal;
+  std::string id;
+  int width;
+};
+
+}  // namespace
+
+std::string to_vcd(const std::vector<std::pair<std::string, Trace>>& traces,
+                   const std::map<std::string, int>& widths) {
+  std::ostringstream os;
+  os << "$timescale 1ns $end\n";
+
+  // Infer a width per signal name: declared width if given, else enough
+  // bits for the largest value seen in any trace.
+  std::map<std::string, int> width;
+  std::size_t cycles = 0;
+  for (const auto& [name, trace] : traces) {
+    cycles = std::max(cycles, trace.size());
+    for (const Vector& row : trace) {
+      for (const auto& [sig, v] : row) {
+        const auto it = widths.find(sig);
+        const int w = it != widths.end() ? it->second : bits_needed(v);
+        width[sig] = std::max(width[sig], w);
+      }
+    }
+  }
+
+  std::vector<Var> vars;
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    os << "$scope module " << traces[t].first << " $end\n";
+    std::set<std::string> seen;
+    for (const Vector& row : traces[t].second) {
+      for (const auto& [sig, v] : row) seen.insert(sig);
+    }
+    for (const std::string& sig : seen) {
+      Var var{t, sig, id_code(vars.size()), width[sig]};
+      os << "$var wire " << var.width << " " << var.id << " " << sig
+         << " $end\n";
+      vars.push_back(std::move(var));
+    }
+    os << "$upscope $end\n";
+  }
+  os << "$enddefinitions $end\n";
+
+  std::map<std::string, std::uint64_t> last;  // id -> last emitted value
+  for (std::size_t c = 0; c < cycles; ++c) {
+    std::ostringstream changes;
+    for (const Var& var : vars) {
+      const Trace& trace = traces[var.trace].second;
+      if (c >= trace.size()) continue;
+      const auto it = trace[c].find(var.signal);
+      if (it == trace[c].end()) continue;
+      const auto prev = last.find(var.id);
+      if (prev != last.end() && prev->second == it->second) continue;
+      last[var.id] = it->second;
+      if (var.width == 1) {
+        changes << (it->second & 1u) << var.id << "\n";
+      } else {
+        changes << "b" << binary(it->second, var.width) << " " << var.id
+                << "\n";
+      }
+    }
+    const std::string block = changes.str();
+    if (!block.empty() || c == 0) os << "#" << c << "\n" << block;
+  }
+  os << "#" << cycles << "\n";
+  return os.str();
+}
+
+bool dump_vcd(const std::string& path,
+              const std::vector<std::pair<std::string, Trace>>& traces,
+              const std::map<std::string, int>& widths) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_vcd(traces, widths);
+  return static_cast<bool>(f);
+}
+
+}  // namespace silc::sim

@@ -1,9 +1,16 @@
-// The bit-parallel inner loop: every value slot is one uint64_t word whose
-// bit b is stimulus lane b, so each pass through the tape evaluates 64
-// independent vectors with ordinary word-wide boolean ops — no events, no
-// relaxation, no per-lane dispatch. Plus trace utilities (seeded random
-// stimulus, first-divergence diff) shared by crosscheck and the tests.
+// The bit-parallel inner loop: every value slot is one word (64, 256, or
+// 512 lanes) whose bit b of limb w is stimulus lane w*64+b, so each pass
+// through the tape evaluates lanes_of(word) independent vectors with
+// ordinary word-wide boolean ops — no events, no relaxation, no per-lane
+// dispatch. The kernel is one template instantiated per word type; the
+// instantiations are wrapped in target_clones so the AVX2/AVX-512
+// encodings of the wide words are picked at load time where the hardware
+// has them (SSE/scalar lowering elsewhere — same results, fewer lanes per
+// instruction). Plus trace utilities (seeded random stimulus,
+// first-divergence diff) shared by crosscheck and the tests.
 #include <algorithm>
+#include <cstring>
+#include <new>
 #include <random>
 #include <sstream>
 
@@ -11,32 +18,92 @@
 
 namespace silc::sim {
 
-void eval_tape(const Tape& tape, std::uint64_t* v) {
-  for (const TapeOp& op : tape.ops) {
-    switch (op.code) {
-      case TapeOp::Code::Const0: v[op.out] = 0; break;
-      case TapeOp::Code::Const1: v[op.out] = ~std::uint64_t{0}; break;
-      case TapeOp::Code::Copy: v[op.out] = v[op.a]; break;
-      case TapeOp::Code::Not: v[op.out] = ~v[op.a]; break;
-      case TapeOp::Code::And: v[op.out] = v[op.a] & v[op.b]; break;
-      case TapeOp::Code::Or: v[op.out] = v[op.a] | v[op.b]; break;
-      case TapeOp::Code::Nand: v[op.out] = ~(v[op.a] & v[op.b]); break;
-      case TapeOp::Code::Nor: v[op.out] = ~(v[op.a] | v[op.b]); break;
-      case TapeOp::Code::Xor: v[op.out] = v[op.a] ^ v[op.b]; break;
-      case TapeOp::Code::Xnor: v[op.out] = ~(v[op.a] ^ v[op.b]); break;
+void LaneBuffer::assign(std::size_t words) {
+  ptr_.reset(static_cast<std::uint64_t*>(
+      ::operator new[](words * sizeof(std::uint64_t), std::align_val_t{64})));
+  words_ = words;
+  clear();
+}
+
+void LaneBuffer::clear() {
+  if (words_ > 0) std::memset(ptr_.get(), 0, words_ * sizeof(std::uint64_t));
+}
+
+namespace {
+
+template <class W>
+inline void eval_ops(const TapeOp* op, const TapeOp* const end, W* const v) {
+  for (; op != end; ++op) {
+    switch (op->code) {
+      case TapeOp::Code::Const0: v[op->out] = W{}; break;
+      case TapeOp::Code::Const1: v[op->out] = ~W{}; break;
+      case TapeOp::Code::Copy: v[op->out] = v[op->a]; break;
+      case TapeOp::Code::Not: v[op->out] = ~v[op->a]; break;
+      case TapeOp::Code::And: v[op->out] = v[op->a] & v[op->b]; break;
+      case TapeOp::Code::Or: v[op->out] = v[op->a] | v[op->b]; break;
+      case TapeOp::Code::Nand: v[op->out] = ~(v[op->a] & v[op->b]); break;
+      case TapeOp::Code::Nor: v[op->out] = ~(v[op->a] | v[op->b]); break;
+      case TapeOp::Code::Xor: v[op->out] = v[op->a] ^ v[op->b]; break;
+      case TapeOp::Code::Xnor: v[op->out] = ~(v[op->a] ^ v[op->b]); break;
       case TapeOp::Code::Mux:
-        v[op.out] = (v[op.sel] & v[op.b]) | (~v[op.sel] & v[op.a]);
+        v[op->out] = (v[op->sel] & v[op->b]) | (~v[op->sel] & v[op->a]);
         break;
     }
   }
 }
 
-void commit_tape(const Tape& tape, std::uint64_t* v, std::uint64_t* scratch) {
+// Resolve the wide-word ISA per machine at load time. target_clones needs
+// GNU ifunc support; restricted to x86-64 GCC/Clang, everything else gets
+// the default lowering (still correct, still vector code where the
+// baseline ISA allows).
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    defined(SILC_SIM_VECTOR_EXT)
+#define SILC_SIM_ISA_CLONES \
+  __attribute__((target_clones("avx512f", "avx2", "default"), flatten))
+#else
+#define SILC_SIM_ISA_CLONES
+#endif
+
+SILC_SIM_ISA_CLONES
+void run_u64(const TapeOp* b, const TapeOp* e, std::uint64_t* v) {
+  eval_ops<std::uint64_t>(b, e, v);
+}
+SILC_SIM_ISA_CLONES
+void run_v256(const TapeOp* b, const TapeOp* e, Word256* v) {
+  eval_ops<Word256>(b, e, v);
+}
+SILC_SIM_ISA_CLONES
+void run_v512(const TapeOp* b, const TapeOp* e, Word512* v) {
+  eval_ops<Word512>(b, e, v);
+}
+
+}  // namespace
+
+void eval_range(const Tape& tape, WordKind word, std::uint64_t* slots,
+                std::uint32_t first, std::uint32_t last) {
+  const TapeOp* const b = tape.ops.data() + first;
+  const TapeOp* const e = tape.ops.data() + last;
+  switch (word) {
+    case WordKind::U64: run_u64(b, e, slots); break;
+    case WordKind::V256: run_v256(b, e, reinterpret_cast<Word256*>(slots)); break;
+    case WordKind::V512: run_v512(b, e, reinterpret_cast<Word512*>(slots)); break;
+  }
+}
+
+void eval_tape(const Tape& tape, WordKind word, std::uint64_t* slots) {
+  eval_range(tape, word, slots, 0, static_cast<std::uint32_t>(tape.ops.size()));
+}
+
+void commit_tape(const Tape& tape, WordKind word, std::uint64_t* v,
+                 std::uint64_t* scratch) {
+  const std::size_t w = static_cast<std::size_t>(words_of(word));
   for (std::size_t i = 0; i < tape.dffs.size(); ++i) {
-    scratch[i] = v[tape.dffs[i].second];
+    std::memcpy(scratch + i * w, v + tape.dffs[i].second * w,
+                w * sizeof(std::uint64_t));
   }
   for (std::size_t i = 0; i < tape.dffs.size(); ++i) {
-    v[tape.dffs[i].first] = scratch[i];
+    std::memcpy(v + tape.dffs[i].first * w, scratch + i * w,
+                w * sizeof(std::uint64_t));
   }
 }
 

@@ -20,6 +20,14 @@ TEST(Compiler, BehavioralFlowCompilesAndVerifies) {
   ASSERT_NE(r.chip, nullptr);
   EXPECT_TRUE(r.drc.ok()) << r.drc.summary();
   EXPECT_TRUE(r.verified) << r.verify_detail;
+  // All three pre-silicon checks ran: behavioral-vs-gates (compiled tape),
+  // programmed-PLA replay, and the switch-level artwork run.
+  EXPECT_NE(r.verify_detail.find("crosscheck"), std::string::npos)
+      << r.verify_detail;
+  EXPECT_NE(r.verify_detail.find("pla("), std::string::npos)
+      << r.verify_detail;
+  EXPECT_NE(r.verify_detail.find("artwork"), std::string::npos)
+      << r.verify_detail;
   EXPECT_GT(r.transistors, 10u);
   EXPECT_GT(r.stats.area(), 0);
   EXPECT_NE(r.cif.find("DS"), std::string::npos);

@@ -4,11 +4,15 @@
 // counter and traffic-light designs plus a PDP-8 program run.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <random>
+#include <sstream>
 
 #include "extract/extract.hpp"
+#include "logic/logic.hpp"
 #include "net/net.hpp"
 #include "pdp8_model.hpp"
+#include "pla/pla.hpp"
 #include "rtl/rtl.hpp"
 #include "sim/sim.hpp"
 #include "synth/synth.hpp"
@@ -241,6 +245,92 @@ TEST(SwitchLevel, RejectsReservedNetNames) {
   const int a = nl.add_input("phi1");  // would shadow the clock node
   nl.add_gate(net::GateKind::Not, {a}, "y");
   EXPECT_THROW(to_switch_level(nl), std::runtime_error);
+}
+
+// --------------------------------------------------------------- VCD dump --
+
+TEST(Vcd, EmitsScopesVarsAndChangeOnlyValues) {
+  Trace ref{{{"state", 0}, {"go", 1}},
+            {{"state", 5}, {"go", 1}},
+            {{"state", 5}, {"go", 0}}};
+  Trace dut{{{"state", 0}, {"go", 1}},
+            {{"state", 4}, {"go", 1}},
+            {{"state", 4}, {"go", 0}}};
+  const std::string vcd =
+      to_vcd({{"behavioral", ref}, {"compiled", dut}}, {{"state", 3}});
+
+  EXPECT_NE(vcd.find("$timescale"), std::string::npos);
+  EXPECT_NE(vcd.find("$scope module behavioral $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$scope module compiled $end"), std::string::npos);
+  // Declared width wins for "state", inferred width for "go".
+  EXPECT_NE(vcd.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 3"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+  EXPECT_NE(vcd.find("b101 "), std::string::npos);  // ref state 5
+  EXPECT_NE(vcd.find("b100 "), std::string::npos);  // dut state 4
+  // Change-only: ref "state" emits twice (0 then 5), not three times.
+  std::size_t count = 0;
+  for (std::size_t p = vcd.find("b101 "); p != std::string::npos;
+       p = vcd.find("b101 ", p + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Vcd, DumpWritesAFile) {
+  Trace t{{{"x", 1}}, {{"x", 0}}};
+  const std::string path = testing::TempDir() + "silc_sim_test.vcd";
+  ASSERT_TRUE(dump_vcd(path, {{"dut", t}}));
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_NE(ss.str().find("$var wire 1"), std::string::npos);
+  EXPECT_NE(ss.str().find("$scope module dut"), std::string::npos);
+}
+
+// ----------------------------------------------------------- PLA check --
+
+logic::PlaTerms programmed_personality(const synth::TabulatedFsm& fsm) {
+  // What pla::generate programs: minimized covers of each output's
+  // complement (both planes are NOR arrays).
+  return logic::minimize_multi(pla::complement(fsm.function));
+}
+
+TEST(PlaCheck, CounterPersonalityMatchesCompiledTape) {
+  const rtl::Design d = rtl::parse(kCounter);
+  const synth::TabulatedFsm fsm = synth::tabulate(d);
+  const PlaCheckReport r =
+      check_pla(d, fsm, programmed_personality(fsm), 64, 8);
+  EXPECT_TRUE(r.ok) << r.detail;
+  EXPECT_GT(r.terms, 0u);
+  EXPECT_EQ(r.cycles, 64);
+  EXPECT_EQ(r.lanes, 8);
+}
+
+TEST(PlaCheck, TrafficPersonalityMatchesAcrossAllLanes) {
+  const rtl::Design d = rtl::parse(kTraffic);
+  const synth::TabulatedFsm fsm = synth::tabulate(d);
+  const PlaCheckReport r =
+      check_pla(d, fsm, programmed_personality(fsm), 48, 0);
+  EXPECT_TRUE(r.ok) << r.detail;
+  EXPECT_EQ(r.lanes, lanes_of(widest_word()));
+}
+
+TEST(PlaCheck, TamperedPersonalityIsCaught) {
+  const rtl::Design d = rtl::parse(kCounter);
+  const synth::TabulatedFsm fsm = synth::tabulate(d);
+  logic::PlaTerms bad = programmed_personality(fsm);
+  ASSERT_FALSE(bad.terms.empty());
+  // Mis-program one crosspoint: flip the lowest specified literal of the
+  // first product term (or pin an unconstrained one).
+  logic::Cube& c = bad.terms[0];
+  if (c.mask != 0) c.value ^= c.mask & (~c.mask + 1u);
+  else c = {1u, 1u};
+  const PlaCheckReport r = check_pla(d, fsm, bad, 64, 4);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("pla vs compiled"), std::string::npos) << r.detail;
 }
 
 // ------------------------------------------------------------- crosscheck --
