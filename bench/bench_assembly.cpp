@@ -25,7 +25,8 @@ void print_table() {
     silc::layout::Library lib;
     silc::core::SiliconCompiler cc(lib);
     const silc::core::CompileResult chip = cc.compile_behavioral(
-        counter_source(w), {.name = "c" + std::to_string(w), .verify = false});
+        counter_source(w),
+        {.name = "c" + std::to_string(w), .stop_after = "extract"});
     std::printf("%-6d %-7d %-9zu %5lldx%-6lld %-7d %-6d %-11zu %s\n", w,
                 chip.stats.pla.num_terms, chip.stats.pla.crosspoints,
                 static_cast<long long>(chip.stats.width),
@@ -42,7 +43,7 @@ void BM_AssembleCounter(benchmark::State& state) {
     silc::layout::Library lib;
     silc::core::SiliconCompiler cc(lib);
     benchmark::DoNotOptimize(
-        cc.compile_behavioral(src, {.run_drc = false, .verify = false}));
+        cc.compile_behavioral(src, {.stop_after = "extract", .skip = {"drc"}}));
   }
 }
 BENCHMARK(BM_AssembleCounter)->DenseRange(1, 5);

@@ -3,22 +3,30 @@
 // designs go through both flows; we also ablate the FSM state encoding
 // (binary/gray/one-hot), a choice the behavioral flow makes for the
 // designer and the structural flow exposes.
+//
+// Since the stage-pipeline refactor this bench also records the compile
+// pipeline's own performance: per-stage wall clock (aggregated by
+// core::compile_many over a mixed batch) and batch throughput in
+// designs/sec at 1 thread and at hardware concurrency, emitted as
+// BENCH_compile.json so CI tracks the compile-path trajectory the same
+// way BENCH_sim.json tracks the simulator.
+// Flags: --json=PATH (default BENCH_compile.json), --smoke (fewer batch
+// repetitions, skip the google-benchmark microbenches).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/compiler.hpp"
+#include "design_sources.hpp"
 #include "synth/synth.hpp"
 
 namespace {
 
-const char* kBehavioralCounter = R"(
-  processor counter (input en; output q<3>;) {
-    reg c<3>;
-    q = c;
-    always { if (en) c := c + 1; }
-  })";
+const std::string kBehavioralCounter = silc_fixtures::counter_source(3);
 
 // The equivalent design expressed structurally: the designer instantiates
 // and places generators themselves (shift-register state + hand-wired
@@ -40,6 +48,9 @@ const char* kStructuralCounter = R"(
   write_cif(chip);
   return chip;
 )";
+
+const char* kGray2 = silc_fixtures::kGray2Source;
+const char* kTraffic = silc_fixtures::kTrafficSource;
 
 void print_flow_table() {
   std::printf("=== E7a: behavioral vs structural flow on the same design ===\n");
@@ -98,12 +109,139 @@ void print_encoding_table() {
   std::printf("\n");
 }
 
+// --------------------------------------------- compile pipeline tracking --
+
+silc::core::CompileOptions bench_verify(const std::string& name) {
+  silc::core::CompileOptions o;
+  o.name = name;
+  o.verify_cycles = 16;
+  o.gate_verify_cycles = 128;
+  o.gate_verify_lanes = 8;
+  o.pla_verify_cycles = 64;
+  return o;
+}
+
+std::vector<silc::core::BatchJob> one_rep() {
+  using silc::core::BatchJob;
+  using silc::core::Flow;
+  std::vector<BatchJob> jobs;
+  jobs.push_back({Flow::Behavioral, kBehavioralCounter,
+                  bench_verify("counter3")});
+  jobs.push_back({Flow::Behavioral, kGray2, bench_verify("gray2")});
+  jobs.push_back({Flow::Behavioral, kTraffic, bench_verify("traffic")});
+  jobs.push_back({Flow::Structural, kStructuralCounter,
+                  silc::core::CompileOptions{.name = "struct_counter"}});
+  return jobs;
+}
+
+std::vector<silc::core::BatchJob> bench_jobs(int repetitions) {
+  std::vector<silc::core::BatchJob> jobs;
+  for (int r = 0; r < repetitions; ++r) {
+    for (const silc::core::BatchJob& j : one_rep()) jobs.push_back(j);
+  }
+  return jobs;
+}
+
+bool same_results(const silc::core::BatchResult& a,
+                  const silc::core::BatchResult& b) {
+  if (a.results.size() != b.results.size()) return false;
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    if (!a.results[i].same_outcome(b.results[i])) return false;
+  }
+  return true;
+}
+
+/// Measure the compile pipeline, print the table, emit JSON. Returns 0 on
+/// success, 1 when a design failed or thread counts disagreed.
+int run_suite(const std::string& json_path, bool smoke) {
+  using silc::core::BatchResult;
+  using silc::core::compile_many;
+
+  const int reps = smoke ? 2 : 6;
+  const std::vector<silc::core::BatchJob> designs = one_rep();
+  const std::vector<silc::core::BatchJob> jobs = bench_jobs(reps);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int many = static_cast<int>(hw > 1 ? hw : 2);
+
+  std::printf("=== compile pipeline: %zu jobs (%zu designs x %d reps) ===\n",
+              jobs.size(), designs.size(), reps);
+  const BatchResult serial = compile_many(jobs, 1);
+  const BatchResult parallel = compile_many(jobs, many);
+  const bool identical = same_results(serial, parallel);
+  const bool all_ok = serial.ok_count() == jobs.size();
+
+  std::printf("%s", serial.profile_text().c_str());
+  const double serial_dps = 1000.0 * static_cast<double>(jobs.size()) /
+                            serial.wall_ms;
+  const double parallel_dps = 1000.0 * static_cast<double>(jobs.size()) /
+                              parallel.wall_ms;
+  std::printf("batch: %7.2f designs/sec at 1 thread, %7.2f at %d threads "
+              "(results %s)\n\n",
+              serial_dps, parallel_dps, parallel.threads,
+              identical ? "identical" : "DIVERGED");
+
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("ERROR: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"designs\": [");
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    std::fprintf(f, "%s\"%s\"", i > 0 ? ", " : "",
+                 designs[i].options.name.c_str());
+  }
+  std::fprintf(f, "],\n");
+  std::fprintf(f, "  \"jobs\": %zu,\n", jobs.size());
+  std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"stage_ms\": [\n");
+  for (std::size_t i = 0; i < serial.profile.size(); ++i) {
+    const silc::core::StageProfile& s = serial.profile[i];
+    std::fprintf(f,
+                 "    {\"stage\": \"%s\", \"runs\": %d, \"total_ms\": %.2f, "
+                 "\"ms_per_run\": %.3f}%s\n",
+                 s.stage.c_str(), s.runs, s.total_ms,
+                 s.runs > 0 ? s.total_ms / s.runs : 0.0,
+                 i + 1 < serial.profile.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"batch\": [\n");
+  std::fprintf(f,
+               "    {\"threads\": 1, \"wall_ms\": %.1f, "
+               "\"designs_per_sec\": %.2f},\n",
+               serial.wall_ms, serial_dps);
+  std::fprintf(f,
+               "    {\"threads\": %d, \"wall_ms\": %.1f, "
+               "\"designs_per_sec\": %.2f}\n",
+               parallel.threads, parallel.wall_ms, parallel_dps);
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"ok\": %zu,\n", serial.ok_count());
+  std::fprintf(f, "  \"identical_across_threads\": %s\n",
+               identical ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n\n", json_path.c_str());
+
+  if (!all_ok) {
+    std::printf("ERROR: %zu/%zu designs failed to compile clean\n",
+                jobs.size() - serial.ok_count(), jobs.size());
+    return 1;
+  }
+  if (!identical) {
+    std::printf("ERROR: batch results differ between 1 and %d threads\n",
+                parallel.threads);
+    return 1;
+  }
+  return 0;
+}
+
 void BM_BehavioralFlow(benchmark::State& state) {
   for (auto _ : state) {
     silc::layout::Library lib;
     silc::core::SiliconCompiler cc(lib);
     benchmark::DoNotOptimize(cc.compile_behavioral(
-        kBehavioralCounter, {.run_drc = false, .verify = false}));
+        kBehavioralCounter, {.stop_after = "extract", .skip = {"drc"}}));
   }
 }
 BENCHMARK(BM_BehavioralFlow);
@@ -113,7 +251,7 @@ void BM_StructuralFlow(benchmark::State& state) {
     silc::layout::Library lib;
     silc::core::SiliconCompiler cc(lib);
     benchmark::DoNotOptimize(
-        cc.compile_structural(kStructuralCounter, {.run_drc = false}));
+        cc.compile_structural(kStructuralCounter, {.skip = {"drc"}}));
   }
 }
 BENCHMARK(BM_StructuralFlow);
@@ -121,9 +259,21 @@ BENCHMARK(BM_StructuralFlow);
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string json_path = "BENCH_compile.json";
+  bool smoke = false;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    else if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else passthrough.push_back(argv[i]);
+  }
   print_flow_table();
   print_encoding_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  const int rc = run_suite(json_path, smoke);
+  if (!smoke) {
+    int bench_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&bench_argc, passthrough.data());
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return rc;
 }

@@ -34,7 +34,7 @@ int main() {
     core::SiliconCompiler cc(lib);
     const core::CompileResult chip = cc.compile_behavioral(
         counter_source(w),
-        {.name = "counter" + std::to_string(w), .verify = false});
+        {.name = "counter" + std::to_string(w), .stop_after = "extract"});
     const double ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - t0)
                           .count();

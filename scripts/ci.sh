@@ -8,9 +8,10 @@
 #     fails the run, it does not skip;
 #   * ctest runs with --no-tests=error and any skipped/not-run test fails;
 #   * the sim bench must produce BENCH_sim.json (cycles/sec and
-#     vectors/sec per word backend x thread count) so perf regressions are
-#     visible; set SILC_SKIP_BENCH=1 to bypass on machines without
-#     google-benchmark.
+#     vectors/sec per word backend x thread count) and the flows bench
+#     must produce BENCH_compile.json (per-stage ms + compile_many batch
+#     throughput at 1 and N threads) so perf regressions are visible; set
+#     SILC_SKIP_BENCH=1 to bypass on machines without google-benchmark.
 # Usage: scripts/ci.sh [build-dir]   (default: build)
 set -euo pipefail
 
@@ -44,11 +45,28 @@ rm -f "$CTEST_LOG"
 if [ "${SILC_SKIP_BENCH:-0}" = "1" ]; then
   echo "SILC_SKIP_BENCH=1: skipping the sim smoke bench"
 elif [ -x "$BUILD_DIR/bench_sim" ]; then
-  "$BUILD_DIR/bench_sim" --smoke --json="$ROOT/BENCH_sim.json"
-  echo "--- BENCH_sim.json ---"
-  cat "$ROOT/BENCH_sim.json"
+  # Smoke output goes to the build dir; the repo-root JSON is the
+  # committed full-run baseline.
+  "$BUILD_DIR/bench_sim" --smoke --json="$BUILD_DIR/BENCH_sim.json"
+  echo "--- BENCH_sim.json (smoke) ---"
+  cat "$BUILD_DIR/BENCH_sim.json"
 else
   echo "ERROR: $BUILD_DIR/bench_sim was not built (google-benchmark" \
+       "missing?); set SILC_SKIP_BENCH=1 to bypass" >&2
+  exit 1
+fi
+
+# --- smoke compile bench: BENCH_compile.json tracks the pipeline --------
+if [ "${SILC_SKIP_BENCH:-0}" = "1" ]; then
+  echo "SILC_SKIP_BENCH=1: skipping the compile smoke bench"
+elif [ -x "$BUILD_DIR/bench_flows" ]; then
+  # Smoke output goes to the build dir: the repo-root BENCH_compile.json
+  # holds full-run baselines and must not be clobbered by CI smoke data.
+  "$BUILD_DIR/bench_flows" --smoke --json="$BUILD_DIR/BENCH_compile.json"
+  echo "--- BENCH_compile.json (smoke) ---"
+  cat "$BUILD_DIR/BENCH_compile.json"
+else
+  echo "ERROR: $BUILD_DIR/bench_flows was not built (google-benchmark" \
        "missing?); set SILC_SKIP_BENCH=1 to bypass" >&2
   exit 1
 fi

@@ -3,8 +3,6 @@
 #include <random>
 #include <sstream>
 
-#include "cif/cif.hpp"
-#include "lang/lang.hpp"
 #include "sim/sim.hpp"
 #include "swsim/swsim.hpp"
 
@@ -93,82 +91,6 @@ bool verify_chip_against_rtl(const extract::Netlist& nl,
   os << "verified " << cycles << " cycles against the behavioral model";
   detail = os.str();
   return true;
-}
-
-CompileResult SiliconCompiler::compile_behavioral(const std::string& rtl_source,
-                                                  const CompileOptions& options) {
-  CompileResult result;
-  const rtl::Design design = rtl::parse(rtl_source);
-  const synth::TabulatedFsm fsm = synth::tabulate(design);
-  const assemble::FsmChipResult chip =
-      assemble::assemble_fsm_chip(*lib_, fsm, {.name = options.name});
-  result.chip = chip.chip;
-  result.stats = chip.stats;
-  result.cif = cif::write(*chip.chip);
-  result.rect_count = chip.chip->flat_shape_count();
-  if (options.run_drc) result.drc = drc::check(*chip.chip);
-  const extract::Netlist extracted = extract::extract(*chip.chip);
-  result.transistors = extracted.transistors.size();
-  if (options.verify) {
-    // Behavioral-vs-gates: the compiled bit-parallel simulator covers
-    // thousands of vectors for less than the artwork check's cost (the
-    // compiled side carries every lane of the widest word per pass).
-    sim::CrosscheckOptions co;
-    co.cycles = options.gate_verify_cycles;
-    co.lanes = options.gate_verify_lanes;
-    co.switch_cycles = 0;  // swsim is reserved for the extracted artwork
-    const sim::CrosscheckReport gates = sim::crosscheck(design, co);
-    if (!gates.ok) {
-      // The cheap check already failed; skip the expensive artwork run.
-      result.verify_detail = gates.detail + "; artwork check skipped";
-      return result;
-    }
-    // PLA path: replay the personality actually programmed into the
-    // NOR-NOR planes against the compiled tape, pre-artwork — the same
-    // discipline the gate path gets, for the tabulate->PLA lowering.
-    const sim::PlaCheckReport pla = sim::check_pla(
-        design, fsm, chip.personality, options.pla_verify_cycles,
-        /*lanes=*/0, /*seed=*/2u);
-    if (!pla.ok) {
-      result.verify_detail =
-          gates.detail + "; " + pla.detail + "; artwork check skipped";
-      return result;
-    }
-    // Artwork: extracted transistors under the switch-level simulator.
-    std::string artwork_detail;
-    const bool artwork_ok = verify_chip_against_rtl(
-        extracted, design, options.verify_cycles, 1u, artwork_detail);
-    result.verified = artwork_ok;
-    result.verify_detail = gates.detail + "; " + pla.detail +
-                           "; artwork: " + artwork_detail;
-  }
-  return result;
-}
-
-CompileResult SiliconCompiler::compile_structural(const std::string& silc_source,
-                                                  const CompileOptions& options) {
-  CompileResult result;
-  lang::Interpreter interp(*lib_);
-  const lang::RunResult run = interp.run(silc_source);
-  layout::Cell* top = nullptr;
-  if (auto* const* c = std::get_if<layout::Cell*>(&run.value.v)) {
-    top = *c;
-  }
-  if (top == nullptr) {
-    // Fall back: a cell named by the options, if the program created one.
-    top = lib_->find(options.name);
-  }
-  if (top == nullptr) {
-    result.verify_detail = "program did not return a cell";
-    return result;
-  }
-  result.chip = top;
-  result.cif = run.cif.empty() ? cif::write(*top) : run.cif;
-  result.rect_count = top->flat_shape_count();
-  if (options.run_drc) result.drc = drc::check(*top);
-  result.transistors = extract::extract(*top).transistors.size();
-  result.verify_detail = run.output;
-  return result;
 }
 
 }  // namespace silc::core

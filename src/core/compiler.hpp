@@ -1,58 +1,35 @@
 // The silicon compiler driver: "design tools that take a completely
 // textual description of a design and translate it to layout data."
 //
-// Two flows, matching the paper's two rival definitions:
-//   * behavioral: ISPS-style text -> tabulate -> PLA + registers + pads ->
-//     CIF (compile_behavioral);
-//   * structural: a SILC generator program -> layout -> CIF
-//     (compile_structural).
+// Since the stage-pipeline refactor this header is a thin façade over
+// core/pipeline.hpp, where the machinery lives:
 //
-// Both return the emitted CIF plus the verification evidence the 1979
-// methodology called for: design-rule check results and (for behavioral
-// designs) two equivalence checks — a fast behavioral-vs-gates check under
-// the compiled bit-parallel simulator (sim::crosscheck, thousands of
-// vectors), and a switch-level check of the actual extracted artwork
-// (swsim, a few dozen cycles).
+//   * DesignDB — per-design artifact store (parsed design, tabulated FSM,
+//     assembled chip + programmed personality, CIF, DRC result, extracted
+//     netlist, verification reports), compute-once/lookup-later;
+//   * Pipeline — named, timed stages with a stop_after/skip policy;
+//     behavioral flow: parse -> tabulate -> assemble -> cif -> drc ->
+//     extract -> gate-check -> pla-check -> artwork-check; structural
+//     flow: parse -> cif -> drc -> extract;
+//   * DiagStream — structured (severity, stage, message) diagnostics;
+//     malformed source, DRC violations, extraction warnings, and
+//     simulation mismatches come back as diagnostics on the
+//     CompileResult, never as exceptions out of compile_*;
+//   * compile_many — the batch front end: N designs across a worker
+//     crew, deterministic results, aggregate stage-timing profile.
+//
+// SiliconCompiler keeps the original two-method surface, matching the
+// paper's two rival definitions: compile_behavioral (ISPS-style text ->
+// tabulate -> PLA + registers + pads -> CIF) and compile_structural (a
+// SILC generator program -> layout -> CIF). Both return the emitted CIF
+// plus the verification evidence the 1979 methodology called for.
 #pragma once
 
-#include <cstdint>
 #include <string>
 
-#include "assemble/assemble.hpp"
-#include "drc/drc.hpp"
-#include "extract/extract.hpp"
-#include "layout/layout.hpp"
-#include "rtl/rtl.hpp"
-#include "synth/synth.hpp"
+#include "core/pipeline.hpp"
 
 namespace silc::core {
-
-struct CompileOptions {
-  std::string name = "chip";
-  bool run_drc = true;
-  bool verify = true;      // behavioral flow: equivalence checks below
-  int verify_cycles = 32;  // artwork check: switch-level cycles on the
-                           // extracted chip (slow, relaxation-based)
-  int gate_verify_cycles = 512;  // behavioral-vs-gates check: cycles per
-                                 // lane under the compiled simulator (the
-                                 // compiled side always runs the widest
-                                 // word; this bounds the behavioral refs)
-  int gate_verify_lanes = 16;    // independent behavioral stimulus lanes
-  int pla_verify_cycles = 256;   // programmed-PLA replay vs compiled tape,
-                                 // over every lane of the widest word
-};
-
-struct CompileResult {
-  layout::Cell* chip = nullptr;
-  std::string cif;
-  drc::Result drc;
-  bool verified = false;          // equivalence check ran and passed
-  std::string verify_detail;      // human-readable verification summary
-  assemble::FsmChipStats stats;   // behavioral flow only
-  std::size_t transistors = 0;
-  std::size_t rect_count = 0;
-  [[nodiscard]] bool ok() const { return chip != nullptr && drc.ok(); }
-};
 
 class SiliconCompiler {
  public:
@@ -60,12 +37,16 @@ class SiliconCompiler {
 
   /// Behavioral flow: ISPS-style source -> complete verified chip.
   CompileResult compile_behavioral(const std::string& rtl_source,
-                                   const CompileOptions& options = {});
+                                   const CompileOptions& options = {}) {
+    return compile(*lib_, Flow::Behavioral, rtl_source, options);
+  }
 
   /// Structural flow: SILC program -> layout -> CIF. The program's return
   /// value (or last write_cif) names the chip cell.
   CompileResult compile_structural(const std::string& silc_source,
-                                   const CompileOptions& options = {});
+                                   const CompileOptions& options = {}) {
+    return compile(*lib_, Flow::Structural, silc_source, options);
+  }
 
  private:
   layout::Library* lib_;
@@ -76,8 +57,9 @@ class SiliconCompiler {
 /// Returns true when all cycles match; detail describes the run.
 bool verify_chip_against_rtl(const layout::Cell& chip, const rtl::Design& design,
                              int cycles, unsigned seed, std::string& detail);
-/// Same, over an already-extracted netlist (the compile path extracts once
-/// for both the transistor count and this check).
+/// Same, over an already-extracted netlist (the pipeline's artwork-check
+/// stage passes the netlist the DesignDB already holds, so a compile
+/// extracts exactly once).
 bool verify_chip_against_rtl(const extract::Netlist& netlist,
                              const rtl::Design& design, int cycles,
                              unsigned seed, std::string& detail);

@@ -1,0 +1,517 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iterator>
+#include <sstream>
+#include <thread>
+
+#include "cif/cif.hpp"
+#include "core/compiler.hpp"
+
+namespace silc::core {
+
+// ------------------------------------------------------------ diagnostics --
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+const char* to_string(Flow f) {
+  return f == Flow::Behavioral ? "behavioral" : "structural";
+}
+
+std::string Diag::str() const {
+  return std::string(to_string(severity)) + " [" + stage + "] " + message;
+}
+
+void DiagStream::note(const std::string& stage, std::string message) {
+  diags_.push_back({Severity::Note, stage, std::move(message)});
+}
+
+void DiagStream::warning(const std::string& stage, std::string message) {
+  diags_.push_back({Severity::Warning, stage, std::move(message)});
+}
+
+void DiagStream::error(const std::string& stage, std::string message) {
+  diags_.push_back({Severity::Error, stage, std::move(message)});
+}
+
+bool has_errors(const std::vector<Diag>& diags) {
+  return std::any_of(diags.begin(), diags.end(), [](const Diag& d) {
+    return d.severity == Severity::Error;
+  });
+}
+
+std::string render(const std::vector<Diag>& diags) {
+  std::string out;
+  for (const Diag& d : diags) {
+    out += d.str();
+    out += '\n';
+  }
+  return out;
+}
+
+bool DiagStream::has_errors() const { return core::has_errors(diags_); }
+
+std::size_t DiagStream::count(Severity s) const {
+  return static_cast<std::size_t>(
+      std::count_if(diags_.begin(), diags_.end(),
+                    [s](const Diag& d) { return d.severity == s; }));
+}
+
+std::string DiagStream::text() const { return render(diags_); }
+
+std::string DiagStream::stage_text(const std::string& stage) const {
+  std::string out;
+  for (const Diag& d : diags_) {
+    if (d.stage != stage) continue;
+    if (!out.empty()) out += "; ";
+    out += d.message;
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ artifact DB --
+
+const layout::Flattened& DesignDB::flattened() {
+  if (!flat_) {
+    flat_ = layout::flatten_with_labels(*chip);
+    ++flatten_runs;
+  }
+  return *flat_;
+}
+
+const extract::Netlist& DesignDB::netlist() {
+  if (!netlist_) {
+    netlist_ = extract::extract_flat(flattened());
+    ++extract_runs;
+  }
+  return *netlist_;
+}
+
+// --------------------------------------------------------------- pipeline --
+
+Pipeline& Pipeline::stage(std::string name, StageFn fn) {
+  stages_.push_back({std::move(name), std::move(fn)});
+  return *this;
+}
+
+std::vector<std::string> Pipeline::stage_names() const {
+  std::vector<std::string> names;
+  names.reserve(stages_.size());
+  for (const Stage& s : stages_) names.push_back(s.name);
+  return names;
+}
+
+bool Pipeline::has_stage(const std::string& name) const {
+  return std::any_of(stages_.begin(), stages_.end(),
+                     [&](const Stage& s) { return s.name == name; });
+}
+
+bool Pipeline::run(DesignDB& db) const {
+  const CompileOptions& opt = db.options;
+  bool policy_ok = true;
+  if (!opt.stop_after.empty() && !has_stage(opt.stop_after)) {
+    db.diags.error("pipeline",
+                   "stop_after names unknown stage '" + opt.stop_after + "'");
+    policy_ok = false;
+  }
+  for (const std::string& s : opt.skip) {
+    if (!has_stage(s)) {
+      db.diags.error("pipeline", "skip names unknown stage '" + s + "'");
+      policy_ok = false;
+    }
+  }
+
+  bool failed = !policy_ok;
+  bool stopped = false;
+  for (const Stage& s : stages_) {
+    StageTiming t{s.name, 0, false, false};
+    const bool skipped =
+        std::find(opt.skip.begin(), opt.skip.end(), s.name) != opt.skip.end();
+    const bool is_stop = !opt.stop_after.empty() && s.name == opt.stop_after;
+    if (failed || stopped || skipped) {
+      // A stage both skipped and named by stop_after still ends the run.
+      stopped |= is_stop;
+      db.timings.push_back(std::move(t));
+      continue;
+    }
+    const std::size_t diags_before = db.diags.all().size();
+    const auto t0 = std::chrono::steady_clock::now();
+    bool ok = false;
+    try {
+      ok = s.fn(db);
+    } catch (const std::exception& e) {
+      db.diags.error(s.name, e.what());
+    } catch (...) {
+      db.diags.error(s.name, "unknown error (non-standard exception)");
+    }
+    t.ms = std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+               .count();
+    t.ran = true;
+    t.ok = ok;
+    db.timings.push_back(std::move(t));
+    if (!ok) {
+      // A failing stage must explain itself; guarantee at least one error.
+      bool explained = false;
+      for (std::size_t i = diags_before; i < db.diags.all().size(); ++i) {
+        explained |= db.diags.all()[i].severity == Severity::Error;
+      }
+      if (!explained) db.diags.error(s.name, "stage failed");
+      failed = true;
+    }
+    stopped |= is_stop;
+  }
+  return !failed;
+}
+
+// ---------------------------------------------------------- standard flows --
+
+namespace {
+
+/// Guard a missing prerequisite with a diagnostic instead of a crash.
+bool require(DesignDB& db, const char* stage, bool present,
+             const char* what) {
+  if (!present) {
+    db.diags.error(stage, std::string("missing prerequisite: ") + what);
+  }
+  return present;
+}
+
+bool stage_cif(DesignDB& db) {
+  if (!require(db, "cif", db.chip != nullptr, "assembled chip")) return false;
+  if (db.program && !db.program->cif.empty()) {
+    // The program's own write_cif wins — it may name a different cell than
+    // the returned top, so the note doesn't attribute it.
+    db.cif = db.program->cif;
+    db.diags.note("cif", std::to_string(db.cif->size()) +
+                             " bytes of program-written manufacturing data");
+  } else {
+    db.cif = cif::write(*db.chip);
+    db.diags.note("cif", std::to_string(db.cif->size()) +
+                             " bytes of manufacturing data for cell '" +
+                             db.chip->name() + "'");
+  }
+  return true;
+}
+
+bool stage_drc(DesignDB& db) {
+  if (!require(db, "drc", db.chip != nullptr, "assembled chip")) return false;
+  db.drc = drc::check_flat(db.flattened().shapes);
+  const auto& violations = db.drc->violations;
+  const std::size_t show = std::min(violations.size(), drc::Result::kMaxReported);
+  for (std::size_t i = 0; i < show; ++i) {
+    db.diags.error("drc", violations[i].str());
+  }
+  if (violations.size() > show) {
+    db.diags.error("drc", "... and " +
+                              std::to_string(violations.size() - show) +
+                              " more violations");
+  }
+  if (violations.empty()) {
+    db.diags.note("drc", "clean over " +
+                             std::to_string(db.flattened().shapes.size()) +
+                             " rects");
+  }
+  return true;  // DRC findings are reported, not fatal to later checks
+}
+
+bool stage_extract(DesignDB& db) {
+  if (!require(db, "extract", db.chip != nullptr, "assembled chip")) {
+    return false;
+  }
+  const extract::Netlist& nl = db.netlist();
+  for (const std::string& w : nl.warnings) db.diags.warning("extract", w);
+  db.diags.note("extract", nl.summary());
+  return true;
+}
+
+Pipeline make_behavioral() {
+  Pipeline p;
+  p.stage("parse", [](DesignDB& db) {
+    db.design = rtl::parse(db.source);
+    db.diags.note("parse", "parsed " + db.design->summary());
+    return true;
+  });
+  p.stage("tabulate", [](DesignDB& db) {
+    if (!require(db, "tabulate", db.design.has_value(), "parsed design")) {
+      return false;
+    }
+    db.fsm = synth::tabulate(*db.design);
+    db.diags.note("tabulate",
+                  std::to_string(db.fsm->input_names.size()) + " -> " +
+                      std::to_string(db.fsm->output_names.size()) +
+                      " bit truth table, " +
+                      std::to_string(db.fsm->state_bits) + " state bits");
+    return true;
+  });
+  p.stage("assemble", [](DesignDB& db) {
+    if (!require(db, "assemble", db.fsm.has_value(), "tabulated FSM")) {
+      return false;
+    }
+    db.assembled =
+        assemble::assemble_fsm_chip(*db.lib, *db.fsm, {.name = db.options.name});
+    db.chip = db.assembled->chip;
+    const assemble::FsmChipStats& st = db.assembled->stats;
+    db.diags.note("assemble",
+                  std::to_string(st.width) + " x " + std::to_string(st.height) +
+                      " half-lambda die, " + std::to_string(st.pads) +
+                      " pads, " + std::to_string(st.pla.num_terms) +
+                      " PLA terms");
+    return true;
+  });
+  p.stage("cif", stage_cif);
+  p.stage("drc", stage_drc);
+  p.stage("extract", stage_extract);
+  p.stage("gate-check", [](DesignDB& db) {
+    if (!require(db, "gate-check", db.design.has_value(), "parsed design")) {
+      return false;
+    }
+    // Behavioral-vs-gates: the compiled bit-parallel simulator covers
+    // thousands of vectors for less than the artwork check's cost (the
+    // compiled side carries every lane of the widest word per pass).
+    sim::CrosscheckOptions co;
+    co.cycles = db.options.gate_verify_cycles;
+    co.lanes = db.options.gate_verify_lanes;
+    co.switch_cycles = 0;  // swsim is reserved for the extracted artwork
+    co.sim.threads = db.options.sim_threads;
+    db.gate_check = sim::crosscheck(*db.design, co);
+    if (!db.gate_check->ok) {
+      // The cheap check failed; the pipeline stops before the expensive
+      // artwork run.
+      db.diags.error("gate-check",
+                     db.gate_check->detail + "; artwork check skipped");
+      return false;
+    }
+    db.diags.note("gate-check", db.gate_check->detail);
+    return true;
+  });
+  p.stage("pla-check", [](DesignDB& db) {
+    if (!require(db, "pla-check",
+                 db.design.has_value() && db.fsm.has_value() &&
+                     db.assembled.has_value(),
+                 "design + FSM + programmed personality")) {
+      return false;
+    }
+    // Replay the personality actually programmed into the NOR-NOR planes
+    // against the compiled tape, pre-artwork — the same discipline the
+    // gate path gets, for the tabulate->PLA lowering.
+    sim::SimConfig sc;
+    sc.threads = db.options.sim_threads;
+    db.pla_check = sim::check_pla(*db.design, *db.fsm,
+                                  db.assembled->personality,
+                                  db.options.pla_verify_cycles,
+                                  /*lanes=*/0, /*seed=*/2u, sc);
+    if (!db.pla_check->ok) {
+      db.diags.error("pla-check",
+                     db.pla_check->detail + "; artwork check skipped");
+      return false;
+    }
+    db.diags.note("pla-check", db.pla_check->detail);
+    return true;
+  });
+  p.stage("artwork-check", [](DesignDB& db) {
+    if (!require(db, "artwork-check",
+                 db.design.has_value() && db.chip != nullptr,
+                 "design + assembled chip")) {
+      return false;
+    }
+    // Artwork: extracted transistors under the switch-level simulator,
+    // reusing the netlist the extract stage already computed (extraction
+    // warnings fail inside verify_chip_against_rtl with their own detail).
+    std::string detail;
+    db.artwork_ok = verify_chip_against_rtl(
+        db.netlist(), *db.design, db.options.verify_cycles, 1u, detail);
+    db.artwork_detail = detail;
+    if (!db.artwork_ok) {
+      db.diags.error("artwork-check", "artwork: " + detail);
+      return false;
+    }
+    db.diags.note("artwork-check", "artwork: " + detail);
+    return true;
+  });
+  return p;
+}
+
+Pipeline make_structural() {
+  Pipeline p;
+  p.stage("parse", [](DesignDB& db) {
+    lang::Interpreter interp(*db.lib);
+    db.program = interp.run(db.source);
+    db.chip = db.program->cell();
+    if (db.chip == nullptr) {
+      // Fall back: a cell named by the options, if the program created one.
+      db.chip = db.lib->find(db.options.name);
+    }
+    if (!db.program->output.empty()) {
+      db.diags.note("parse", "program output: " + db.program->output);
+    }
+    if (db.chip == nullptr) {
+      db.diags.error("parse", "program did not return a cell");
+      return false;
+    }
+    db.diags.note("parse", "ran " + std::to_string(db.program->steps) +
+                               " steps, top cell '" + db.chip->name() + "'");
+    return true;
+  });
+  p.stage("cif", stage_cif);
+  p.stage("drc", stage_drc);
+  p.stage("extract", stage_extract);
+  return p;
+}
+
+}  // namespace
+
+Pipeline Pipeline::behavioral() { return make_behavioral(); }
+
+Pipeline Pipeline::structural() { return make_structural(); }
+
+// ---------------------------------------------------------------- results --
+
+bool CompileResult::ok() const {
+  return chip != nullptr && drc.ok() && !has_errors();
+}
+
+bool CompileResult::has_errors() const { return core::has_errors(diags); }
+
+std::string CompileResult::diag_text() const { return render(diags); }
+
+bool CompileResult::same_outcome(const CompileResult& other) const {
+  if (ok() != other.ok() || verified != other.verified || cif != other.cif ||
+      transistors != other.transistors || rect_count != other.rect_count ||
+      verify_detail != other.verify_detail ||
+      diags.size() != other.diags.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    if (diags[i].str() != other.diags[i].str()) return false;
+  }
+  return true;
+}
+
+CompileResult finish(DesignDB& db) {
+  CompileResult r;
+  r.chip = db.chip;
+  if (db.cif) r.cif = *db.cif;
+  if (db.drc) r.drc = *db.drc;
+  if (db.assembled) r.stats = db.assembled->stats;
+  if (db.chip != nullptr) r.rect_count = db.chip->flat_shape_count();
+  if (db.has_netlist()) r.transistors = db.netlist().transistors.size();
+  r.verified = db.artwork_ok;
+  // The human-readable verification summary is the verification stages'
+  // diagnostics, in stage order (structural programs report their own
+  // output instead).
+  for (const char* stage : {"gate-check", "pla-check", "artwork-check"}) {
+    const std::string t = db.diags.stage_text(stage);
+    if (t.empty()) continue;
+    if (!r.verify_detail.empty()) r.verify_detail += "; ";
+    r.verify_detail += t;
+  }
+  if (r.verify_detail.empty() && db.program) {
+    r.verify_detail = db.program->output;
+  }
+  r.diags = db.diags.all();
+  r.timings = db.timings;
+  return r;
+}
+
+CompileResult compile(layout::Library& lib, Flow flow,
+                      const std::string& source,
+                      const CompileOptions& options) {
+  DesignDB db(lib, flow, source, options);
+  const Pipeline p =
+      flow == Flow::Behavioral ? Pipeline::behavioral() : Pipeline::structural();
+  p.run(db);
+  return finish(db);
+}
+
+// ------------------------------------------------------------------ batch --
+
+std::size_t BatchResult::ok_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(results.begin(), results.end(),
+                    [](const CompileResult& r) { return r.ok(); }));
+}
+
+std::string BatchResult::profile_text() const {
+  std::ostringstream os;
+  char line[128];
+  std::snprintf(line, sizeof line, "%-14s %6s %12s %12s\n", "stage", "runs",
+                "total ms", "ms/run");
+  os << line;
+  for (const StageProfile& s : profile) {
+    std::snprintf(line, sizeof line, "%-14s %6d %12.2f %12.2f\n",
+                  s.stage.c_str(), s.runs, s.total_ms,
+                  s.runs > 0 ? s.total_ms / s.runs : 0.0);
+    os << line;
+  }
+  return os.str();
+}
+
+BatchResult compile_many(const std::vector<BatchJob>& jobs, int threads) {
+  BatchResult br;
+  const std::size_t n = jobs.size();
+  int want = threads > 0 ? threads
+                         : static_cast<int>(std::thread::hardware_concurrency());
+  if (want < 1) want = 1;
+  br.threads = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(want), std::max<std::size_t>(n, 1)));
+  br.results.resize(n);
+  br.libraries.resize(n);
+
+  // Same crew pattern as sim::TapePool, one job granularity: an atomic
+  // cursor hands out the next design; every job owns a private Library so
+  // workers never touch shared mutable state, and results land in
+  // index-parallel slots — identical output at any thread count.
+  std::atomic<std::size_t> next{0};
+  const auto work = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      const BatchJob& job = jobs[i];
+      auto lib = std::make_unique<layout::Library>(job.options.name);
+      CompileOptions opt = job.options;
+      opt.sim_threads = 1;  // one level of parallelism: across designs
+      br.results[i] = compile(*lib, job.flow, job.source, opt);
+      br.libraries[i] = std::move(lib);
+    }
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> crew;
+  for (int t = 1; t < br.threads; ++t) crew.emplace_back(work);
+  work();
+  for (std::thread& t : crew) t.join();
+  br.wall_ms = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+
+  // Aggregate the per-stage profile in deterministic (job, stage) order.
+  for (const CompileResult& r : br.results) {
+    for (const StageTiming& t : r.timings) {
+      auto it = std::find_if(
+          br.profile.begin(), br.profile.end(),
+          [&](const StageProfile& s) { return s.stage == t.stage; });
+      if (it == br.profile.end()) {
+        br.profile.push_back({t.stage, 0, 0});
+        it = std::prev(br.profile.end());
+      }
+      if (t.ran) {
+        ++it->runs;
+        it->total_ms += t.ms;
+      }
+    }
+  }
+  return br;
+}
+
+}  // namespace silc::core

@@ -1,0 +1,299 @@
+// The staged compile pipeline: an explicit, instrumented, resumable
+// rendering of the paper's thesis — text in, verified layout out.
+//
+// Three pieces, layered:
+//
+//   * DesignDB — the per-design artifact store. Each stage's product
+//     (parsed rtl::Design, synth::TabulatedFsm, assembled chip +
+//     programmed personality, CIF text, drc::Result, extract::Netlist,
+//     verification reports) lives here exactly once, with
+//     compute-once/lookup-later accessors for the expensive shared
+//     artifacts: the chip is flattened once for both DRC and extraction,
+//     and extracted once for both the transistor count and the artwork
+//     check. The DB also carries the structured diagnostics stream and
+//     the per-stage wall-clock timings.
+//
+//   * Pipeline — an ordered list of named Stages over a DesignDB. The
+//     standard flows are Pipeline::behavioral() (parse -> tabulate ->
+//     assemble -> cif -> drc -> extract -> gate-check -> pla-check ->
+//     artwork-check) and Pipeline::structural() (parse -> cif -> drc ->
+//     extract). Policy lives in CompileOptions: `stop_after` ends the run
+//     after a named stage (partial artifacts remain in the DB), `skip`
+//     drops stages by name. Every stage is timed; exceptions thrown by
+//     lower layers (rtl::ParseError, lang::SilcError, net/assemble
+//     runtime errors) are caught at the stage boundary and surfaced as
+//     error diagnostics instead of crashing the caller. A stage returning
+//     false stops the pipeline — the cheap gate-check failing skips the
+//     expensive artwork run.
+//
+//   * compile_many — the batch front end ("heavy traffic"): N independent
+//     designs dispatched across a persistent worker crew (same
+//     atomic-cursor pattern as sim::TapePool), one layout::Library per
+//     design so jobs never share mutable state. Results are deterministic
+//     and identical at any thread count; the BatchResult aggregates a
+//     per-stage timing profile across all designs.
+//
+// To add a stage: give it a name, append `p.stage("name", fn)` in the
+// flow builder at the right point in the order, read your inputs from the
+// DB (guard with an error diag when a prerequisite is missing), write
+// your artifact back into the DB, and report through db.diags. Policy,
+// timing, and exception capture come for free.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "assemble/assemble.hpp"
+#include "drc/drc.hpp"
+#include "extract/extract.hpp"
+#include "lang/lang.hpp"
+#include "layout/layout.hpp"
+#include "rtl/rtl.hpp"
+#include "sim/sim.hpp"
+#include "synth/synth.hpp"
+
+namespace silc::core {
+
+// ------------------------------------------------------------ diagnostics --
+
+enum class Severity : std::uint8_t { Note, Warning, Error };
+
+[[nodiscard]] const char* to_string(Severity s);
+
+/// One structured diagnostic: which stage said what, how seriously.
+struct Diag {
+  Severity severity = Severity::Note;
+  std::string stage;
+  std::string message;
+
+  [[nodiscard]] std::string str() const;  // "error [drc] metal.width ..."
+};
+
+/// True when any diagnostic is an error.
+[[nodiscard]] bool has_errors(const std::vector<Diag>& diags);
+/// All diagnostics rendered one per line (Diag::str() per entry).
+[[nodiscard]] std::string render(const std::vector<Diag>& diags);
+
+/// The ordered diagnostics a compile produced.
+class DiagStream {
+ public:
+  void note(const std::string& stage, std::string message);
+  void warning(const std::string& stage, std::string message);
+  void error(const std::string& stage, std::string message);
+
+  [[nodiscard]] const std::vector<Diag>& all() const { return diags_; }
+  [[nodiscard]] bool has_errors() const;
+  [[nodiscard]] std::size_t count(Severity s) const;
+  /// Every diagnostic, one per line (str() per entry).
+  [[nodiscard]] std::string text() const;
+  /// Messages of one stage's diagnostics joined with "; ".
+  [[nodiscard]] std::string stage_text(const std::string& stage) const;
+
+ private:
+  std::vector<Diag> diags_;
+};
+
+// ---------------------------------------------------------------- policy --
+
+enum class Flow : std::uint8_t { Behavioral, Structural };
+
+[[nodiscard]] const char* to_string(Flow f);
+
+struct CompileOptions {
+  std::string name = "chip";
+  /// Stage policy: run every stage not listed in `skip`, ending the run
+  /// after the stage named by `stop_after` (empty = run to the end).
+  /// Unknown stage names are diagnosed as errors, not ignored.
+  std::string stop_after;
+  std::vector<std::string> skip;
+  int verify_cycles = 32;  // artwork-check: switch-level cycles on the
+                           // extracted chip (slow, relaxation-based)
+  int gate_verify_cycles = 512;  // gate-check: cycles per lane under the
+                                 // compiled simulator (the compiled side
+                                 // always runs the widest word; this
+                                 // bounds the behavioral references)
+  int gate_verify_lanes = 16;    // independent behavioral stimulus lanes
+  int pla_verify_cycles = 256;   // pla-check: programmed-personality replay
+                                 // vs compiled tape, every lane
+  /// Threads for the compiled-simulator checks (0 = auto). compile_many
+  /// pins this to 1 so design-level parallelism is never oversubscribed
+  /// by per-design sim pools.
+  int sim_threads = 0;
+};
+
+/// Wall-clock record of one stage slot in a run. Stages cut off by policy,
+/// an earlier failure, or `skip` appear with ran == false.
+struct StageTiming {
+  std::string stage;
+  double ms = 0;
+  bool ran = false;
+  bool ok = false;
+};
+
+// ------------------------------------------------------------ artifact DB --
+
+/// Everything the pipeline knows about one design. Stages read their
+/// prerequisites from here and write their artifact back; the accessors at
+/// the bottom compute the expensive shared artifacts at most once.
+struct DesignDB {
+  DesignDB(layout::Library& library, Flow f, std::string src,
+           CompileOptions opts)
+      : lib(&library),
+        flow(f),
+        source(std::move(src)),
+        options(std::move(opts)) {}
+
+  layout::Library* lib = nullptr;
+  Flow flow = Flow::Behavioral;
+  std::string source;
+  CompileOptions options;
+
+  // Stage artifacts, in pipeline order.
+  std::optional<rtl::Design> design;               // parse (behavioral)
+  std::optional<lang::RunResult> program;          // parse (structural)
+  std::optional<synth::TabulatedFsm> fsm;          // tabulate
+  std::optional<assemble::FsmChipResult> assembled;  // assemble
+  layout::Cell* chip = nullptr;                    // assemble / parse
+  std::optional<std::string> cif;                  // cif
+  std::optional<drc::Result> drc;                  // drc
+  std::optional<sim::CrosscheckReport> gate_check;   // gate-check
+  std::optional<sim::PlaCheckReport> pla_check;      // pla-check
+  bool artwork_ok = false;                         // artwork-check
+  std::string artwork_detail;
+
+  DiagStream diags;
+  std::vector<StageTiming> timings;
+
+  /// Times the chip was actually flattened / extracted — the compile-once
+  /// guarantee is testable: one full compile must leave both at <= 1.
+  int flatten_runs = 0;
+  int extract_runs = 0;
+
+  /// Flattened geometry + labels of `chip`, computed on first use (DRC and
+  /// extraction share one flatten). Requires chip != nullptr.
+  [[nodiscard]] const layout::Flattened& flattened();
+  /// Extracted transistor netlist of `chip`, computed on first use (the
+  /// transistor count and the artwork check share one extraction).
+  [[nodiscard]] const extract::Netlist& netlist();
+  [[nodiscard]] bool has_netlist() const { return netlist_.has_value(); }
+
+ private:
+  std::optional<layout::Flattened> flat_;
+  std::optional<extract::Netlist> netlist_;
+};
+
+// --------------------------------------------------------------- pipeline --
+
+class Pipeline {
+ public:
+  /// A stage transforms the DB. Return false to stop the pipeline (later
+  /// stages cannot or should not run — e.g. a failed equivalence check
+  /// skips the artwork run). Findings that do not block later stages are
+  /// reported through db.diags with the stage still returning true.
+  using StageFn = std::function<bool(DesignDB&)>;
+
+  Pipeline& stage(std::string name, StageFn fn);
+
+  [[nodiscard]] std::vector<std::string> stage_names() const;
+  [[nodiscard]] bool has_stage(const std::string& name) const;
+
+  /// Run the stages in order under db.options' stop_after/skip policy.
+  /// Each executed stage is wall-clock timed into db.timings (skipped or
+  /// unreached slots are recorded with ran == false); any exception is
+  /// caught at the stage boundary and becomes an error diagnostic. Returns
+  /// true when every scheduled stage ran and succeeded.
+  bool run(DesignDB& db) const;
+
+  /// The standard flows. Stage order is part of the contract (tests pin it).
+  [[nodiscard]] static Pipeline behavioral();
+  [[nodiscard]] static Pipeline structural();
+
+ private:
+  struct Stage {
+    std::string name;
+    StageFn fn;
+  };
+  std::vector<Stage> stages_;
+};
+
+// ---------------------------------------------------------------- results --
+
+/// What a compile hands back (API-stable across the pipeline refactor).
+struct CompileResult {
+  layout::Cell* chip = nullptr;
+  std::string cif;
+  drc::Result drc;
+  bool verified = false;      // all equivalence checks ran and passed
+  std::string verify_detail;  // human-readable verification summary
+  assemble::FsmChipStats stats;  // behavioral flow only
+  std::size_t transistors = 0;
+  std::size_t rect_count = 0;
+  std::vector<Diag> diags;
+  std::vector<StageTiming> timings;
+
+  [[nodiscard]] bool ok() const;
+  [[nodiscard]] bool has_errors() const;
+  /// All diagnostics, one per line.
+  [[nodiscard]] std::string diag_text() const;
+  /// Same compile outcome: ok/verified flags, CIF text, transistor and
+  /// rect counts, verification summary, and every diagnostic (timings are
+  /// excluded — they are wall-clock). The determinism checks' definition
+  /// of "identical results".
+  [[nodiscard]] bool same_outcome(const CompileResult& other) const;
+};
+
+/// Run the standard pipeline for `flow` over `source` and harvest the
+/// result. Never throws for malformed input: parse errors come back as
+/// stage diagnostics on a CompileResult with ok() == false.
+[[nodiscard]] CompileResult compile(layout::Library& lib, Flow flow,
+                                    const std::string& source,
+                                    const CompileOptions& options = {});
+
+/// Harvest a CompileResult from a DB the caller ran a pipeline over.
+[[nodiscard]] CompileResult finish(DesignDB& db);
+
+// ------------------------------------------------------------------ batch --
+
+/// One design in a compile_many batch.
+struct BatchJob {
+  Flow flow = Flow::Behavioral;
+  std::string source;
+  CompileOptions options;
+};
+
+/// Aggregate wall-clock per stage across a batch.
+struct StageProfile {
+  std::string stage;
+  int runs = 0;  // stage executions across all designs
+  double total_ms = 0;
+};
+
+struct BatchResult {
+  /// Per-design results, index-parallel to the jobs, independent of the
+  /// thread count the batch ran with.
+  std::vector<CompileResult> results;
+  /// One library per design: the cells results[i].chip points into live
+  /// in libraries[i], so they outlive the batch.
+  std::vector<std::unique_ptr<layout::Library>> libraries;
+  /// Stage profile summed over all designs, in first-seen stage order.
+  std::vector<StageProfile> profile;
+  double wall_ms = 0;
+  int threads = 1;
+
+  [[nodiscard]] std::size_t ok_count() const;
+  /// The profile as an aligned table, one stage per line.
+  [[nodiscard]] std::string profile_text() const;
+};
+
+/// Compile N independent designs across a worker crew (threads = 0 picks
+/// hardware concurrency, clamped to the job count). Each job gets a
+/// private layout::Library and sim_threads pinned to 1, so results are
+/// bit-identical whatever the thread count.
+[[nodiscard]] BatchResult compile_many(const std::vector<BatchJob>& jobs,
+                                       int threads = 0);
+
+}  // namespace silc::core

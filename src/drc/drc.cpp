@@ -259,15 +259,19 @@ class Checker {
 
 }  // namespace
 
+std::string Violation::str() const {
+  std::string s = rule + " at " + geom::to_string(where);
+  if (!detail.empty()) s += " (" + detail + ")";
+  return s;
+}
+
 std::string Result::summary() const {
   if (ok()) return "DRC clean";
   std::ostringstream os;
   os << violations.size() << " violation(s):";
-  const std::size_t show = std::min<std::size_t>(violations.size(), 20);
+  const std::size_t show = std::min(violations.size(), kMaxReported);
   for (std::size_t i = 0; i < show; ++i) {
-    const Violation& v = violations[i];
-    os << "\n  " << v.rule << " at " << geom::to_string(v.where);
-    if (!v.detail.empty()) os << " (" << v.detail << ")";
+    os << "\n  " << violations[i].str();
   }
   if (show < violations.size()) {
     os << "\n  ... and " << violations.size() - show << " more";

@@ -32,9 +32,17 @@ struct Violation {
   std::string rule;     // e.g. "metal.width", "poly.space", "contact.size"
   geom::Rect where;     // approximate location (bounding box of the offence)
   std::string detail;
+
+  /// "rule at rect (detail)" — the one-line rendering summaries and the
+  /// compiler's diagnostics stream share.
+  [[nodiscard]] std::string str() const;
 };
 
 struct Result {
+  /// Violations listed individually by summary() and the compiler's
+  /// diagnostics stream before collapsing to "... and N more".
+  static constexpr std::size_t kMaxReported = 20;
+
   std::vector<Violation> violations;
 
   [[nodiscard]] bool ok() const { return violations.empty(); }

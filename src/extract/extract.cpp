@@ -129,6 +129,18 @@ std::size_t Netlist::depletion_count() const {
   return transistors.size() - enhancement_count();
 }
 
+std::string Netlist::summary() const {
+  const std::size_t enh = enhancement_count();
+  std::string s = std::to_string(node_count()) + " nodes, " +
+                  std::to_string(transistors.size()) + " transistors (" +
+                  std::to_string(enh) + " enh + " +
+                  std::to_string(transistors.size() - enh) + " dep)";
+  if (!warnings.empty()) {
+    s += ", " + std::to_string(warnings.size()) + " warnings";
+  }
+  return s;
+}
+
 Netlist extract(const layout::Cell& top, const tech::Tech& technology) {
   return extract_flat(layout::flatten_with_labels(top), technology);
 }

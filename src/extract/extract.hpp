@@ -53,6 +53,9 @@ struct Netlist {
   [[nodiscard]] bool is_gnd(int node) const;
   [[nodiscard]] std::size_t enhancement_count() const;
   [[nodiscard]] std::size_t depletion_count() const;
+  /// One-line census ("N nodes, T transistors (E enh + D dep), W warnings")
+  /// for reports and the compiler's diagnostics stream.
+  [[nodiscard]] std::string summary() const;
 };
 
 [[nodiscard]] Netlist extract(const layout::Cell& top,

@@ -73,6 +73,11 @@ struct FuncDecl {
   std::size_t line = 1;
 };
 
+layout::Cell* RunResult::cell() const {
+  if (auto* const* c = std::get_if<layout::Cell*>(&value.v)) return *c;
+  return nullptr;
+}
+
 std::string Value::to_string() const {
   struct Visitor {
     std::string operator()(std::monostate) const { return "unit"; }

@@ -79,6 +79,10 @@ struct RunResult {
   std::string output;     // everything print() wrote
   std::string cif;        // last write_cif() result
   std::size_t steps = 0;  // statements + expressions evaluated
+
+  /// The returned cell, when the program's top-level `return` was one
+  /// (nullptr otherwise) — what the structural compile flow builds on.
+  [[nodiscard]] layout::Cell* cell() const;
 };
 
 class Interpreter {

@@ -46,6 +46,12 @@ std::size_t Design::output_bits() const {
   return n;
 }
 
+std::string Design::summary() const {
+  return "processor " + name + ": " + std::to_string(input_bits()) +
+         " input, " + std::to_string(output_bits()) + " output, " +
+         std::to_string(state_bits()) + " state bits";
+}
+
 // ------------------------------------------------------------------ lexer --
 
 namespace {

@@ -72,6 +72,9 @@ struct Design {
   [[nodiscard]] std::size_t state_bits() const;
   [[nodiscard]] std::size_t input_bits() const;
   [[nodiscard]] std::size_t output_bits() const;
+  /// One-line census ("processor X: I input, O output, S state bits") for
+  /// reports and the compiler's diagnostics stream.
+  [[nodiscard]] std::string summary() const;
 };
 
 class ParseError : public std::runtime_error {

@@ -358,6 +358,8 @@ CrosscheckReport crosscheck_impl(const rtl::Design& design,
     const TraceDiff d =
         diff_traces(ref, compiled[static_cast<std::size_t>(l)]);
     if (!d.identical) {
+      r.mismatch_lane = l;
+      r.mismatch = d;
       r.detail = "behavioral vs compiled, lane " + std::to_string(l) + ": " +
                  d.to_string();
       if (!options.vcd_on_mismatch.empty() &&
@@ -394,6 +396,8 @@ CrosscheckReport crosscheck_impl(const rtl::Design& design,
     lane0_ref.resize(sw_cycles);
     const TraceDiff d = diff_traces(lane0_ref, sw_trace);
     if (!d.identical) {
+      r.mismatch_lane = 0;
+      r.mismatch = d;
       r.detail = "behavioral vs switch-level: " + d.to_string();
       if (!options.vcd_on_mismatch.empty() &&
           dump_vcd(options.vcd_on_mismatch,
@@ -436,7 +440,7 @@ namespace {
 PlaCheckReport check_pla_impl(const rtl::Design& design,
                               const synth::TabulatedFsm& fsm,
                               const logic::PlaTerms& personality, int cycles,
-                              int lanes, unsigned seed) {
+                              int lanes, unsigned seed, const SimConfig& sim) {
   PlaCheckReport r;
   r.cycles = std::max(0, cycles);
   r.terms = personality.term_count();
@@ -444,7 +448,7 @@ PlaCheckReport check_pla_impl(const rtl::Design& design,
   const auto outs = design.of_kind(rtl::SignalKind::Output);
   const int sb = fsm.state_bits;
 
-  CompiledSim cs(design);
+  CompiledSim cs(design, sim);
   r.lanes = lanes <= 0 ? cs.lanes() : std::min(lanes, cs.lanes());
 
   std::vector<Trace> stimuli;
@@ -497,6 +501,9 @@ PlaCheckReport check_pla_impl(const rtl::Design& design,
             compiled[static_cast<std::size_t>(l)][static_cast<std::size_t>(c)]
                 .at(o->name);
         if (v != want) {
+          r.mismatch_lane = l;
+          r.mismatch_cycle = c;
+          r.mismatch_signal = o->name;
           std::ostringstream os;
           os << "pla vs compiled, lane " << l << " cycle " << c << " signal "
              << o->name << ": " << v << " != " << want;
@@ -520,9 +527,9 @@ PlaCheckReport check_pla_impl(const rtl::Design& design,
 PlaCheckReport check_pla(const rtl::Design& design,
                          const synth::TabulatedFsm& fsm,
                          const logic::PlaTerms& personality, int cycles,
-                         int lanes, unsigned seed) {
+                         int lanes, unsigned seed, const SimConfig& sim) {
   try {
-    return check_pla_impl(design, fsm, personality, cycles, lanes, seed);
+    return check_pla_impl(design, fsm, personality, cycles, lanes, seed, sim);
   } catch (const std::exception& e) {
     PlaCheckReport r;
     r.detail = std::string("pla check error: ") + e.what();

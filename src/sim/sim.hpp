@@ -392,6 +392,10 @@ struct CrosscheckReport {
   int switch_cycles = 0;  // cycles additionally checked under swsim
   std::size_t transistors = 0;  // switch-level network size (when run)
   std::string detail;     // summary, or the first mismatch
+  /// First divergence, machine-readable (mismatch.identical when ok):
+  /// which lane, and cycle/signal/values from the trace diff.
+  int mismatch_lane = -1;
+  TraceDiff mismatch;
 };
 
 /// Run the same seeded random stimulus through rtl::BehavioralSim,
@@ -408,6 +412,10 @@ struct PlaCheckReport {
   int lanes = 0;
   std::size_t terms = 0;  // product terms in the programmed personality
   std::string detail;
+  /// First divergence, machine-readable (lane < 0 when ok).
+  int mismatch_lane = -1;
+  int mismatch_cycle = -1;
+  std::string mismatch_signal;
 };
 
 /// Pre-artwork equivalence check for the tabulate->PLA flow: replay the
@@ -415,11 +423,13 @@ struct PlaCheckReport {
 /// cover of each output: out_k = NOR of its selected terms) plus state
 /// feedback registers over seeded random stimulus, and diff against the
 /// compiled gate tape of the same design. `lanes` = 0 uses every lane of
-/// the widest word.
+/// the configured word; `sim` tunes the compiled reference (batch callers
+/// pin sim.threads so design-level parallelism is not oversubscribed).
 [[nodiscard]] PlaCheckReport check_pla(const rtl::Design& design,
                                        const synth::TabulatedFsm& fsm,
                                        const logic::PlaTerms& personality,
                                        int cycles = 256, int lanes = 0,
-                                       unsigned seed = 1);
+                                       unsigned seed = 1,
+                                       const SimConfig& sim = {});
 
 }  // namespace silc::sim

@@ -65,12 +65,31 @@ TEST(Compiler, StructuralFlowReportsMissingCell) {
   const CompileResult r = cc.compile_structural("print(1 + 1);");
   EXPECT_EQ(r.chip, nullptr);
   EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.has_errors());
 }
 
-TEST(Compiler, BehavioralRejectsBadSource) {
+TEST(Compiler, BehavioralRejectsBadSourceWithDiagnostic) {
+  // Malformed source is data, not control flow: compile_* never throws,
+  // it returns a parse-stage error diagnostic on a failed result.
   layout::Library lib;
   SiliconCompiler cc(lib);
-  EXPECT_THROW(cc.compile_behavioral("processor x ("), rtl::ParseError);
+  CompileResult r;
+  ASSERT_NO_THROW(r = cc.compile_behavioral("processor x ("));
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.diags.empty());
+  EXPECT_EQ(r.diags[0].stage, "parse");
+  EXPECT_EQ(r.diags[0].severity, Severity::Error);
+}
+
+TEST(Compiler, StructuralRejectsBadSourceWithDiagnostic) {
+  layout::Library lib;
+  SiliconCompiler cc(lib);
+  CompileResult r;
+  ASSERT_NO_THROW(r = cc.compile_structural("func ("));
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.diags.empty());
+  EXPECT_EQ(r.diags[0].stage, "parse");
+  EXPECT_EQ(r.diags[0].severity, Severity::Error);
 }
 
 }  // namespace

@@ -1,0 +1,256 @@
+// The staged compile pipeline: stage ordering and timing, stop_after/skip
+// policy, exception capture at stage boundaries, the extract-exactly-once
+// guarantee, and compile_many's thread-count-independent determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/compiler.hpp"
+#include "core/pipeline.hpp"
+#include "design_sources.hpp"
+
+namespace silc::core {
+namespace {
+
+const char* kGray2 = silc_fixtures::kGray2Source;
+const char* kChain = silc_fixtures::kInvChainSource;
+
+CompileOptions fast_verify(const std::string& name) {
+  CompileOptions o;
+  o.name = name;
+  o.verify_cycles = 8;
+  o.gate_verify_cycles = 64;
+  o.gate_verify_lanes = 4;
+  o.pla_verify_cycles = 32;
+  return o;
+}
+
+std::vector<std::string> ran_stages(const std::vector<StageTiming>& ts) {
+  std::vector<std::string> out;
+  for (const StageTiming& t : ts) {
+    if (t.ran) out.push_back(t.stage);
+  }
+  return out;
+}
+
+TEST(Pipeline, BehavioralStageOrderIsTheContract) {
+  const std::vector<std::string> want = {
+      "parse", "tabulate", "assemble",   "cif",       "drc",
+      "extract", "gate-check", "pla-check", "artwork-check"};
+  EXPECT_EQ(Pipeline::behavioral().stage_names(), want);
+  const std::vector<std::string> structural = {"parse", "cif", "drc",
+                                               "extract"};
+  EXPECT_EQ(Pipeline::structural().stage_names(), structural);
+}
+
+TEST(Pipeline, FullRunTimesEveryStage) {
+  layout::Library lib;
+  const CompileResult r =
+      compile(lib, Flow::Behavioral, kGray2, fast_verify("gray2"));
+  EXPECT_TRUE(r.ok()) << r.diag_text();
+  EXPECT_TRUE(r.verified);
+  ASSERT_EQ(r.timings.size(), 9u);
+  for (const StageTiming& t : r.timings) {
+    EXPECT_TRUE(t.ran) << t.stage;
+    EXPECT_TRUE(t.ok) << t.stage;
+    EXPECT_GE(t.ms, 0.0) << t.stage;
+  }
+  // Every stage left a note in the diagnostics stream.
+  for (const char* stage : {"parse", "tabulate", "assemble", "cif", "drc",
+                            "extract", "gate-check", "pla-check",
+                            "artwork-check"}) {
+    EXPECT_FALSE(
+        std::none_of(r.diags.begin(), r.diags.end(),
+                     [&](const Diag& d) { return d.stage == stage; }))
+        << "no diagnostic from stage " << stage;
+  }
+}
+
+TEST(Pipeline, StopAfterProducesPartialArtifacts) {
+  layout::Library lib;
+  CompileOptions opt = fast_verify("gray2");
+  opt.stop_after = "tabulate";
+  DesignDB db(lib, Flow::Behavioral, kGray2, opt);
+  EXPECT_TRUE(Pipeline::behavioral().run(db));
+  EXPECT_TRUE(db.design.has_value());
+  EXPECT_TRUE(db.fsm.has_value());
+  EXPECT_EQ(db.chip, nullptr);
+  EXPECT_FALSE(db.cif.has_value());
+  EXPECT_EQ(ran_stages(db.timings),
+            (std::vector<std::string>{"parse", "tabulate"}));
+  // A partial compile is not a manufacturable result.
+  EXPECT_FALSE(finish(db).ok());
+}
+
+TEST(Pipeline, SkipDropsAStageOthersStillRun) {
+  layout::Library lib;
+  CompileOptions opt = fast_verify("gray2");
+  opt.skip = {"drc"};
+  opt.stop_after = "extract";
+  DesignDB db(lib, Flow::Behavioral, kGray2, opt);
+  EXPECT_TRUE(Pipeline::behavioral().run(db));
+  EXPECT_FALSE(db.drc.has_value());
+  EXPECT_TRUE(db.has_netlist());
+  EXPECT_EQ(ran_stages(db.timings),
+            (std::vector<std::string>{"parse", "tabulate", "assemble", "cif",
+                                      "extract"}));
+}
+
+TEST(Pipeline, StopAfterASkippedStageStillStops) {
+  layout::Library lib;
+  CompileOptions opt = fast_verify("gray2");
+  opt.stop_after = "drc";
+  opt.skip = {"drc"};
+  DesignDB db(lib, Flow::Behavioral, kGray2, opt);
+  EXPECT_TRUE(Pipeline::behavioral().run(db));
+  EXPECT_EQ(ran_stages(db.timings),
+            (std::vector<std::string>{"parse", "tabulate", "assemble", "cif"}));
+  EXPECT_FALSE(db.has_netlist());  // nothing past the stop point ran
+}
+
+TEST(Pipeline, UnknownPolicyNamesAreErrors) {
+  layout::Library lib;
+  CompileOptions opt;
+  opt.stop_after = "frobnicate";
+  const CompileResult r = compile(lib, Flow::Behavioral, kGray2, opt);
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.diags.empty());
+  EXPECT_EQ(r.diags[0].stage, "pipeline");
+  EXPECT_EQ(r.diags[0].severity, Severity::Error);
+  // Nothing ran under a bad policy.
+  EXPECT_TRUE(ran_stages(r.timings).empty());
+}
+
+TEST(Pipeline, FailingCheapCheckSkipsExpensiveStages) {
+  // The mechanism behind "gate-check fails -> artwork check skipped":
+  // a stage returning false stops the pipeline, later stages are recorded
+  // as not-run, and the failure is an error diagnostic.
+  layout::Library lib;
+  DesignDB db(lib, Flow::Behavioral, "", {});
+  bool late_ran = false;
+  Pipeline p;
+  p.stage("cheap", [](DesignDB&) { return false; });
+  p.stage("expensive", [&](DesignDB&) {
+    late_ran = true;
+    return true;
+  });
+  EXPECT_FALSE(p.run(db));
+  EXPECT_FALSE(late_ran);
+  ASSERT_EQ(db.timings.size(), 2u);
+  EXPECT_TRUE(db.timings[0].ran);
+  EXPECT_FALSE(db.timings[0].ok);
+  EXPECT_FALSE(db.timings[1].ran);
+  EXPECT_TRUE(db.diags.has_errors());  // auto-added "stage failed"
+}
+
+TEST(Pipeline, ExceptionsBecomeStageDiagnostics) {
+  layout::Library lib;
+  DesignDB db(lib, Flow::Behavioral, "", {});
+  Pipeline p;
+  p.stage("boom", [](DesignDB&) -> bool {
+    throw std::runtime_error("kaboom");
+  });
+  p.stage("after", [](DesignDB&) { return true; });
+  EXPECT_FALSE(p.run(db));
+  ASSERT_EQ(db.diags.all().size(), 1u);
+  EXPECT_EQ(db.diags.all()[0].severity, Severity::Error);
+  EXPECT_EQ(db.diags.all()[0].stage, "boom");
+  EXPECT_EQ(db.diags.all()[0].message, "kaboom");
+  EXPECT_FALSE(db.timings[1].ran);
+}
+
+TEST(Pipeline, ExtractsAndFlattensExactlyOnce) {
+  layout::Library lib;
+  DesignDB db(lib, Flow::Behavioral, kGray2, fast_verify("gray2"));
+  EXPECT_TRUE(Pipeline::behavioral().run(db)) << db.diags.text();
+  // DRC + extraction share one flatten; transistor count + artwork check
+  // share one extraction.
+  EXPECT_EQ(db.flatten_runs, 1);
+  EXPECT_EQ(db.extract_runs, 1);
+  EXPECT_TRUE(db.artwork_ok);
+}
+
+TEST(Pipeline, MalformedBehavioralSourceIsAParseDiagnostic) {
+  layout::Library lib;
+  SiliconCompiler cc(lib);
+  CompileResult r;
+  ASSERT_NO_THROW(r = cc.compile_behavioral("processor x ("));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.chip, nullptr);
+  ASSERT_FALSE(r.diags.empty());
+  EXPECT_EQ(r.diags[0].stage, "parse");
+  EXPECT_EQ(r.diags[0].severity, Severity::Error);
+  EXPECT_NE(r.diags[0].message.find("line"), std::string::npos);
+}
+
+TEST(Pipeline, MalformedStructuralSourceIsAParseDiagnostic) {
+  layout::Library lib;
+  SiliconCompiler cc(lib);
+  CompileResult r;
+  ASSERT_NO_THROW(r = cc.compile_structural("let = nonsense ;;;"));
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.diags.empty());
+  EXPECT_EQ(r.diags[0].stage, "parse");
+  EXPECT_EQ(r.diags[0].severity, Severity::Error);
+}
+
+std::vector<BatchJob> demo_batch() {
+  std::vector<BatchJob> jobs;
+  jobs.push_back({Flow::Behavioral, kGray2, fast_verify("gray2")});
+  for (int w = 2; w <= 3; ++w) {
+    jobs.push_back({Flow::Behavioral, silc_fixtures::counter_source(w),
+                    fast_verify("counter" + std::to_string(w))});
+  }
+  jobs.push_back({Flow::Structural, kChain, CompileOptions{.name = "chain"}});
+  // One malformed design: the batch must carry its diagnostics, not die.
+  jobs.push_back({Flow::Behavioral, "processor broken (", CompileOptions{}});
+  return jobs;
+}
+
+TEST(Pipeline, CompileManyIsDeterministicAcrossThreadCounts) {
+  const std::vector<BatchJob> jobs = demo_batch();
+  const BatchResult one = compile_many(jobs, 1);
+  const BatchResult four = compile_many(jobs, 4);
+  EXPECT_EQ(one.threads, 1);
+  EXPECT_EQ(four.threads, 4);
+  ASSERT_EQ(one.results.size(), jobs.size());
+  ASSERT_EQ(four.results.size(), jobs.size());
+  EXPECT_EQ(one.ok_count(), 4u);  // all but the malformed job
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const CompileResult& a = one.results[i];
+    const CompileResult& b = four.results[i];
+    EXPECT_TRUE(a.same_outcome(b)) << i << ": " << a.diag_text() << " vs "
+                                   << b.diag_text();
+    // Spot-check the fields same_outcome covers.
+    EXPECT_EQ(a.cif, b.cif) << i;
+    EXPECT_EQ(a.transistors, b.transistors) << i;
+  }
+}
+
+TEST(Pipeline, CompileManyAggregatesAStageProfile) {
+  std::vector<BatchJob> jobs = demo_batch();
+  jobs.pop_back();  // drop the malformed one: every stage should run
+  const BatchResult br = compile_many(jobs, 2);
+  EXPECT_GT(br.wall_ms, 0.0);
+  ASSERT_FALSE(br.profile.empty());
+  // parse ran once per job; the structural flow has no tabulate.
+  const auto find = [&](const char* s) {
+    const auto it = std::find_if(
+        br.profile.begin(), br.profile.end(),
+        [&](const StageProfile& p) { return p.stage == s; });
+    EXPECT_NE(it, br.profile.end()) << s;
+    return it == br.profile.end() ? StageProfile{} : *it;
+  };
+  EXPECT_EQ(find("parse").runs, static_cast<int>(jobs.size()));
+  EXPECT_EQ(find("tabulate").runs, static_cast<int>(jobs.size()) - 1);
+  EXPECT_EQ(find("artwork-check").runs, static_cast<int>(jobs.size()) - 1);
+  EXPECT_FALSE(br.profile_text().empty());
+  // Chips stay alive: the batch owns the libraries the cells live in.
+  for (std::size_t i = 0; i + 1 < jobs.size(); ++i) {
+    ASSERT_NE(br.results[i].chip, nullptr) << i;
+    EXPECT_GT(br.results[i].chip->flat_shape_count(), 0u) << i;
+  }
+}
+
+}  // namespace
+}  // namespace silc::core
