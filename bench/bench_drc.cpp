@@ -1,0 +1,187 @@
+// DRC engine tracking: flat vs hierarchical vs tiled wall clock on real
+// artwork — the committed traffic-light chip and a PDP-8 boot ROM (the
+// RIM-loader bootstrap plus deterministic fill, generated at 4096 bits so
+// the NOR-NOR tile array dwarfs the FSM chips the compile bench measures).
+//
+// Emits BENCH_drc.json: per-design rect counts, per-mode ms (hier both
+// cold and warm-cache, tiled at 1 and hardware threads), and whether every
+// mode produced byte-identical violation sets — the engine's core
+// contract, enforced here with a non-zero exit on divergence or on a
+// dirty verdict (the generators must produce clean layouts).
+// Flags: --json=PATH (default BENCH_drc.json), --smoke (fewer reps).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "design_sources.hpp"
+#include "drc/drc.hpp"
+#include "layout/layout.hpp"
+#include "mem/mem.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+struct ModeTimes {
+  std::string design;
+  std::size_t rects = 0;
+  double flat_ms = 0;
+  double hier_cold_ms = 0;
+  double hier_warm_ms = 0;
+  double tiled1_ms = 0;
+  double tiledN_ms = 0;
+  int tiled_threads = 1;
+  std::size_t violations = 0;
+  bool identical = true;
+};
+
+/// The PDP-8 RIM loader (the bootstrap traditionally toggled in at 7756),
+/// then a deterministic pseudorandom fill to the next power of two.
+std::vector<std::uint32_t> pdp8_boot_words(std::size_t total) {
+  std::vector<std::uint32_t> words{
+      06032, 06031, 05357, 06036, 07106, 07006, 07510, 05357,
+      07006, 06031, 05367, 06034, 07420, 03776, 03376, 05356,
+  };
+  std::uint32_t x = 0777;
+  while (words.size() < total) {
+    x = (x * 01645 + 0157) & 07777;  // 12-bit LCG fill
+    words.push_back(x);
+  }
+  return words;
+}
+
+ModeTimes measure(const std::string& name, const silc::layout::Cell& chip,
+                  int reps) {
+  using silc::drc::Result;
+  ModeTimes m;
+  m.design = name;
+  const auto flat_shapes = silc::layout::flatten(chip);
+  m.rects = flat_shapes.size();
+  const unsigned hw = std::thread::hardware_concurrency();
+  m.tiled_threads = static_cast<int>(hw > 1 ? hw : 1);
+
+  Result flat, hier, tiled1, tiledN;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = Clock::now();
+    flat = silc::drc::check_flat(flat_shapes);
+    m.flat_ms += ms_since(t0);
+
+    silc::drc::VerdictCache cache;
+    t0 = Clock::now();
+    hier = silc::drc::check_hier(chip, silc::tech::nmos(), &cache);
+    m.hier_cold_ms += ms_since(t0);
+    t0 = Clock::now();
+    (void)silc::drc::check_hier(chip, silc::tech::nmos(), &cache);
+    m.hier_warm_ms += ms_since(t0);
+
+    t0 = Clock::now();
+    tiled1 = silc::drc::check_tiled(flat_shapes, silc::tech::nmos(), 1);
+    m.tiled1_ms += ms_since(t0);
+    t0 = Clock::now();
+    tiledN = silc::drc::check_tiled(flat_shapes, silc::tech::nmos(),
+                                    m.tiled_threads);
+    m.tiledN_ms += ms_since(t0);
+  }
+  m.flat_ms /= reps;
+  m.hier_cold_ms /= reps;
+  m.hier_warm_ms /= reps;
+  m.tiled1_ms /= reps;
+  m.tiledN_ms /= reps;
+  m.violations = flat.violations.size();
+  m.identical = flat.violations == hier.violations &&
+                flat.violations == tiled1.violations &&
+                flat.violations == tiledN.violations;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_drc.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    else if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int reps = smoke ? 1 : 5;
+
+  std::vector<ModeTimes> rows;
+
+  {
+    silc::layout::Library lib;
+    silc::core::CompileOptions o;
+    o.name = "traffic";
+    o.stop_after = "assemble";
+    const auto r = silc::core::compile(lib, silc::core::Flow::Behavioral,
+                                       silc_fixtures::kTrafficSource, o);
+    if (r.chip == nullptr) {
+      std::printf("ERROR: traffic chip did not assemble\n");
+      return 1;
+    }
+    rows.push_back(measure("traffic", *r.chip, reps));
+  }
+  {
+    silc::layout::Library lib;
+    const auto rom = silc::mem::generate_rom(
+        lib, pdp8_boot_words(smoke ? 128 : 256), 12, {.name = "pdp8_rom"});
+    rows.push_back(measure("pdp8_rom", *rom.cell, reps));
+  }
+
+  std::printf("=== DRC engine: flat vs hier vs tiled (%d rep%s) ===\n", reps,
+              reps == 1 ? "" : "s");
+  std::printf("%-10s %8s %9s %10s %10s %9s %12s %6s\n", "design", "rects",
+              "flat ms", "hier ms", "warm ms", "tiled ms", "tiled(N) ms",
+              "same");
+  bool all_identical = true;
+  bool all_clean = true;
+  for (const ModeTimes& m : rows) {
+    std::printf("%-10s %8zu %9.2f %10.2f %10.3f %9.2f %12.2f %6s\n",
+                m.design.c_str(), m.rects, m.flat_ms, m.hier_cold_ms,
+                m.hier_warm_ms, m.tiled1_ms, m.tiledN_ms,
+                m.identical ? "yes" : "NO");
+    all_identical = all_identical && m.identical;
+    all_clean = all_clean && m.violations == 0;
+  }
+
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("ERROR: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"smoke\": %s,\n  \"designs\": [\n",
+               smoke ? "true" : "false");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ModeTimes& m = rows[i];
+    std::fprintf(f,
+                 "    {\"design\": \"%s\", \"rects\": %zu, \"flat_ms\": %.2f, "
+                 "\"hier_cold_ms\": %.2f, \"hier_warm_ms\": %.3f, "
+                 "\"tiled_1t_ms\": %.2f, \"tiled_threads\": %d, "
+                 "\"tiled_nt_ms\": %.2f, "
+                 "\"violations\": %zu, \"identical_across_modes\": %s}%s\n",
+                 m.design.c_str(), m.rects, m.flat_ms, m.hier_cold_ms,
+                 m.hier_warm_ms, m.tiled1_ms, m.tiled_threads, m.tiledN_ms,
+                 m.violations, m.identical ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (!all_identical) {
+    std::printf("ERROR: violation sets diverged across modes\n");
+    return 1;
+  }
+  if (!all_clean) {
+    std::printf("ERROR: generated artwork is not DRC clean\n");
+    return 1;
+  }
+  return 0;
+}

@@ -8,9 +8,11 @@
 #     fails the run, it does not skip;
 #   * ctest runs with --no-tests=error and any skipped/not-run test fails;
 #   * the sim bench must produce BENCH_sim.json (cycles/sec and
-#     vectors/sec per word backend x thread count) and the flows bench
+#     vectors/sec per word backend x thread count), the flows bench
 #     must produce BENCH_compile.json (per-stage ms + compile_many batch
-#     throughput at 1 and N threads) so perf regressions are visible; set
+#     throughput at 1 and N threads), and the drc bench must produce
+#     BENCH_drc.json (flat vs hier vs tiled ms, byte-identical violation
+#     sets enforced) so perf regressions are visible; set
 #     SILC_SKIP_BENCH=1 to bypass on machines without google-benchmark.
 # Usage: scripts/ci.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -70,3 +72,11 @@ else
        "missing?); set SILC_SKIP_BENCH=1 to bypass" >&2
   exit 1
 fi
+
+# --- smoke drc bench: BENCH_drc.json tracks the checking modes ----------
+# bench_drc needs only libsilc (built unconditionally) and enforces the
+# engine contract — byte-identical violation sets across flat/hier/tiled
+# and clean generated artwork (non-zero exit) — so it always runs.
+"$BUILD_DIR/bench_drc" --smoke --json="$BUILD_DIR/BENCH_drc.json"
+echo "--- BENCH_drc.json (smoke) ---"
+cat "$BUILD_DIR/BENCH_drc.json"

@@ -206,7 +206,18 @@ bool stage_cif(DesignDB& db) {
 
 bool stage_drc(DesignDB& db) {
   if (!require(db, "drc", db.chip != nullptr, "assembled chip")) return false;
-  db.drc = drc::check_flat(db.flattened().shapes);
+  switch (db.options.drc_mode) {
+    case drc::Mode::Flat:
+      db.drc = drc::check_flat(db.flattened().shapes);
+      break;
+    case drc::Mode::Tiled:
+      db.drc = drc::check_tiled(db.flattened().shapes, tech::nmos(),
+                                db.options.drc_threads);
+      break;
+    case drc::Mode::Hier:
+      db.drc = drc::check_hier(*db.chip, tech::nmos(), db.options.drc_cache);
+      break;
+  }
   const auto& violations = db.drc->violations;
   const std::size_t show = std::min(violations.size(), drc::Result::kMaxReported);
   for (std::size_t i = 0; i < show; ++i) {
@@ -460,13 +471,24 @@ std::string BatchResult::profile_text() const {
 BatchResult compile_many(const std::vector<BatchJob>& jobs, int threads) {
   BatchResult br;
   const std::size_t n = jobs.size();
-  int want = threads > 0 ? threads
-                         : static_cast<int>(std::thread::hardware_concurrency());
+  const unsigned hw = std::thread::hardware_concurrency();
+  int want = threads > 0 ? threads : static_cast<int>(hw);
   if (want < 1) want = 1;
+  // Never oversubscribe: extra workers beyond the core count are strictly
+  // slower for this CPU-bound work (a 1-core box ran threads=2 slower
+  // than threads=1), so the hardware clamp wins over the caller's ask —
+  // and when it yields 1 the crew loop below starts no threads at all.
+  if (hw >= 1) want = std::min(want, static_cast<int>(hw));
   br.threads = static_cast<int>(
       std::min<std::size_t>(static_cast<std::size_t>(want), std::max<std::size_t>(n, 1)));
   br.results.resize(n);
   br.libraries.resize(n);
+
+  // One DRC verdict cache for the whole batch: designs share standard
+  // cells, so later jobs (and repeats of the same design) skip straight
+  // to the cached per-cell verdicts. Purely an accelerator — verdicts are
+  // deterministic, so results stay identical at any thread count.
+  drc::VerdictCache drc_cache;
 
   // Same crew pattern as sim::TapePool, one job granularity: an atomic
   // cursor hands out the next design; every job owns a private Library so
@@ -481,6 +503,8 @@ BatchResult compile_many(const std::vector<BatchJob>& jobs, int threads) {
       auto lib = std::make_unique<layout::Library>(job.options.name);
       CompileOptions opt = job.options;
       opt.sim_threads = 1;  // one level of parallelism: across designs
+      opt.drc_threads = 1;
+      if (opt.drc_cache == nullptr) opt.drc_cache = &drc_cache;
       br.results[i] = compile(*lib, job.flow, job.source, opt);
       br.libraries[i] = std::move(lib);
     }

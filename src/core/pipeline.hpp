@@ -123,6 +123,22 @@ struct CompileOptions {
   /// pins this to 1 so design-level parallelism is never oversubscribed
   /// by per-design sim pools.
   int sim_threads = 0;
+  /// DRC engine mode for the drc stage. Hier (the default) proves each
+  /// unique cell once against the rule table and re-checks only
+  /// interaction windows; Flat is the exhaustive baseline; Tiled
+  /// partitions flat geometry across drc_threads workers. All modes
+  /// produce identical violation sets (see drc/drc.hpp).
+  drc::Mode drc_mode = drc::Mode::Hier;
+  /// Workers for tiled DRC (0 = hardware concurrency; always clamped to
+  /// it). compile_many pins this to 1 — across designs is the one level
+  /// of parallelism a batch uses.
+  int drc_threads = 1;
+  /// Per-cell DRC verdict cache (non-owning, thread-safe). compile_many
+  /// points every job of a batch at one shared cache so designs stop
+  /// re-proving the standard cells they have in common; null makes the
+  /// drc stage use a cache local to the run, which still collapses
+  /// repeated cells within the chip.
+  drc::VerdictCache* drc_cache = nullptr;
 };
 
 /// Wall-clock record of one stage slot in a run. Stages cut off by policy,

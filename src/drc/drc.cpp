@@ -1,268 +1,34 @@
 #include "drc/drc.hpp"
 
 #include <algorithm>
-#include <array>
-#include <numeric>
+#include <atomic>
+#include <cmath>
+#include <iterator>
 #include <sstream>
+#include <thread>
+
+#include "drc/rules.hpp"
 
 namespace silc::drc {
 
 using geom::Coord;
 using geom::Rect;
-using geom::RectSet;
 using layout::Shape;
-using tech::Layer;
 using tech::Tech;
 
-namespace {
-
-class Checker {
- public:
-  Checker(const std::vector<Shape>& shapes, const Tech& t) : tech_(t) {
-    for (const Shape& s : shapes) layers_[tech::index(s.layer)].add(s.rect);
-    // Transistor channels: poly over diff, except where a buried contact
-    // merges the two layers.
-    const RectSet& poly = layer(Layer::Poly);
-    const RectSet& diff = layer(Layer::Diff);
-    const RectSet& buried = layer(Layer::Buried);
-    channels_ = poly.intersect(diff).subtract(buried);
-  }
-
-  Result run() {
-    for (int i = 0; i < tech::kNumLayers; ++i) {
-      const Layer l = static_cast<Layer>(i);
-      check_width(l);
-      check_spacing(l);
-    }
-    check_poly_diff_spacing();
-    check_contacts();
-    check_gates();
-    check_implant();
-    check_buried();
-    return std::move(result_);
-  }
-
- private:
-  const RectSet& layer(Layer l) const { return layers_[tech::index(l)]; }
-
-  void add(std::string rule, const Rect& where, std::string detail = {}) {
-    result_.violations.push_back({std::move(rule), where, std::move(detail)});
-  }
-
-  // ---- width ----
-  void check_width(Layer l) {
-    const Coord w = tech_.min_width[tech::index(l)];
-    const RectSet& s = layer(l);
-    if (w <= 0 || s.empty()) return;
-    // In doubled coordinates every feature has even width, so "width < w"
-    // is exactly "width <= 2w - 2 in doubled space", which morphological
-    // opening with radius w-1 detects with no boundary ambiguity.
-    const RectSet s2 = s.scaled(2);
-    const RectSet opened = s2.eroded(w - 1).dilated(w - 1);
-    const RectSet thin = s2.subtract(opened);
-    for (const auto& comp : thin.components()) {
-      Rect where;
-      for (const Rect& r : comp) where = where.bound(r);
-      add(std::string(tech::name(l)) + ".width",
-          {where.x0 / 2, where.y0 / 2, (where.x1 + 1) / 2, (where.y1 + 1) / 2},
-          "feature narrower than minimum width");
-    }
-  }
-
-  // ---- same-layer spacing ----
-  void check_spacing(Layer l) {
-    const Coord s = tech_.min_space[tech::index(l)];
-    const RectSet& set = layer(l);
-    if (s <= 0 || set.empty()) return;
-    const std::vector<Rect>& rects = set.rects();
-    const std::vector<int> labels = geom::label_components(rects);
-
-    // Sweep by x: only rect pairs within `s` in x can violate.
-    std::vector<int> order(rects.size());
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&rects](int a, int b) {
-      return rects[static_cast<std::size_t>(a)].x0 <
-             rects[static_cast<std::size_t>(b)].x0;
-    });
-    for (std::size_t i = 0; i < order.size(); ++i) {
-      const Rect& a = rects[static_cast<std::size_t>(order[i])];
-      for (std::size_t j = i + 1; j < order.size(); ++j) {
-        const Rect& b = rects[static_cast<std::size_t>(order[j])];
-        if (b.x0 - a.x1 >= s) break;
-        const Coord gx = std::max(a.x0, b.x0) - std::min(a.x1, b.x1);
-        const Coord gy = std::max(a.y0, b.y0) - std::min(a.y1, b.y1);
-        if (gx >= s || gy >= s) continue;
-        const bool same = labels[static_cast<std::size_t>(order[i])] ==
-                          labels[static_cast<std::size_t>(order[j])];
-        if (!same) {
-          if (gx >= 0 || gy >= 0) {  // disjoint regions too close
-            add(std::string(tech::name(l)) + ".space", a.bound(b),
-                "separation below minimum");
-          }
-          continue;
-        }
-        // Same electrical shape: a parallel-edge gap must be filled by the
-        // shape itself, otherwise it is a notch.
-        if (gx > 0 && gy < 0) {
-          const Rect gap{std::min(a.x1, b.x1), std::max(a.y0, b.y0),
-                         std::max(a.x0, b.x0), std::min(a.y1, b.y1)};
-          if (!set.covers(gap)) {
-            add(std::string(tech::name(l)) + ".notch", gap,
-                "notch narrower than minimum spacing");
-          }
-        } else if (gy > 0 && gx < 0) {
-          const Rect gap{std::max(a.x0, b.x0), std::min(a.y1, b.y1),
-                         std::min(a.x1, b.x1), std::max(a.y0, b.y0)};
-          if (!set.covers(gap)) {
-            add(std::string(tech::name(l)) + ".notch", gap,
-                "notch narrower than minimum spacing");
-          }
-        }
-      }
-    }
-  }
-
-  // ---- poly to unrelated diffusion ----
-  void check_poly_diff_spacing() {
-    const Coord s = tech_.poly_diff_space;
-    if (s <= 0) return;
-    const RectSet& poly = layer(Layer::Poly);
-    const RectSet& diff = layer(Layer::Diff);
-    if (poly.empty() || diff.empty()) return;
-    // Poly within s of diffusion is legal only near a gate or buried
-    // contact. (Morphological form of the classic rule: overhang regions
-    // cross the diffusion edge at distance zero by design.)
-    const RectSet excuse =
-        channels_.unite(layer(Layer::Buried)).dilated(s + tech_.lambda);
-    const RectSet near = poly.intersect(diff.dilated(s)).subtract(poly.intersect(diff));
-    const RectSet bad = near.subtract(excuse);
-    for (const auto& comp : bad.components()) {
-      Rect where;
-      for (const Rect& r : comp) where = where.bound(r);
-      add("poly.diff.space", where, "poly too close to unrelated diffusion");
-    }
-  }
-
-  // ---- contacts ----
-  void check_contacts() {
-    const RectSet& cuts = layer(Layer::Contact);
-    if (cuts.empty()) return;
-    const Coord size = tech_.contact_size;
-    const Coord sur = tech_.contact_surround;
-    const RectSet& metal = layer(Layer::Metal);
-    const RectSet& poly = layer(Layer::Poly);
-    const RectSet& diff = layer(Layer::Diff);
-    for (const auto& comp : cuts.components()) {
-      Rect bb;
-      std::int64_t area = 0;
-      for (const Rect& r : comp) {
-        bb = bb.bound(r);
-        area += r.area();
-      }
-      if (bb.width() != size || bb.height() != size || area != size * size) {
-        add("contact.size", bb, "contact cut must be exactly 2x2 lambda");
-        continue;
-      }
-      if (!metal.covers(bb.inflated(sur))) {
-        add("contact.metal.surround", bb, "metal must surround cut by 1 lambda");
-      }
-      const bool on_poly = poly.covers(bb.inflated(sur));
-      const bool on_diff = diff.covers(bb.inflated(sur));
-      if (!on_poly && !on_diff) {
-        add("contact.surround", bb,
-            "cut must be surrounded by poly or diffusion by 1 lambda");
-      }
-      // Cut to transistor channel.
-      for (const Rect& ch : channels_.rects()) {
-        const Coord gx = std::max(bb.x0, ch.x0) - std::min(bb.x1, ch.x1);
-        const Coord gy = std::max(bb.y0, ch.y0) - std::min(bb.y1, ch.y1);
-        if (gx < tech_.contact_to_gate && gy < tech_.contact_to_gate) {
-          add("contact.gate.space", bb.bound(ch), "cut too close to a gate");
-        }
-      }
-    }
-  }
-
-  // ---- transistors ----
-  void check_gates() {
-    const Coord ov_p = tech_.gate_poly_overhang;
-    const Coord ov_d = tech_.gate_diff_overhang;
-    const RectSet& poly = layer(Layer::Poly);
-    const RectSet& diff = layer(Layer::Diff);
-    for (const auto& comp : channels_.components()) {
-      Rect ch;
-      std::int64_t area = 0;
-      for (const Rect& r : comp) {
-        ch = ch.bound(r);
-        area += r.area();
-      }
-      if (area != ch.area()) {
-        add("gate.shape", ch, "non-rectangular transistor channel");
-        continue;
-      }
-      const bool horizontal =  // poly runs left-right across a vertical strip
-          poly.covers(ch.inflated(ov_p, 0)) && diff.covers(ch.inflated(0, ov_d));
-      const bool vertical =
-          poly.covers(ch.inflated(0, ov_p)) && diff.covers(ch.inflated(ov_d, 0));
-      if (!horizontal && !vertical) {
-        add("gate.overhang", ch,
-            "poly/diffusion must extend 2 lambda past the channel");
-      }
-    }
-  }
-
-  // ---- implant ----
-  void check_implant() {
-    const RectSet& implant = layer(Layer::Implant);
-    if (channels_.empty()) return;
-    for (const auto& comp : channels_.components()) {
-      Rect ch;
-      for (const Rect& r : comp) ch = ch.bound(r);
-      if (implant.intersects(ch)) {
-        // Depletion gate: implant must surround the channel fully.
-        if (!implant.covers(ch.inflated(tech_.implant_surround))) {
-          add("implant.surround", ch,
-              "implant must surround depletion gate by 1.5 lambda");
-        }
-      } else {
-        // Enhancement gate: implant must keep its distance.
-        if (implant.intersects(ch.inflated(tech_.implant_to_gate))) {
-          add("implant.gate.space", ch,
-              "implant too close to enhancement gate");
-        }
-      }
-    }
-  }
-
-  // ---- buried contacts ----
-  void check_buried() {
-    const RectSet& buried = layer(Layer::Buried);
-    if (buried.empty()) return;
-    const RectSet& poly = layer(Layer::Poly);
-    const RectSet& diff = layer(Layer::Diff);
-    for (const auto& comp : buried.components()) {
-      Rect bb;
-      for (const Rect& r : comp) bb = bb.bound(r);
-      if (!poly.covers(bb.inflated(tech_.buried_surround)) ||
-          !diff.covers(bb.inflated(tech_.buried_surround))) {
-        add("buried.surround", bb,
-            "buried window must be covered by poly and diffusion");
-      }
-    }
-  }
-
-  const Tech& tech_;
-  std::array<RectSet, tech::kNumLayers> layers_;
-  RectSet channels_;
-  Result result_;
-};
-
-}  // namespace
+// -------------------------------------------------------------- violations --
 
 std::string Violation::str() const {
   std::string s = rule + " at " + geom::to_string(where);
   if (!detail.empty()) s += " (" + detail + ")";
   return s;
+}
+
+bool operator<(const Violation& a, const Violation& b) {
+  return std::tie(a.rule, a.where.x0, a.where.y0, a.where.x1, a.where.y1,
+                  a.detail, a.anchor.x, a.anchor.y) <
+         std::tie(b.rule, b.where.x0, b.where.y0, b.where.x1, b.where.y1,
+                  b.detail, b.anchor.x, b.anchor.y);
 }
 
 std::string Result::summary() const {
@@ -287,13 +53,165 @@ std::size_t Result::count(const std::string& prefix) const {
   return n;
 }
 
-Result check(const layout::Cell& top, const tech::Tech& technology) {
+void Result::canonicalize() {
+  std::sort(violations.begin(), violations.end());
+  violations.erase(std::unique(violations.begin(), violations.end()),
+                   violations.end());
+}
+
+// ----------------------------------------------------------- verdict cache --
+
+std::shared_ptr<const std::vector<Violation>> VerdictCache::find(
+    const Key& k) const {
+  const std::lock_guard<std::mutex> lk(m_);
+  const auto it = map_.find(k);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+std::shared_ptr<const std::vector<Violation>> VerdictCache::store(
+    const Key& k, std::vector<Violation> violations) {
+  auto v = std::make_shared<const std::vector<Violation>>(std::move(violations));
+  const std::lock_guard<std::mutex> lk(m_);
+  return map_.emplace(k, std::move(v)).first->second;
+}
+
+std::size_t VerdictCache::size() const {
+  const std::lock_guard<std::mutex> lk(m_);
+  return map_.size();
+}
+
+// ------------------------------------------------------------ entry points --
+
+const char* to_string(Mode m) {
+  switch (m) {
+    case Mode::Flat: return "flat";
+    case Mode::Hier: return "hier";
+    case Mode::Tiled: return "tiled";
+  }
+  return "?";
+}
+
+Result check_flat(const std::vector<Shape>& shapes, const Tech& technology) {
+  const RuleEngine engine(technology);
+  LayerTable table(shapes, technology);
+  Result r;
+  engine.run(table, r);
+  r.canonicalize();
+  return r;
+}
+
+namespace {
+
+/// Fixed tile grid over the geometry's bounding box: side count depends on
+/// the shape count only, never on the thread count, so the partition (and
+/// with it the result) is identical however many workers run it.
+struct TileGrid {
+  Rect bbox;
+  int side = 1;
+
+  [[nodiscard]] int tiles() const { return side * side; }
+  [[nodiscard]] Rect tile(int idx) const {
+    const int ix = idx % side;
+    const int iy = idx / side;
+    const Coord w = bbox.width();
+    const Coord h = bbox.height();
+    return {bbox.x0 + w * ix / side, bbox.y0 + h * iy / side,
+            bbox.x0 + w * (ix + 1) / side, bbox.y0 + h * (iy + 1) / side};
+  }
+  /// The tile owning an anchor point (clamped into the grid).
+  [[nodiscard]] int owner(Coord x, Coord y) const {
+    const auto clamp_idx = [this](Coord num, Coord den) {
+      if (den <= 0) return Coord{0};
+      return std::clamp<Coord>(num * side / den, 0, side - 1);
+    };
+    const Coord ix = clamp_idx(x - bbox.x0, bbox.width());
+    const Coord iy = clamp_idx(y - bbox.y0, bbox.height());
+    return static_cast<int>(iy) * side + static_cast<int>(ix);
+  }
+};
+
+}  // namespace
+
+Result check_tiled(const std::vector<Shape>& shapes, const Tech& technology,
+                   int threads) {
+  const RuleEngine engine(technology);
+  constexpr std::size_t kTargetShapesPerTile = 384;
+
+  TileGrid grid;
+  for (const Shape& s : shapes) grid.bbox = grid.bbox.bound(s.rect);
+  grid.side = static_cast<int>(std::ceil(std::sqrt(
+      static_cast<double>(shapes.size()) / kTargetShapesPerTile)));
+  grid.side = std::clamp(grid.side, 1, 64);
+  if (grid.tiles() == 1) return check_flat(shapes, technology);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  int want = threads > 0 ? threads : static_cast<int>(hw);
+  if (hw >= 1) want = std::min(want, static_cast<int>(hw));
+  want = std::clamp(want, 1, grid.tiles());
+
+  // Halo: geometry farther than this from a tile cannot change verdicts
+  // inside it, so each tile checks the windowed evidence soup around its
+  // inflated core (unclipped rects — clipping would fabricate edges) and
+  // keeps the violations whose anchor corner the tile owns. The shared
+  // full table is pre-warmed (canonical rects + global connectivity
+  // labels) so workers only ever read it.
+  const Coord halo = engine.halo() + technology.lambda;
+  LayerTable full(shapes, technology);
+  engine.prewarm(full);  // workers only ever read the shared table
+  std::vector<Result> per_tile(static_cast<std::size_t>(grid.tiles()));
+  std::atomic<int> next{0};
+  const auto work = [&] {
+    for (;;) {
+      const int idx = next.fetch_add(1, std::memory_order_relaxed);
+      if (idx >= grid.tiles()) return;
+      const Rect core = grid.tile(idx);
+      LayerTable soup = full.window(geom::RectSet(core.inflated(halo)), halo);
+      Result r;
+      engine.run(soup, r);
+      Result& mine = per_tile[static_cast<std::size_t>(idx)];
+      for (Violation& v : r.violations) {
+        // Ownership by evidence anchor — a point on the offending
+        // geometry, so the owning tile's window is guaranteed to hold the
+        // evidence that decides the violation.
+        if (grid.owner(v.anchor.x, v.anchor.y) == idx) {
+          mine.violations.push_back(std::move(v));
+        }
+      }
+    }
+  };
+  std::vector<std::thread> crew;
+  for (int t = 1; t < want; ++t) crew.emplace_back(work);
+  work();
+  for (std::thread& t : crew) t.join();
+
+  Result out;
+  for (Result& r : per_tile) {
+    out.violations.insert(out.violations.end(),
+                          std::make_move_iterator(r.violations.begin()),
+                          std::make_move_iterator(r.violations.end()));
+  }
+  out.canonicalize();
+  return out;
+}
+
+Result check(const layout::Cell& top, const Tech& technology,
+             const CheckOptions& options) {
+  switch (options.mode) {
+    case Mode::Flat: return check_flat(layout::flatten(top), technology);
+    case Mode::Tiled:
+      return check_tiled(layout::flatten(top), technology, options.threads);
+    case Mode::Hier: return check_hier(top, technology, options.cache);
+  }
   return check_flat(layout::flatten(top), technology);
 }
 
-Result check_flat(const std::vector<Shape>& shapes, const tech::Tech& technology) {
-  Checker checker(shapes, technology);
-  return checker.run();
+Result check(const layout::Cell& top, const Tech& technology) {
+  return check_flat(layout::flatten(top), technology);
 }
 
 }  // namespace silc::drc

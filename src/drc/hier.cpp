@@ -1,0 +1,155 @@
+// Hierarchical DRC: prove each unique cell once, re-verify only the seams.
+//
+// An assembled-by-construction chip instantiates the same cells dozens of
+// times, so flat checking mostly re-derives verdicts it already knows. The
+// decomposition here is exact up to the halo contract (see drc.hpp):
+//
+//   * Every unique cell's verdict (violations in cell-local coordinates)
+//     is computed once — recursively, so a chip's PLA is itself taken
+//     apart — and cached by content hash in the VerdictCache, where a
+//     compile_many batch shares it across designs.
+//
+//   * Seams are the windows where instance bounding boxes, inflated by
+//     the max rule distance, overlap each other or the parent's own
+//     wiring. Outside the seams, all geometry within one rule-reach of a
+//     point belongs to a single instance (or to the parent wiring pool),
+//     so the isolated verdicts are exact there; inside them, the engine
+//     re-runs over the full local geometry (unclipped windowed soup with
+//     global connectivity labels) and its findings replace the isolated
+//     ones. The two keep-filters are exact complements, so nothing is
+//     reported twice or dropped.
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "drc/drc.hpp"
+#include "drc/rules.hpp"
+
+namespace silc::drc {
+
+namespace {
+
+using geom::Coord;
+using geom::Rect;
+using geom::RectSet;
+using layout::Cell;
+using layout::Instance;
+using layout::Shape;
+using tech::Tech;
+
+class HierChecker {
+ public:
+  HierChecker(const Tech& t, VerdictCache* cache)
+      : tech_(t), engine_(t), cache_(cache != nullptr ? cache : &local_) {}
+
+  Result check_top(const Cell& top) {
+    Result r;
+    r.violations = *verdict_of(top);  // already canonical
+    return r;
+  }
+
+ private:
+  std::shared_ptr<const std::vector<Violation>> verdict_of(const Cell& c) {
+    const auto seen = by_cell_.find(&c);
+    if (seen != by_cell_.end()) return seen->second;
+    const VerdictCache::Key key{tech_.drc_signature(), layout::geometry_hash(c),
+                                c.flat_shape_count(), c.bbox()};
+    auto v = cache_->find(key);
+    if (v == nullptr) {
+      Result r = check_cell(c);
+      v = cache_->store(key, std::move(r.violations));
+    }
+    by_cell_.emplace(&c, v);
+    return v;
+  }
+
+  Result check_cell(const Cell& cell) {
+    Result out;
+    if (cell.instances().empty()) {
+      LayerTable t(cell.shapes(), tech_);
+      engine_.run(t, out);
+      out.canonicalize();
+      return out;
+    }
+    const Coord h = engine_.halo() + tech_.lambda;
+
+    // Unique-cell verdicts, replicated through each instance transform.
+    std::vector<Violation> inherited;
+    std::vector<Rect> inst_bbox;
+    inst_bbox.reserve(cell.instances().size());
+    for (const Instance& i : cell.instances()) {
+      const auto v = verdict_of(*i.cell);
+      for (const Violation& viol : *v) {
+        inherited.push_back({viol.rule, i.transform.apply(viol.where),
+                             viol.detail, i.transform.apply(viol.anchor)});
+      }
+      inst_bbox.push_back(i.transform.apply(i.cell->bbox()));
+    }
+
+    // Interaction seams.
+    RectSet seams;
+    for (std::size_t i = 0; i < inst_bbox.size(); ++i) {
+      const Rect bi = inst_bbox[i].inflated(h);
+      for (std::size_t j = i + 1; j < inst_bbox.size(); ++j) {
+        const Rect w = bi.intersect(inst_bbox[j].inflated(h));
+        if (!w.empty()) seams.add(w);
+      }
+      for (const Shape& s : cell.shapes()) {
+        const Rect w = bi.intersect(s.rect.inflated(h));
+        if (!w.empty()) seams.add(w);
+      }
+    }
+
+    // The parent's own wiring, checked as one pool (wiring-to-wiring
+    // interactions never span a seam the pool cannot see: any wiring
+    // within rule-reach of an instance is in a seam and re-checked there).
+    Result pool;
+    {
+      LayerTable t(cell.shapes(), tech_);
+      engine_.run(t, pool);
+    }
+
+    const auto in_seams = [&seams](const Violation& v) {
+      return seams.intersects(v.where.inflated(1));
+    };
+    for (Violation& v : inherited) {
+      if (!in_seams(v)) out.violations.push_back(std::move(v));
+    }
+    for (Violation& v : pool.violations) {
+      if (!in_seams(v)) out.violations.push_back(std::move(v));
+    }
+
+    // Re-verify the seams against the full local geometry.
+    if (!seams.empty()) {
+      LayerTable full(layout::flatten(cell), tech_);
+      for (const auto& comp : seams.dilated(h).components()) {
+        LayerTable soup = full.window(RectSet(comp), h);
+        Result sr;
+        engine_.run(soup, sr);
+        for (Violation& v : sr.violations) {
+          if (in_seams(v)) out.violations.push_back(std::move(v));
+        }
+      }
+    }
+    out.canonicalize();
+    return out;
+  }
+
+  const Tech& tech_;
+  RuleEngine engine_;
+  VerdictCache* cache_;
+  VerdictCache local_;
+  std::map<const Cell*, std::shared_ptr<const std::vector<Violation>>> by_cell_;
+};
+
+}  // namespace
+
+Result check_hier(const Cell& top, const Tech& technology,
+                  VerdictCache* cache) {
+  HierChecker checker(technology, cache);
+  return checker.check_top(top);
+}
+
+}  // namespace silc::drc

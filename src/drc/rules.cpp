@@ -1,0 +1,461 @@
+#include "drc/rules.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <tuple>
+
+namespace silc::drc {
+
+using geom::Coord;
+using geom::Rect;
+using geom::RectSet;
+using tech::DerivedLayer;
+using tech::DrcRule;
+using tech::Layer;
+using tech::Tech;
+
+std::vector<std::string> component_semantic_layers(const Tech& t) {
+  std::vector<std::string> out;
+  for (const DrcRule& r : t.drc_rules) {
+    switch (r.kind) {
+      case DrcRule::Kind::SurroundAll:
+      case DrcRule::Kind::GateOverhang:
+      case DrcRule::Kind::ContactCut:
+        out.push_back(r.layer);
+        break;
+      case DrcRule::Kind::ImplantGates:
+        out.push_back(r.operands.at(0));
+        break;
+      default: break;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// -------------------------------------------------------------- LayerTable --
+
+LayerTable::LayerTable(const std::vector<layout::Shape>& shapes,
+                       const Tech& t)
+    : tech_(&t) {
+  for (const layout::Shape& s : shapes) {
+    masks_[tech::index(s.layer)].add(s.rect);
+  }
+}
+
+LayerTable::LayerTable(std::array<RectSet, tech::kNumLayers> masks,
+                       const Tech& t)
+    : tech_(&t), masks_(std::move(masks)) {}
+
+const RectSet& LayerTable::get(const std::string& name) {
+  for (int i = 0; i < tech::kNumLayers; ++i) {
+    const Layer l = static_cast<Layer>(i);
+    if (name == tech::name(l)) return masks_[tech::index(l)];
+  }
+  const auto cached = derived_.find(name);
+  if (cached != derived_.end()) return cached->second;
+  for (const DerivedLayer& d : tech_->drc_derived) {
+    if (d.name != name) continue;
+    const RectSet& a = get(d.a);
+    const RectSet& b = get(d.b);
+    RectSet v;
+    switch (d.op) {
+      case DerivedLayer::Op::Intersect: v = a.intersect(b); break;
+      case DerivedLayer::Op::Subtract: v = a.subtract(b); break;
+      case DerivedLayer::Op::Union: v = a.unite(b); break;
+    }
+    return derived_.emplace(name, std::move(v)).first->second;
+  }
+  throw std::runtime_error("drc: unknown layer expression '" + name + "'");
+}
+
+bool LayerTable::mask_layer(const std::string& name, Layer& out) {
+  for (int i = 0; i < tech::kNumLayers; ++i) {
+    const Layer l = static_cast<Layer>(i);
+    if (name == tech::name(l)) {
+      out = l;
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<int>& LayerTable::labels(Layer l) {
+  const std::size_t li = tech::index(l);
+  if (labels_done_[li]) return labels_[li];
+  const std::vector<Rect>& rects = masks_[li].rects();
+  if (label_ctx_ == nullptr) {
+    labels_[li] = geom::label_components(rects);
+  } else {
+    // Tag each windowed rect with its component in the full layout. The
+    // window's rects are an exact subset of the full canonical list
+    // (subset normalization is stable), so binary search in canonical
+    // order finds them; anything unmatched falls back to a fresh label.
+    const std::vector<Rect>& full = label_ctx_->mask(l).rects();
+    const std::vector<int>& full_labels = label_ctx_->labels(l);
+    const auto canon_less = [](const Rect& a, const Rect& b) {
+      return std::tie(a.y0, a.x0, a.y1, a.x1) < std::tie(b.y0, b.x0, b.y1, b.x1);
+    };
+    labels_[li].assign(rects.size(), 0);
+    int fresh = static_cast<int>(full.size());
+    for (std::size_t i = 0; i < rects.size(); ++i) {
+      const auto it =
+          std::lower_bound(full.begin(), full.end(), rects[i], canon_less);
+      if (it != full.end() && *it == rects[i]) {
+        labels_[li][i] = full_labels[static_cast<std::size_t>(it - full.begin())];
+      } else {
+        labels_[li][i] = fresh++;
+      }
+    }
+  }
+  labels_done_[li] = true;
+  return labels_[li];
+}
+
+LayerTable LayerTable::window(const geom::RectSet& win, Coord halo) {
+  std::array<RectSet, tech::kNumLayers> soup;
+  // Component-semantic layers first (from the rule table: cuts, buried
+  // windows, channels): whole components whose bbox meets the window, so
+  // no tile or seam ever judges a truncated component. A component that
+  // does not meet the window is omitted entirely — a truncated variant
+  // could anchor a phantom report. Pulled regions widen the collection
+  // window by the halo so their cover evidence is complete too.
+  std::array<bool, tech::kNumLayers> is_comp_mask{};
+  const auto pull = [this, halo](const RectSet& full, const geom::RectSet& w,
+                                 std::vector<Rect>& picked) {
+    for (const auto& comp : full.components()) {
+      Rect bb;
+      for (const Rect& r : comp) bb = bb.bound(r);
+      if (w.intersects(bb.inflated(1 + tech_->lambda))) {
+        picked.insert(picked.end(), comp.begin(), comp.end());
+      }
+    }
+  };
+  // Derived component layers (the channel) first: their pulled regions
+  // widen the window for everything else...
+  geom::RectSet pulled;
+  for (const std::string& expr : component_semantic_layers(*tech_)) {
+    Layer ml{};
+    if (mask_layer(expr, ml)) continue;
+    std::vector<Rect> picked;
+    pull(get(expr), win, picked);
+    for (const Rect& r : picked) pulled.add(r);
+  }
+  geom::RectSet win2 = pulled.empty() ? win : win.unite(pulled.dilated(halo));
+  // ...then component mask layers (cuts, buried windows) against the
+  // widened window, so e.g. a buried window shaving a pulled channel's far
+  // end is present; these layers enter the soup only as whole components.
+  for (const std::string& expr : component_semantic_layers(*tech_)) {
+    Layer ml{};
+    if (!mask_layer(expr, ml)) continue;
+    is_comp_mask[tech::index(ml)] = true;
+    std::vector<Rect> picked;
+    pull(masks_[tech::index(ml)], win2, picked);
+    if (!picked.empty()) {
+      for (const Rect& r : picked) pulled.add(r);
+      soup[tech::index(ml)] = RectSet(std::move(picked));
+    }
+  }
+  if (!pulled.empty()) win2 = win.unite(pulled.dilated(halo));
+
+  for (int i = 0; i < tech::kNumLayers; ++i) {
+    if (is_comp_mask[static_cast<std::size_t>(i)]) continue;
+    const std::vector<Rect>& full = masks_[static_cast<std::size_t>(i)].rects();
+    std::vector<char> in(full.size(), 0);
+    std::vector<Rect> picked;
+    for (std::size_t j = 0; j < full.size(); ++j) {
+      if (win2.intersects(full[j].inflated(1))) {
+        in[j] = 1;
+        picked.push_back(full[j]);
+      }
+    }
+    if (picked.empty()) continue;
+    if (picked.size() < full.size()) {
+      const RectSet base(picked);
+      for (std::size_t j = 0; j < full.size(); ++j) {
+        if (in[j] == 0 && base.intersects(full[j].inflated(1))) {
+          picked.push_back(full[j]);
+        }
+      }
+    }
+    soup[static_cast<std::size_t>(i)] = RectSet(std::move(picked));
+  }
+  LayerTable out(std::move(soup), *tech_);
+  out.set_label_context(this);
+  return out;
+}
+
+// -------------------------------------------------------------- RuleEngine --
+
+namespace {
+
+void add(Result& out, std::string rule, const Rect& where, std::string detail,
+         geom::Point anchor) {
+  out.violations.push_back(
+      {std::move(rule), where, std::move(detail), anchor});
+}
+
+// Halving that commutes with translation and Manhattan transforms (plain
+// `/ 2` truncates toward zero, which would make a width violation found in
+// negative cell-local coordinates land one unit off after the instance
+// transform back into chip coordinates).
+constexpr Coord floor_div2(Coord a) { return a >= 0 ? a / 2 : -((-a + 1) / 2); }
+constexpr Coord ceil_div2(Coord a) { return a >= 0 ? (a + 1) / 2 : -(-a / 2); }
+
+/// Bounding box (and area) of one connected component.
+Rect component_bbox(const std::vector<Rect>& comp, std::int64_t* area = nullptr) {
+  Rect bb;
+  std::int64_t a = 0;
+  for (const Rect& r : comp) {
+    bb = bb.bound(r);
+    a += r.area();
+  }
+  if (area != nullptr) *area = a;
+  return bb;
+}
+
+}  // namespace
+
+RuleEngine::RuleEngine(const Tech& t) : tech_(&t), halo_(t.max_rule_dist()) {}
+
+void RuleEngine::prewarm(LayerTable& g) const {
+  for (int i = 0; i < tech::kNumLayers; ++i) {
+    g.labels(static_cast<Layer>(i));  // also normalizes the canonical rects
+  }
+  for (const DrcRule& r : tech_->drc_rules) {
+    (void)g.get(r.layer);
+    for (const std::string& o : r.operands) (void)g.get(o);
+    if (!r.excuse.empty()) (void)g.get(r.excuse);
+  }
+}
+
+void RuleEngine::run(LayerTable& g, Result& out) const {
+  for (const DrcRule& r : tech_->drc_rules) {
+    switch (r.kind) {
+      case DrcRule::Kind::Width: eval_width(r, g, out); break;
+      case DrcRule::Kind::Spacing: eval_spacing(r, g, out); break;
+      case DrcRule::Kind::CrossSpacing: eval_cross_spacing(r, g, out); break;
+      case DrcRule::Kind::SurroundAll: eval_surround_all(r, g, out); break;
+      case DrcRule::Kind::ContactCut: eval_contact_cut(r, g, out); break;
+      case DrcRule::Kind::GateOverhang: eval_gate_overhang(r, g, out); break;
+      case DrcRule::Kind::ImplantGates: eval_implant_gates(r, g, out); break;
+    }
+  }
+}
+
+void RuleEngine::eval_width(const DrcRule& r, LayerTable& g,
+                            Result& out) const {
+  const Coord w = r.dist;
+  const RectSet& s = g.get(r.layer);
+  if (w <= 0 || s.empty()) return;
+  // In doubled coordinates every feature has even width, so "width < w"
+  // is exactly "width <= 2w - 2 in doubled space", which morphological
+  // opening with radius w-1 detects with no boundary ambiguity.
+  const RectSet s2 = s.scaled(2);
+  const RectSet opened = s2.eroded(w - 1).dilated(w - 1);
+  const RectSet thin = s2.subtract(opened);
+  // One violation per canonical rect of the thin region: thinness is a
+  // w-local property, so each report (and its anchor, which lies on the
+  // feature) is decided by geometry within the halo — grouping into
+  // components would tie a report to evidence arbitrarily far away.
+  for (const Rect& t : thin.rects()) {
+    const Rect where{floor_div2(t.x0), floor_div2(t.y0), ceil_div2(t.x1),
+                     ceil_div2(t.y1)};
+    add(out, r.name + ".width", where, "feature narrower than minimum width",
+        where.ll());
+  }
+}
+
+void RuleEngine::eval_spacing(const DrcRule& r, LayerTable& g,
+                              Result& out) const {
+  const Coord s = r.dist;
+  const RectSet& set = g.get(r.layer);
+  if (s <= 0 || set.empty()) return;
+  const std::vector<Rect>& rects = set.rects();
+  // Electrical connectivity: per-table labels, routed through the label
+  // context (global components) when this table is a windowed subset.
+  Layer ml{};
+  const bool is_mask = LayerTable::mask_layer(r.layer, ml);
+  std::vector<int> local_labels;
+  if (!is_mask) local_labels = geom::label_components(rects);
+  const std::vector<int>& labels = is_mask ? g.labels(ml) : local_labels;
+
+  // Sweep by x: only rect pairs within `s` in x can violate.
+  std::vector<int> order(rects.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&rects](int a, int b) {
+    return rects[static_cast<std::size_t>(a)].x0 <
+           rects[static_cast<std::size_t>(b)].x0;
+  });
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Rect& a = rects[static_cast<std::size_t>(order[i])];
+    for (std::size_t j = i + 1; j < order.size(); ++j) {
+      const Rect& b = rects[static_cast<std::size_t>(order[j])];
+      if (b.x0 - a.x1 >= s) break;
+      const Coord gx = std::max(a.x0, b.x0) - std::min(a.x1, b.x1);
+      const Coord gy = std::max(a.y0, b.y0) - std::min(a.y1, b.y1);
+      if (gx >= s || gy >= s) continue;
+      const bool same = labels[static_cast<std::size_t>(order[i])] ==
+                        labels[static_cast<std::size_t>(order[j])];
+      // The offending gap: per axis, the overlap range when the rects
+      // overlap, the separation range when they are apart. Every point of
+      // it is within the rule distance of both rects, so the report (and
+      // the anchor) stays local to the offence — a.bound(b) would not.
+      const Rect gap = geom::rect_from_corners(
+          {std::max(a.x0, b.x0), std::max(a.y0, b.y0)},
+          {std::min(a.x1, b.x1), std::min(a.y1, b.y1)});
+      if (!same) {
+        if (gx >= 0 || gy >= 0) {  // disjoint regions too close
+          add(out, r.name + ".space", gap, "separation below minimum",
+              gap.ll());
+        }
+        continue;
+      }
+      // Same electrical shape: a parallel-edge gap must be filled by the
+      // shape itself, otherwise it is a notch.
+      if ((gx > 0 && gy < 0) || (gy > 0 && gx < 0)) {
+        if (!set.covers(gap)) {
+          add(out, r.name + ".notch", gap,
+              "notch narrower than minimum spacing", gap.ll());
+        }
+      }
+    }
+  }
+}
+
+void RuleEngine::eval_cross_spacing(const DrcRule& r, LayerTable& g,
+                                    Result& out) const {
+  const Coord s = r.dist;
+  const RectSet& a = g.get(r.layer);
+  const RectSet& b = g.get(r.operands.at(0));
+  if (s <= 0 || a.empty() || b.empty()) return;
+  // `layer` within s of `other` is legal only inside the excuse region
+  // (morphological form of the classic rule: overhang regions cross the
+  // diffusion edge at distance zero by design).
+  const RectSet excuse = g.get(r.excuse).dilated(r.dist2);
+  const RectSet near = a.intersect(b.dilated(s)).subtract(a.intersect(b));
+  const RectSet bad = near.subtract(excuse);
+  // Per canonical rect (not per component): each report is decided by
+  // geometry within dist + dist2 of itself, keeping it windowing-safe.
+  for (const Rect& br : bad.rects()) {
+    add(out, r.name + ".space", br,
+        r.layer + " too close to unrelated " + r.operands.at(0), br.ll());
+  }
+}
+
+void RuleEngine::eval_surround_all(const DrcRule& r, LayerTable& g,
+                                   Result& out) const {
+  const RectSet& set = g.get(r.layer);
+  if (set.empty()) return;
+  for (const auto& comp : set.components()) {
+    const Rect bb = component_bbox(comp);
+    bool covered = true;
+    for (const std::string& cover : r.operands) {
+      covered = covered && g.get(cover).covers(bb.inflated(r.dist));
+    }
+    if (!covered) {
+      add(out, r.name + ".surround", bb,
+          r.name + " window must be covered by " + r.operands.front() +
+              " and " + r.operands.back(),
+          comp.front().ll());
+    }
+  }
+}
+
+void RuleEngine::eval_contact_cut(const DrcRule& r, LayerTable& g,
+                                  Result& out) const {
+  const RectSet& cuts = g.get(r.layer);
+  if (cuts.empty()) return;
+  const Coord size = r.dist;
+  const Coord sur = r.dist2;
+  const RectSet& metal = g.get(r.operands.at(0));
+  const RectSet& poly = g.get(r.operands.at(1));
+  const RectSet& diff = g.get(r.operands.at(2));
+  const RectSet& gates = g.get(r.operands.at(3));
+  for (const auto& comp : cuts.components()) {
+    std::int64_t area = 0;
+    const Rect bb = component_bbox(comp, &area);
+    const geom::Point anchor = comp.front().ll();
+    if (bb.width() != size || bb.height() != size || area != size * size) {
+      add(out, r.name + ".size", bb, "contact cut must be exactly 2x2 lambda",
+          anchor);
+      continue;
+    }
+    if (!metal.covers(bb.inflated(sur))) {
+      add(out, r.name + ".metal.surround", bb,
+          "metal must surround cut by 1 lambda", anchor);
+    }
+    const bool on_poly = poly.covers(bb.inflated(sur));
+    const bool on_diff = diff.covers(bb.inflated(sur));
+    if (!on_poly && !on_diff) {
+      add(out, r.name + ".surround", bb,
+          "cut must be surrounded by poly or diffusion by 1 lambda", anchor);
+    }
+    // Cut to transistor channel: Chebyshev distance below dist3. A channel
+    // rect violates exactly when it overlaps the cut bbox inflated by the
+    // rule distance, which the windowed query answers without scanning the
+    // whole channel layer.
+    for (const Rect& ch : gates.overlapping(bb.inflated(r.dist3))) {
+      if (ch.overlaps(bb.inflated(r.dist3))) {
+        add(out, r.name + ".gate.space", bb.bound(ch),
+            "cut too close to a gate", anchor);
+      }
+    }
+  }
+}
+
+void RuleEngine::eval_gate_overhang(const DrcRule& r, LayerTable& g,
+                                    Result& out) const {
+  const Coord ov_p = r.dist;
+  const Coord ov_d = r.dist2;
+  const RectSet& channels = g.get(r.layer);
+  if (channels.empty()) return;
+  const RectSet& poly = g.get(r.operands.at(0));
+  const RectSet& diff = g.get(r.operands.at(1));
+  for (const auto& comp : channels.components()) {
+    std::int64_t area = 0;
+    const Rect ch = component_bbox(comp, &area);
+    const geom::Point anchor = comp.front().ll();
+    if (area != ch.area()) {
+      add(out, r.name + ".shape", ch, "non-rectangular transistor channel",
+          anchor);
+      continue;
+    }
+    const bool horizontal =  // poly runs left-right across a vertical strip
+        poly.covers(ch.inflated(ov_p, 0)) && diff.covers(ch.inflated(0, ov_d));
+    const bool vertical =
+        poly.covers(ch.inflated(0, ov_p)) && diff.covers(ch.inflated(ov_d, 0));
+    if (!horizontal && !vertical) {
+      add(out, r.name + ".overhang", ch,
+          "poly/diffusion must extend 2 lambda past the channel", anchor);
+    }
+  }
+}
+
+void RuleEngine::eval_implant_gates(const DrcRule& r, LayerTable& g,
+                                    Result& out) const {
+  const RectSet& implant = g.get(r.layer);
+  const RectSet& channels = g.get(r.operands.at(0));
+  if (channels.empty()) return;
+  for (const auto& comp : channels.components()) {
+    const Rect ch = component_bbox(comp);
+    const geom::Point anchor = comp.front().ll();
+    if (implant.intersects(ch)) {
+      // Depletion gate: implant must surround the channel fully.
+      if (!implant.covers(ch.inflated(r.dist))) {
+        add(out, r.name + ".surround", ch,
+            "implant must surround depletion gate by 1.5 lambda", anchor);
+      }
+    } else {
+      // Enhancement gate: implant must keep its distance.
+      if (implant.intersects(ch.inflated(r.dist2))) {
+        add(out, r.name + ".gate.space", ch,
+            "implant too close to enhancement gate", anchor);
+      }
+    }
+  }
+}
+
+}  // namespace silc::drc

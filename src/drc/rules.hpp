@@ -1,0 +1,133 @@
+// The data-driven DRC core: a rule table interpreter over named layer
+// expressions.
+//
+// LayerTable is the geometry context one check runs against: the seven
+// mask-layer RectSets plus a lazy, memoized cache of the technology's
+// derived layers (tech::DerivedLayer) — `channel` = poly ∩ diff − buried
+// is computed once and shared by the cross-spacing excuse, the contact
+// cut-to-gate rule, the transistor overhang rule, and both implant rules.
+//
+// RuleEngine interprets tech::Tech::drc_rules entry by entry. Each
+// DrcRule::Kind has one evaluator; the rule's layer names, distances, and
+// violation-name prefix are data, so a new technology (or an extra rule in
+// an existing one) is a table edit, not code. The engine itself is
+// window-agnostic: flat, tiled, and hierarchical checking all build a
+// LayerTable for their region of interest, run the same engine, and apply
+// their own ownership filter to the violations.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "drc/drc.hpp"
+#include "geom/rectset.hpp"
+#include "layout/layout.hpp"
+#include "tech/tech.hpp"
+
+namespace silc::drc {
+
+/// Layer expressions whose rules judge whole components (from the rule
+/// table: SurroundAll/ContactCut/GateOverhang layers, ImplantGates'
+/// channel operand). Windowed checks pull these as complete components.
+[[nodiscard]] std::vector<std::string> component_semantic_layers(
+    const tech::Tech& t);
+
+/// Geometry context for one engine run: mask layers + derived-layer cache.
+class LayerTable {
+ public:
+  LayerTable(const std::vector<layout::Shape>& shapes, const tech::Tech& t);
+  LayerTable(std::array<geom::RectSet, tech::kNumLayers> masks,
+             const tech::Tech& t);
+
+  [[nodiscard]] const geom::RectSet& mask(tech::Layer l) const {
+    return masks_[tech::index(l)];
+  }
+  /// Resolve a layer expression name: a mask layer name ("poly") or a
+  /// derived layer from the technology's table, evaluated on demand and
+  /// memoized. Unknown names throw std::runtime_error.
+  const geom::RectSet& get(const std::string& name);
+
+  /// Resolve a mask layer by expression name; false for derived names.
+  [[nodiscard]] static bool mask_layer(const std::string& name,
+                                       tech::Layer& out);
+
+  /// Connectivity oracle for windowed runs: `ctx` is the table of the
+  /// *full* geometry this one is a windowed subset of. Spacing rules then
+  /// label shapes by their component in the full layout, so two shapes
+  /// connected only through geometry outside the window are still
+  /// recognized as one net. The context must outlive this table.
+  void set_label_context(LayerTable* ctx) { label_ctx_ = ctx; }
+
+  /// Component labels for this table's canonical rects of mask layer `l`
+  /// (memoized). With a label context, each rect is looked up in the full
+  /// layer and tagged with its global component instead.
+  const std::vector<int>& labels(tech::Layer l);
+
+  /// Windowed evidence table: every rect whose closed region meets `win`,
+  /// plus one ring of same-layer neighbors (so features widened or
+  /// connected by a rect just beyond the window edge keep their evidence),
+  /// all unclipped — clipping would fabricate edges and with them phantom
+  /// width violations. Component-semantic layers (contact cuts, buried
+  /// windows) are pulled as whole components whenever their bbox meets the
+  /// window — a truncated component would change meaning, not just extent
+  /// — and every layer is then collected out to `halo` around the pulled
+  /// region so their cover evidence is complete. The result's label
+  /// context is this table, which must outlive it.
+  [[nodiscard]] LayerTable window(const geom::RectSet& win, geom::Coord halo);
+
+ private:
+  const tech::Tech* tech_;
+  std::array<geom::RectSet, tech::kNumLayers> masks_;
+  std::map<std::string, geom::RectSet> derived_;
+  LayerTable* label_ctx_ = nullptr;
+  std::array<std::vector<int>, tech::kNumLayers> labels_;
+  std::array<bool, tech::kNumLayers> labels_done_{};
+};
+
+/// The rule-table interpreter. Construct once per technology; run against
+/// as many LayerTables as needed (per cell, per tile, per seam window).
+class RuleEngine {
+ public:
+  explicit RuleEngine(const tech::Tech& t);
+
+  /// Evaluate every table rule against `g`, appending violations to `out`
+  /// (unsorted; callers canonicalize via Result::canonicalize()).
+  void run(LayerTable& g, Result& out) const;
+
+  /// Force-evaluate everything lazy a shared table may serve concurrently
+  /// (derived layers referenced by any rule, per-layer labels, canonical
+  /// rects) so worker threads only ever read it.
+  void prewarm(LayerTable& g) const;
+
+  /// Layer expressions whose rules judge whole components (contact cuts,
+  /// buried windows, transistor channels): windowed checks must pull these
+  /// as complete components, never truncated.
+  [[nodiscard]] std::vector<std::string> component_semantic_layers() const {
+    return drc::component_semantic_layers(*tech_);
+  }
+
+  /// Halo distance for windowed checking (tech::Tech::max_rule_dist()).
+  [[nodiscard]] geom::Coord halo() const { return halo_; }
+  [[nodiscard]] const tech::Tech& tech() const { return *tech_; }
+
+ private:
+  void eval_width(const tech::DrcRule& r, LayerTable& g, Result& out) const;
+  void eval_spacing(const tech::DrcRule& r, LayerTable& g, Result& out) const;
+  void eval_cross_spacing(const tech::DrcRule& r, LayerTable& g,
+                          Result& out) const;
+  void eval_surround_all(const tech::DrcRule& r, LayerTable& g,
+                         Result& out) const;
+  void eval_contact_cut(const tech::DrcRule& r, LayerTable& g,
+                        Result& out) const;
+  void eval_gate_overhang(const tech::DrcRule& r, LayerTable& g,
+                          Result& out) const;
+  void eval_implant_gates(const tech::DrcRule& r, LayerTable& g,
+                          Result& out) const;
+
+  const tech::Tech* tech_;
+  geom::Coord halo_;
+};
+
+}  // namespace silc::drc

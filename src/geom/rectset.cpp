@@ -218,15 +218,59 @@ bool RectSet::contains(Point p) const {
 
 bool RectSet::covers(const Rect& r) const {
   if (r.empty()) return true;
-  return run_op({r}, rects(), Op::Subtract).empty();
+  // Only rects overlapping `r` can contribute to covering it, and the
+  // canonical list is sorted by y0, so the scan ends at the first band
+  // past r — per-query cost is local, not a full-region sweep.
+  std::vector<Rect> local;
+  for (const Rect& s : rects()) {
+    if (s.y0 >= r.y1) break;
+    if (s.overlaps(r)) local.push_back(s);
+  }
+  return run_op({r}, local, Op::Subtract).empty();
 }
 
 bool RectSet::intersects(const Rect& r) const {
   if (r.empty()) return false;
   for (const Rect& s : rects()) {
+    if (s.y0 >= r.y1) break;
     if (s.overlaps(r)) return true;
   }
   return false;
+}
+
+std::vector<Rect> RectSet::overlapping(const Rect& w) const {
+  std::vector<Rect> out;
+  for (const Rect& s : rects()) {
+    if (s.y0 > w.y1) break;
+    if (s.touches(w)) out.push_back(s);
+  }
+  return out;
+}
+
+RectSet RectSet::clipped(const Rect& w) const {
+  RectSet out;
+  for (const Rect& s : rects()) {
+    if (s.y0 >= w.y1) break;
+    const Rect c = s.intersect(w);
+    if (!c.empty()) out.rects_.push_back(c);
+  }
+  out.dirty_ = true;  // clipping can expose vertical merges
+  return out;
+}
+
+std::uint64_t RectSet::hash() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const Rect& r : rects()) {
+    mix(static_cast<std::uint64_t>(r.x0));
+    mix(static_cast<std::uint64_t>(r.y0));
+    mix(static_cast<std::uint64_t>(r.x1));
+    mix(static_cast<std::uint64_t>(r.y1));
+  }
+  return h;
 }
 
 RectSet RectSet::unite(const RectSet& o) const {

@@ -35,6 +35,16 @@ class RectSet {
   /// True when `r`'s interior meets the region's interior.
   [[nodiscard]] bool intersects(const Rect& r) const;
 
+  /// Windowed query: the canonical rects whose closed region meets the
+  /// closed window `w`, unclipped, in canonical order. This is the query
+  /// surface tiled/hierarchical DRC and future region-local analyses are
+  /// built on — O(rects up to the window's top band) with no sweep.
+  [[nodiscard]] std::vector<Rect> overlapping(const Rect& w) const;
+  /// The region clipped to the window `w` (canonical).
+  [[nodiscard]] RectSet clipped(const Rect& w) const;
+  /// FNV-1a hash of the canonical decomposition: equal regions hash equal.
+  [[nodiscard]] std::uint64_t hash() const;
+
   [[nodiscard]] RectSet unite(const RectSet& o) const;
   [[nodiscard]] RectSet intersect(const RectSet& o) const;
   [[nodiscard]] RectSet subtract(const RectSet& o) const;

@@ -1,6 +1,7 @@
 #include "layout/layout.hpp"
 
 #include <cassert>
+#include <map>
 #include <set>
 
 namespace silc::layout {
@@ -143,6 +144,42 @@ std::vector<const Cell*> dependency_order(const Cell& top) {
   std::vector<const Cell*> order;
   visit(top, seen, order);
   return order;
+}
+
+namespace {
+
+std::uint64_t hash_cell(const Cell& c, std::map<const Cell*, std::uint64_t>& memo) {
+  const auto it = memo.find(&c);
+  if (it != memo.end()) return it->second;
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(c.shapes().size());
+  for (const Shape& s : c.shapes()) {
+    mix(static_cast<std::uint64_t>(s.layer));
+    mix(static_cast<std::uint64_t>(s.rect.x0));
+    mix(static_cast<std::uint64_t>(s.rect.y0));
+    mix(static_cast<std::uint64_t>(s.rect.x1));
+    mix(static_cast<std::uint64_t>(s.rect.y1));
+  }
+  mix(c.instances().size());
+  for (const Instance& i : c.instances()) {
+    mix(hash_cell(*i.cell, memo));
+    mix(static_cast<std::uint64_t>(i.transform.orient));
+    mix(static_cast<std::uint64_t>(i.transform.offset.x));
+    mix(static_cast<std::uint64_t>(i.transform.offset.y));
+  }
+  memo.emplace(&c, h);
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t geometry_hash(const Cell& top) {
+  std::map<const Cell*, std::uint64_t> memo;
+  return hash_cell(top, memo);
 }
 
 }  // namespace silc::layout

@@ -138,4 +138,11 @@ struct Flattened {
 /// children before parents (a valid CIF emission order).
 [[nodiscard]] std::vector<const Cell*> dependency_order(const Cell& top);
 
+/// Content hash of a cell's mask geometry: own shapes plus, recursively,
+/// each instance's (child hash, transform). Ports and labels are excluded
+/// — two cells with identical drawn geometry hash equal even across
+/// libraries, which is what keys the DRC per-cell verdict cache. Shared
+/// subtrees are memoized, so the cost is linear in unique cells.
+[[nodiscard]] std::uint64_t geometry_hash(const Cell& top);
+
 }  // namespace silc::layout

@@ -87,9 +87,11 @@ void CompiledSim::init(const SimConfig& config) {
   scratch_.assign(tape_.dffs.size() * w);
 
   int threads = config.threads;
-  if (threads == 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (threads == 0) threads = static_cast<int>(hw);
+  // Clamp to the machine: oversubscribed workers only add barrier traffic
+  // (and when the clamp yields 1 no pool is built at all, below).
+  if (hw >= 1) threads = std::min(threads, static_cast<int>(hw));
   threads = std::clamp(threads, 1, 64);
   if (threads > 1 &&
       TapePool::worth_threading(tape_, config.parallel_min_ops)) {

@@ -39,6 +39,95 @@ bool layer_from_cif(const std::string& s, Layer& out) {
   return false;
 }
 
+void Tech::rebuild_drc_tables() {
+  drc_derived.clear();
+  drc_rules.clear();
+
+  // Transistor channels: poly over diff, except where a buried contact
+  // merges the two layers; the excuse region for poly near diffusion.
+  drc_derived.push_back({"gate_overlap", DerivedLayer::Op::Intersect, "poly", "diff"});
+  drc_derived.push_back({"channel", DerivedLayer::Op::Subtract, "gate_overlap", "buried"});
+  drc_derived.push_back({"gate_excuse", DerivedLayer::Op::Union, "channel", "buried"});
+
+  for (int i = 0; i < kNumLayers; ++i) {
+    const Layer l = static_cast<Layer>(i);
+    if (min_width[index(l)] > 0) {
+      drc_rules.push_back({DrcRule::Kind::Width, tech::name(l), tech::name(l), {}, "",
+                           min_width[index(l)], 0, 0});
+    }
+    if (min_space[index(l)] > 0) {
+      drc_rules.push_back({DrcRule::Kind::Spacing, tech::name(l), tech::name(l), {}, "",
+                           min_space[index(l)], 0, 0});
+    }
+  }
+  if (poly_diff_space > 0) {
+    drc_rules.push_back({DrcRule::Kind::CrossSpacing, "poly.diff", "poly",
+                         {"diff"}, "gate_excuse", poly_diff_space,
+                         poly_diff_space + lambda, 0});
+  }
+  if (contact_size > 0) {
+    drc_rules.push_back({DrcRule::Kind::ContactCut, "contact", "contact",
+                         {"metal", "poly", "diff", "channel"}, "",
+                         contact_size, contact_surround, contact_to_gate});
+  }
+  if (gate_poly_overhang > 0 || gate_diff_overhang > 0) {
+    drc_rules.push_back({DrcRule::Kind::GateOverhang, "gate", "channel",
+                         {"poly", "diff"}, "", gate_poly_overhang,
+                         gate_diff_overhang, 0});
+  }
+  if (implant_surround > 0 || implant_to_gate > 0) {
+    drc_rules.push_back({DrcRule::Kind::ImplantGates, "implant", "implant",
+                         {"channel"}, "", implant_surround, implant_to_gate,
+                         0});
+  }
+  drc_rules.push_back({DrcRule::Kind::SurroundAll, "buried", "buried",
+                       {"poly", "diff"}, "", buried_surround, 0, 0});
+}
+
+Coord Tech::max_rule_dist() const {
+  Coord m = lambda;
+  for (const DrcRule& r : drc_rules) {
+    // Conservative per-rule reach: every distance the evaluator may add
+    // on top of another (cross-spacing dilates the excuse by dist2 on top
+    // of the dist-dilated proximity region).
+    m = std::max(m, r.dist + r.dist2 + r.dist3);
+  }
+  return m + lambda;
+}
+
+std::uint64_t Tech::drc_signature() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  const auto mix_str = [&mix](const std::string& s) {
+    mix(s.size());
+    for (const char c : s) mix(static_cast<unsigned char>(c));
+  };
+  mix(static_cast<std::uint64_t>(lambda));
+  mix(drc_derived.size());
+  for (const DerivedLayer& d : drc_derived) {
+    mix_str(d.name);
+    mix(static_cast<std::uint64_t>(d.op));
+    mix_str(d.a);
+    mix_str(d.b);
+  }
+  mix(drc_rules.size());
+  for (const DrcRule& r : drc_rules) {
+    mix(static_cast<std::uint64_t>(r.kind));
+    mix_str(r.name);
+    mix_str(r.layer);
+    mix(r.operands.size());
+    for (const std::string& o : r.operands) mix_str(o);
+    mix_str(r.excuse);
+    mix(static_cast<std::uint64_t>(r.dist));
+    mix(static_cast<std::uint64_t>(r.dist2));
+    mix(static_cast<std::uint64_t>(r.dist3));
+  }
+  return h;
+}
+
 const Tech& nmos() {
   static const Tech t = [] {
     Tech t;
@@ -80,6 +169,7 @@ const Tech& nmos() {
     // not a channel. This keeps gate-source ties (PLA pullups) free of
     // parasitic sliver channels.
     t.buried_surround = 0;
+    t.rebuild_drc_tables();
     return t;
   }();
   return t;

@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "geom/geom.hpp"
 
@@ -45,6 +46,62 @@ inline constexpr int kNumLayers = 7;
   return l == Layer::Diff || l == Layer::Poly || l == Layer::Metal;
 }
 
+/// A named derived layer: `name = op(a, b)` where the operands are mask
+/// layer names ("poly", "diff", ...) or derived names defined earlier in
+/// the list. The DRC engine evaluates these lazily and memoizes them, so a
+/// term like the transistor channel (`poly ∩ diff − buried`) is computed
+/// once per checked region and shared by every rule that reads it.
+struct DerivedLayer {
+  enum class Op : std::uint8_t { Intersect, Subtract, Union };
+  std::string name;
+  Op op{};
+  std::string a, b;
+};
+
+/// One entry of the design-rule table. Rules are data: a kind the engine
+/// knows how to evaluate, layer-expression operand names, and distances in
+/// coordinate units. Violation rule strings are `<name>.<sub>` where <sub>
+/// depends on the kind (width, space, notch, surround, ...).
+///
+/// Operand conventions per kind:
+///   Width        layer; dist = minimum drawn width
+///   Spacing      layer; dist = minimum space between electrically
+///                distinct shapes (also notch depth inside one shape)
+///   CrossSpacing layer must stay dist away from operands[0], except
+///                within excuse dilated by dist2
+///   SurroundAll  every component of layer must be covered by each of
+///                operands[...] inflated... i.e. each operand covers the
+///                component bbox inflated by dist
+///   ContactCut   layer components must be exactly dist x dist squares,
+///                covered by operands[0] (metal) and by operands[1] or
+///                operands[2] (poly/diff) inflated by dist2, and keep
+///                Chebyshev distance dist3 from operands[3] (the channel)
+///   GateOverhang layer (the channel) components must be rectangular with
+///                operands[0] (poly) overhang dist and operands[1] (diff)
+///                overhang dist2 in one of the two orientations
+///   ImplantGates layer (implant) must surround operands[0] (channel)
+///                components it meets by dist and stay dist2 away from
+///                components it does not meet
+struct DrcRule {
+  enum class Kind : std::uint8_t {
+    Width,
+    Spacing,
+    CrossSpacing,
+    SurroundAll,
+    ContactCut,
+    GateOverhang,
+    ImplantGates,
+  };
+  Kind kind{};
+  std::string name;                   // violation prefix, e.g. "metal"
+  std::string layer;                  // primary layer expression
+  std::vector<std::string> operands;  // secondary expressions (see kinds)
+  std::string excuse;                 // CrossSpacing: legalizing region
+  geom::Coord dist = 0;
+  geom::Coord dist2 = 0;
+  geom::Coord dist3 = 0;
+};
+
 /// A technology: rule tables in half-lambda coordinate units.
 struct Tech {
   std::string name;
@@ -70,9 +127,34 @@ struct Tech {
   Coord implant_to_gate = 0;      // implant to enhancement channel
   Coord buried_surround = 0;      // poly & diff surround of buried window
 
+  /// The DRC rule table the engine interprets (see DrcRule). New
+  /// technologies are data: fill the scalar fields above and call
+  /// rebuild_drc_tables() for the standard NMOS-shaped rule set, or write
+  /// custom entries directly.
+  std::vector<DerivedLayer> drc_derived;
+  std::vector<DrcRule> drc_rules;
+
   [[nodiscard]] Coord lam(int n) const { return n * lambda; }
   /// n half-lambdas (for 1.5-lambda rules: half_lam(3)).
   [[nodiscard]] static constexpr Coord half_lam(int n) { return n; }
+
+  /// Regenerate drc_derived/drc_rules from the scalar rule fields: one
+  /// width + spacing entry per layer, poly-to-unrelated-diffusion cross
+  /// spacing (excused near gates and buried contacts), contact cut rules,
+  /// transistor overhangs, implant rules, and buried-window surround.
+  void rebuild_drc_tables();
+
+  /// The largest interaction distance any rule can reach: geometry farther
+  /// apart than this cannot affect one another's verdict. Tiled and
+  /// hierarchical DRC use it as the halo around tile cores and interaction
+  /// windows.
+  [[nodiscard]] Coord max_rule_dist() const;
+
+  /// Content hash of the DRC rule set (derived layers + rule table +
+  /// lambda): two technologies check identically iff their signatures
+  /// match. The per-cell verdict cache keys on this, so editing a table
+  /// invalidates cached verdicts even under a reused name.
+  [[nodiscard]] std::uint64_t drc_signature() const;
 };
 
 /// The canonical Mead & Conway NMOS rule set.

@@ -1,8 +1,17 @@
 // DRC negative tests: every rule family must catch a deliberately broken
 // layout (the generator tests prove the absence of false positives; these
-// prove the absence of false negatives rule by rule).
+// prove the absence of false negatives rule by rule). Plus the engine
+// contracts: flat, hierarchical, and tiled modes report byte-identical
+// violation sets at any thread count; results are canonical (sorted,
+// deduped); the verdict cache hits across libraries; and the rule table is
+// data (a technology edit changes verdicts with no engine change).
 #include <gtest/gtest.h>
 
+#include <random>
+#include <set>
+
+#include "core/compiler.hpp"
+#include "design_sources.hpp"
 #include "drc/drc.hpp"
 #include "layout/layout.hpp"
 
@@ -154,6 +163,207 @@ TEST(DrcRules, SummaryFormatting) {
   const Result r = check_shapes({{Layer::Metal, Rect{0, 0, 40, 5}}});
   EXPECT_NE(r.summary().find("metal.width"), std::string::npos);
   EXPECT_EQ(check_shapes({}).summary(), "DRC clean");
+}
+
+// ------------------------------------------------------ engine contracts --
+
+TEST(DrcResult, CanonicalizeSortsAndDedups) {
+  Result r;
+  const Violation a{"metal.width", {0, 0, 4, 4}, "x"};
+  const Violation b{"diff.space", {2, 2, 6, 6}, "y"};
+  r.violations = {a, b, a, a, b};
+  r.canonicalize();
+  ASSERT_EQ(r.violations.size(), 2u);
+  EXPECT_TRUE(r.violations[0] == b);  // sorted by rule name first
+  EXPECT_TRUE(r.violations[1] == a);
+  EXPECT_FALSE(a == b);
+}
+
+/// A deliberately dirty hierarchy exercising every interaction the
+/// decomposition has to get right: a dirty cell tiled under rotation, a
+/// spacing violation across a seam, a cell-internal violation *cured* by
+/// parent geometry (isolated check would report it; flat must win), and a
+/// loose-wiring violation away from any instance.
+const Cell& dirty_chip(Library& lib) {
+  Cell& thin = lib.create("thin");  // 2.5-lambda metal (needs 3)
+  thin.add_rect(Layer::Metal, {0, 0, 40, 5});
+
+  Cell& edgy = lib.create("edgy");  // clean alone: metal up to the border
+  edgy.add_rect(Layer::Metal, {0, 0, 10, 6});
+
+  Cell& cured = lib.create("cured");  // cut lacking metal surround locally
+  cured.add_rect(Layer::Contact, {0, 0, 4, 4});
+  cured.add_rect(Layer::Diff, {-2, -2, 6, 6});
+  cured.add_rect(Layer::Metal, {0, 0, 4, 4});
+
+  Cell& chip = lib.create("dirty_chip");
+  chip.add_instance(thin, {geom::Orient::R0, {0, 0}});
+  chip.add_instance(thin, {geom::Orient::R90, {100, 0}});
+  chip.add_instance(thin, {geom::Orient::MX, {0, 100}});
+  // Two edgy cells 2 units apart: a metal.space offence only the seam sees.
+  chip.add_instance(edgy, {geom::Orient::R0, {200, 0}});
+  chip.add_instance(edgy, {geom::Orient::R0, {200, 8}});
+  // The cure: parent metal completing the surround of the cell's cut.
+  chip.add_instance(cured, {geom::Orient::R0, {300, 0}});
+  chip.add_rect(Layer::Metal, {296, -4, 308, 8});
+  // Loose wiring offence far from any instance: diffusion 2 apart (needs 6).
+  chip.add_rect(Layer::Diff, {400, 400, 410, 404});
+  chip.add_rect(Layer::Diff, {400, 406, 410, 410});
+  return chip;
+}
+
+TEST(DrcModes, FlatHierTiledAgreeOnDirtyHierarchy) {
+  Library lib;
+  const Cell& chip = dirty_chip(lib);
+  const Result flat = check(chip);
+  // The three tiled thin cells, the seam spacing, and the loose diff pair;
+  // the cured contact must NOT be reported.
+  EXPECT_EQ(flat.count("metal.width"), 3u);
+  EXPECT_EQ(flat.count("metal.space"), 1u);
+  EXPECT_EQ(flat.count("diff.space"), 1u);
+  EXPECT_EQ(flat.count("contact"), 0u);
+
+  VerdictCache cache;
+  const Result hier = check_hier(chip, tech::nmos(), &cache);
+  EXPECT_EQ(flat.violations, hier.violations)
+      << "flat:\n" << flat.summary() << "\nhier:\n" << hier.summary();
+
+  const auto shapes = layout::flatten(chip);
+  for (const int threads : {1, 2, 3}) {
+    const Result tiled = check_tiled(shapes, tech::nmos(), threads);
+    EXPECT_EQ(flat.violations, tiled.violations)
+        << threads << " threads:\n" << tiled.summary();
+  }
+}
+
+TEST(DrcModes, FlatHierTiledAgreeOnAssembledChip) {
+  // A real assembled-by-construction chip (the committed traffic design):
+  // clean in every mode, byte-identical violation sets.
+  layout::Library lib;
+  core::CompileOptions o;
+  o.name = "traffic";
+  o.stop_after = "assemble";
+  const auto r = core::compile(lib, core::Flow::Behavioral,
+                               silc_fixtures::kTrafficSource, o);
+  ASSERT_NE(r.chip, nullptr);
+  const auto shapes = layout::flatten(*r.chip);
+  const Result flat = check_flat(shapes);
+  EXPECT_TRUE(flat.ok()) << flat.summary();
+  const Result hier = check_hier(*r.chip);
+  EXPECT_EQ(flat.violations, hier.violations) << hier.summary();
+  for (const int threads : {1, 2}) {
+    const Result tiled = check_tiled(shapes, tech::nmos(), threads);
+    EXPECT_EQ(flat.violations, tiled.violations) << tiled.summary();
+  }
+}
+
+/// Randomized adversarial sweep of the mode contract: dense soups where
+/// violations abound, tiled at several thread counts, random hierarchies
+/// with overlapping instances. Byte-identity for tiled and for hier under
+/// non-transposing orientations; under transposing reuse, spacing/width
+/// fragments may re-slab but per-rule offence presence must still match
+/// (nothing is ever dropped).
+TEST(DrcModes, FuzzedSoupsAndHierarchiesAgree) {
+  const tech::Layer layers[] = {Layer::Diff,    Layer::Poly,
+                                Layer::Contact, Layer::Metal,
+                                Layer::Implant, Layer::Buried};
+  for (unsigned seed = 0; seed < 4; ++seed) {
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<int> c(0, 400), w(1, 50), li(0, 5);
+    std::vector<layout::Shape> shapes;
+    for (int i = 0; i < 500; ++i) {
+      const int x = c(rng), y = c(rng);
+      shapes.push_back({layers[li(rng)], Rect{x, y, x + w(rng), y + w(rng)}});
+    }
+    const Result flat = check_flat(shapes);
+    EXPECT_FALSE(flat.ok());  // dense soup: the sweep must exercise rules
+    for (const int threads : {1, 3}) {
+      EXPECT_EQ(flat.violations,
+                check_tiled(shapes, tech::nmos(), threads).violations)
+          << "soup seed " << seed << " threads " << threads;
+    }
+  }
+  const geom::Orient plain[] = {geom::Orient::R0, geom::Orient::R180,
+                                geom::Orient::MX, geom::Orient::MY};
+  for (const bool transposing : {false, true}) {
+    for (unsigned seed = 0; seed < 6; ++seed) {
+      std::mt19937 rng(100 + seed);
+      std::uniform_int_distribution<int> c(0, 120), w(1, 30), li(0, 5),
+          off(0, 200), ori(0, transposing ? 7 : 3);
+      layout::Library lib;
+      layout::Cell& leaf = lib.create("leaf");
+      for (int i = 0; i < 25; ++i) {
+        const int x = c(rng), y = c(rng);
+        leaf.add_rect(layers[li(rng)], {x, y, x + w(rng), y + w(rng)});
+      }
+      layout::Cell& top = lib.create("top");
+      for (int i = 0; i < 5; ++i) {
+        const geom::Orient o = transposing
+                                   ? static_cast<geom::Orient>(ori(rng))
+                                   : plain[ori(rng)];
+        top.add_instance(leaf, {o, {off(rng), off(rng)}});
+      }
+      for (int i = 0; i < 8; ++i) {
+        const int x = off(rng), y = off(rng);
+        top.add_rect(layers[li(rng)], {x, y, x + w(rng), y + w(rng)});
+      }
+      const Result flat = check(top);
+      const Result hier = check_hier(top);
+      if (!transposing) {
+        EXPECT_EQ(flat.violations, hier.violations) << "hier seed " << seed;
+      }
+      std::set<std::string> fr, hr;
+      for (const Violation& v : flat.violations) fr.insert(v.rule);
+      for (const Violation& v : hier.violations) hr.insert(v.rule);
+      EXPECT_EQ(fr, hr) << "offence presence, transposing=" << transposing
+                        << " seed " << seed;
+    }
+  }
+}
+
+TEST(DrcModes, VerdictCacheHitsAcrossLibraries) {
+  VerdictCache cache;
+  Library a;
+  (void)check_hier(dirty_chip(a), tech::nmos(), &cache);
+  const std::size_t unique_cells = cache.size();
+  EXPECT_GT(unique_cells, 0u);
+  const auto misses_after_first = cache.misses();
+
+  // The same chip rebuilt in a fresh library: every cell verdict hits.
+  Library b;
+  const Result warm = check_hier(dirty_chip(b), tech::nmos(), &cache);
+  EXPECT_EQ(cache.size(), unique_cells);
+  EXPECT_EQ(cache.misses(), misses_after_first);
+  EXPECT_GT(cache.hits(), 0u);
+
+  Library c;
+  EXPECT_EQ(warm.violations, check_hier(dirty_chip(c)).violations);
+}
+
+TEST(DrcRuleTable, TechnologiesAreData) {
+  // A stricter process is a table edit, not an engine change: 5-lambda
+  // metal makes the previously clean 3-lambda wire a violation.
+  tech::Tech strict = tech::nmos();
+  strict.name = "strict";
+  strict.min_width[tech::index(Layer::Metal)] = strict.lam(5);
+  strict.rebuild_drc_tables();
+  const std::vector<layout::Shape> wire{{Layer::Metal, Rect{0, 0, 40, 6}}};
+  EXPECT_TRUE(check_flat(wire).ok());
+  EXPECT_EQ(check_flat(wire, strict).count("metal.width"), 1u);
+  // Dropping every rule makes everything clean: the engine has no
+  // hard-wired checks of its own.
+  tech::Tech lax = tech::nmos();
+  lax.drc_rules.clear();
+  EXPECT_TRUE(check_flat({{Layer::Metal, Rect{0, 0, 40, 5}},
+                          {Layer::Metal, Rect{0, 6, 40, 11}}},
+                         lax)
+                  .ok());
+  // The halo tracks the table: a wider rule widens the interaction reach.
+  EXPECT_GT(strict.max_rule_dist(), 0);
+  tech::Tech wide = tech::nmos();
+  wide.min_space[tech::index(Layer::Metal)] = wide.lam(40);
+  wide.rebuild_drc_tables();
+  EXPECT_GT(wide.max_rule_dist(), tech::nmos().max_rule_dist());
 }
 
 }  // namespace

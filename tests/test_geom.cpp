@@ -255,5 +255,111 @@ TEST_P(RectSetPropertyTest, BooleanAlgebraIdentities) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RectSetPropertyTest, ::testing::Range(0, 12));
 
+// ---------------------------------------- edge cases the tiled DRC leans on --
+
+TEST(RectSet, ErosionLargerThanShapeIsEmpty) {
+  const RectSet s(Rect{0, 0, 10, 6});
+  EXPECT_TRUE(s.eroded(3).empty());   // 2d == height
+  EXPECT_TRUE(s.eroded(5).empty());   // 2d > both dimensions
+  EXPECT_FALSE(s.eroded(2).empty());  // a sliver survives
+  EXPECT_TRUE(RectSet{}.eroded(7).empty());
+}
+
+TEST(RectSet, CoversAndIntersectsDegenerateRects) {
+  const RectSet s(Rect{0, 0, 10, 10});
+  // Degenerate (empty-interior) rects: vacuously covered, never
+  // intersecting — the conventions windowed checks rely on.
+  EXPECT_TRUE(s.covers(Rect{5, 5, 5, 9}));    // zero width
+  EXPECT_TRUE(s.covers(Rect{50, 50, 50, 50}));  // zero area, outside
+  EXPECT_FALSE(s.intersects(Rect{5, 5, 5, 9}));
+  EXPECT_FALSE(s.intersects(Rect{8, 4, 2, 6}));  // inverted
+  // Proper rects at the boundary: covers is closed, intersects is open.
+  EXPECT_TRUE(s.covers(Rect{0, 0, 10, 10}));
+  EXPECT_FALSE(s.covers(Rect{0, 0, 10, 11}));
+  EXPECT_FALSE(s.intersects(Rect{10, 0, 20, 10}));  // shared edge only
+  EXPECT_TRUE(s.intersects(Rect{9, 9, 20, 20}));
+}
+
+TEST(RectSet, LabelComponentsCornerTouchDoesNotConnect) {
+  // A diagonal staircase of corner-touching rects: corner contact is not
+  // electrical continuity, so every step is its own component.
+  const std::vector<Rect> stairs{{0, 0, 4, 4}, {4, 4, 8, 8}, {8, 8, 12, 12}};
+  const std::vector<int> sl = label_components(stairs);
+  EXPECT_NE(sl[0], sl[1]);
+  EXPECT_NE(sl[1], sl[2]);
+  EXPECT_NE(sl[0], sl[2]);
+  // An edge of positive length does connect; a bridger joins two corners.
+  const std::vector<Rect> bridged{{0, 0, 4, 4}, {4, 4, 8, 8}, {4, 0, 8, 4}};
+  const std::vector<int> bl = label_components(bridged);
+  EXPECT_EQ(bl[0], bl[2]);
+  EXPECT_EQ(bl[1], bl[2]);
+}
+
+TEST(RectSet, WindowedQueriesMatchWholeSetSemantics) {
+  RectSet s;
+  s.add({0, 0, 10, 4});
+  s.add({20, 2, 30, 8});
+  s.add({5, 10, 15, 14});
+  const Rect w{8, 0, 22, 12};
+  // overlapping: exactly the rects whose closed region meets the window.
+  const std::vector<Rect> hits = s.overlapping(w);
+  ASSERT_EQ(hits.size(), 3u);  // all three touch this window
+  EXPECT_TRUE(s.overlapping(Rect{100, 100, 110, 110}).empty());
+  // clipped == intersect with the window rect.
+  EXPECT_EQ(s.clipped(w), s.intersect(RectSet(w)));
+  // hash: equal regions hash equal regardless of construction.
+  RectSet merged;
+  merged.add({0, 0, 10, 8});
+  RectSet halves;
+  halves.add({0, 0, 10, 4});
+  halves.add({0, 4, 10, 8});
+  EXPECT_EQ(merged.hash(), halves.hash());
+  EXPECT_NE(merged.hash(), s.hash());
+}
+
+// Tiled-vs-whole equivalence: any boolean result computed window by window
+// over a partition (with clipping) reassembles into the whole-plane result.
+class TiledOpEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(TiledOpEquivalence, PartitionedBooleansReassemble) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 7919u + 3u);
+  std::uniform_int_distribution<int> c(-30, 50);
+  std::uniform_int_distribution<int> w(1, 15);
+  const auto soup = [&](int n) {
+    RectSet s;
+    for (int i = 0; i < n; ++i) {
+      const int x = c(rng), y = c(rng);
+      s.add({x, y, x + w(rng), y + w(rng)});
+    }
+    return s;
+  };
+  const RectSet a = soup(20), b = soup(20);
+  const Rect bb = a.bbox().bound(b.bbox()).inflated(2);
+
+  const RectSet whole_u = a.unite(b);
+  const RectSet whole_i = a.intersect(b);
+  const RectSet whole_s = a.subtract(b);
+
+  RectSet tiles_u, tiles_i, tiles_s;
+  constexpr int kGrid = 3;
+  for (int ix = 0; ix < kGrid; ++ix) {
+    for (int iy = 0; iy < kGrid; ++iy) {
+      const Rect tile{bb.x0 + bb.width() * ix / kGrid,
+                      bb.y0 + bb.height() * iy / kGrid,
+                      bb.x0 + bb.width() * (ix + 1) / kGrid,
+                      bb.y0 + bb.height() * (iy + 1) / kGrid};
+      const RectSet ca = a.clipped(tile), cb = b.clipped(tile);
+      tiles_u = tiles_u.unite(ca.unite(cb));
+      tiles_i = tiles_i.unite(ca.intersect(cb));
+      tiles_s = tiles_s.unite(ca.subtract(cb).clipped(tile));
+    }
+  }
+  EXPECT_EQ(tiles_u, whole_u);
+  EXPECT_EQ(tiles_i, whole_i);
+  EXPECT_EQ(tiles_s, whole_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TiledOpEquivalence, ::testing::Range(0, 8));
+
 }  // namespace
 }  // namespace silc::geom

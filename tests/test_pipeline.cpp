@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <thread>
 
 #include "core/compiler.hpp"
 #include "core/pipeline.hpp"
@@ -212,7 +213,10 @@ TEST(Pipeline, CompileManyIsDeterministicAcrossThreadCounts) {
   const BatchResult one = compile_many(jobs, 1);
   const BatchResult four = compile_many(jobs, 4);
   EXPECT_EQ(one.threads, 1);
-  EXPECT_EQ(four.threads, 4);
+  // The ask for 4 workers is clamped to the machine: oversubscribing a
+  // smaller core count was measurably slower than running serial.
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  EXPECT_EQ(four.threads, hw >= 1 ? std::min(4, hw) : 4);
   ASSERT_EQ(one.results.size(), jobs.size());
   ASSERT_EQ(four.results.size(), jobs.size());
   EXPECT_EQ(one.ok_count(), 4u);  // all but the malformed job

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <thread>
 
 #include "net/net.hpp"
 #include "random_netlist.hpp"
@@ -202,9 +203,12 @@ TEST(Threads, ThreadedTracesMatchSequential) {
 
   CompiledSim seq(nl, cfg(WordKind::V256, 1));
   const std::vector<Trace> want = seq.run(stimuli, probes);
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
   for (const int threads : {2, 3, 5}) {
     CompiledSim par(nl, cfg(WordKind::V256, threads, true, 8));
-    ASSERT_EQ(par.threads(), threads);
+    // Worker counts are clamped to the machine: on a multi-core box the
+    // pool engages as asked, on a 1-core box it folds to sequential.
+    ASSERT_EQ(par.threads(), hw >= 1 ? std::min(threads, hw) : threads);
     const std::vector<Trace> got = par.run(stimuli, probes);
     for (std::size_t l = 0; l < stimuli.size(); ++l) {
       const TraceDiff d = diff_traces(want[l], got[l]);
@@ -221,7 +225,9 @@ TEST(Threads, RepeatedEvalsAreStable) {
   spec.gates = 1200;
   const net::Netlist nl = silc_fixtures::random_netlist(31, spec);
   CompiledSim par(nl, cfg(WordKind::U64, 3, true, 4));
-  ASSERT_GT(par.threads(), 1);
+  if (std::thread::hardware_concurrency() > 1) {
+    ASSERT_GT(par.threads(), 1);  // clamped to the machine on 1-core boxes
+  }
   CompiledSim seq(nl, cfg(WordKind::U64, 1));
   par.reset();
   seq.reset();
