@@ -1,0 +1,246 @@
+// Extraction engine tracking: flat vs hierarchical wall clock on real
+// artwork — the committed traffic-light chip and a PDP-8 boot ROM — plus
+// the compile-batch view the cache is for: a 24-job compile_many batch
+// (stop_after=extract) with the extract stage in Flat vs Hier mode sharing
+// one NetlistCache across the batch.
+//
+// Emits BENCH_extract.json: per-design rect counts, per-mode ms (hier both
+// cold and warm-cache), the batch's extract-stage totals per mode, and
+// whether flat and hier produced byte-identical canonical netlists — the
+// engine's core contract, enforced here with a non-zero exit on
+// divergence, on any extraction warning (the generators must produce clean
+// artwork), or on batch transistor-count disagreement between modes.
+// Flags: --json=PATH (default BENCH_extract.json), --smoke (fewer reps).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "design_sources.hpp"
+#include "extract/extract.hpp"
+#include "layout/layout.hpp"
+#include "mem/mem.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+struct ModeTimes {
+  std::string design;
+  std::size_t rects = 0;
+  std::size_t transistors = 0;
+  double flat_ms = 0;
+  double hier_cold_ms = 0;
+  double hier_warm_ms = 0;
+  bool identical = true;
+  bool clean = true;
+};
+
+/// The PDP-8 RIM loader plus deterministic fill (same content as
+/// bench_drc's workload).
+std::vector<std::uint32_t> pdp8_boot_words(std::size_t total) {
+  std::vector<std::uint32_t> words{
+      06032, 06031, 05357, 06036, 07106, 07006, 07510, 05357,
+      07006, 06031, 05367, 06034, 07420, 03776, 03376, 05356,
+  };
+  std::uint32_t x = 0777;
+  while (words.size() < total) {
+    x = (x * 01645 + 0157) & 07777;  // 12-bit LCG fill
+    words.push_back(x);
+  }
+  return words;
+}
+
+ModeTimes measure(const std::string& name, const silc::layout::Cell& chip,
+                  int reps) {
+  using silc::extract::Netlist;
+  ModeTimes m;
+  m.design = name;
+  m.rects = chip.flat_shape_count();
+
+  Netlist flat, hier;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = Clock::now();
+    flat = silc::extract::extract(chip);
+    m.flat_ms += ms_since(t0);
+
+    silc::extract::NetlistCache cache;
+    t0 = Clock::now();
+    hier = silc::extract::extract_hier(chip, silc::tech::nmos(), &cache);
+    m.hier_cold_ms += ms_since(t0);
+    t0 = Clock::now();
+    (void)silc::extract::extract_hier(chip, silc::tech::nmos(), &cache);
+    m.hier_warm_ms += ms_since(t0);
+  }
+  m.flat_ms /= reps;
+  m.hier_cold_ms /= reps;
+  m.hier_warm_ms /= reps;
+  m.transistors = flat.transistors.size();
+  m.identical = flat == hier;
+  m.clean = flat.warnings.empty();
+  return m;
+}
+
+struct BatchTimes {
+  int jobs = 0;
+  double flat_extract_ms = 0;  // extract-stage total across the batch
+  double hier_extract_ms = 0;
+  double flat_wall_ms = 0;
+  double hier_wall_ms = 0;
+  bool agree = true;
+};
+
+double extract_stage_ms(const silc::core::BatchResult& br) {
+  for (const silc::core::StageProfile& s : br.profile) {
+    if (s.stage == "extract") return s.total_ms;
+  }
+  return 0;
+}
+
+BatchTimes measure_batch(int reps) {
+  using namespace silc::core;
+  std::vector<BatchJob> jobs;
+  for (int r = 0; r < reps; ++r) {
+    for (const char* src :
+         {silc_fixtures::kGray2Source, silc_fixtures::kTrafficSource}) {
+      CompileOptions o;
+      o.name = "chip";
+      o.stop_after = "extract";
+      jobs.push_back({Flow::Behavioral, src, o});
+    }
+    {
+      CompileOptions o;
+      o.name = "counter3";
+      o.stop_after = "extract";
+      jobs.push_back(
+          {Flow::Behavioral, silc_fixtures::counter_source(3), o});
+    }
+    {
+      CompileOptions o;
+      o.name = "chain";
+      o.stop_after = "extract";
+      jobs.push_back({Flow::Structural, silc_fixtures::kInvChainSource, o});
+    }
+  }
+  BatchTimes bt;
+  bt.jobs = static_cast<int>(jobs.size());
+
+  std::vector<BatchJob> flat_jobs = jobs;
+  for (BatchJob& j : flat_jobs) j.options.extract_mode = silc::extract::Mode::Flat;
+  const BatchResult flat = compile_many(flat_jobs, 1);
+  bt.flat_extract_ms = extract_stage_ms(flat);
+  bt.flat_wall_ms = flat.wall_ms;
+
+  // Hier mode: compile_many supplies the batch-shared NetlistCache.
+  const BatchResult hier = compile_many(jobs, 1);
+  bt.hier_extract_ms = extract_stage_ms(hier);
+  bt.hier_wall_ms = hier.wall_ms;
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    bt.agree = bt.agree &&
+               flat.results[i].transistors == hier.results[i].transistors &&
+               flat.results[i].ok() == hier.results[i].ok();
+  }
+  return bt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_extract.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    else if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int reps = smoke ? 1 : 5;
+
+  std::vector<ModeTimes> rows;
+  {
+    silc::layout::Library lib;
+    silc::core::CompileOptions o;
+    o.name = "traffic";
+    o.stop_after = "assemble";
+    const auto r = silc::core::compile(lib, silc::core::Flow::Behavioral,
+                                       silc_fixtures::kTrafficSource, o);
+    if (r.chip == nullptr) {
+      std::printf("ERROR: traffic chip did not assemble\n");
+      return 1;
+    }
+    rows.push_back(measure("traffic", *r.chip, reps));
+  }
+  {
+    silc::layout::Library lib;
+    const auto rom = silc::mem::generate_rom(
+        lib, pdp8_boot_words(smoke ? 128 : 256), 12, {.name = "pdp8_rom"});
+    rows.push_back(measure("pdp8_rom", *rom.cell, reps));
+  }
+  const BatchTimes batch = measure_batch(smoke ? 2 : 6);
+
+  std::printf("=== extraction: flat vs hier (%d rep%s) ===\n", reps,
+              reps == 1 ? "" : "s");
+  std::printf("%-10s %8s %8s %9s %10s %10s %6s\n", "design", "rects", "devs",
+              "flat ms", "hier ms", "warm ms", "same");
+  bool all_identical = true;
+  bool all_clean = true;
+  for (const ModeTimes& m : rows) {
+    std::printf("%-10s %8zu %8zu %9.2f %10.2f %10.3f %6s\n", m.design.c_str(),
+                m.rects, m.transistors, m.flat_ms, m.hier_cold_ms,
+                m.hier_warm_ms, m.identical ? "yes" : "NO");
+    all_identical = all_identical && m.identical;
+    all_clean = all_clean && m.clean;
+  }
+  std::printf(
+      "batch (%d jobs, stop_after=extract): extract stage %.2f ms flat vs "
+      "%.2f ms hier-shared-cache (%.1fx); wall %.1f vs %.1f ms\n",
+      batch.jobs, batch.flat_extract_ms, batch.hier_extract_ms,
+      batch.hier_extract_ms > 0 ? batch.flat_extract_ms / batch.hier_extract_ms
+                                : 0.0,
+      batch.flat_wall_ms, batch.hier_wall_ms);
+
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("ERROR: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"smoke\": %s,\n  \"designs\": [\n",
+               smoke ? "true" : "false");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ModeTimes& m = rows[i];
+    std::fprintf(f,
+                 "    {\"design\": \"%s\", \"rects\": %zu, "
+                 "\"transistors\": %zu, \"flat_ms\": %.2f, "
+                 "\"hier_cold_ms\": %.2f, \"hier_warm_ms\": %.3f, "
+                 "\"identical_across_modes\": %s}%s\n",
+                 m.design.c_str(), m.rects, m.transistors, m.flat_ms,
+                 m.hier_cold_ms, m.hier_warm_ms,
+                 m.identical ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"batch\": {\"jobs\": %d, "
+               "\"extract_stage_flat_ms\": %.2f, "
+               "\"extract_stage_hier_ms\": %.2f, \"wall_flat_ms\": %.1f, "
+               "\"wall_hier_ms\": %.1f, \"modes_agree\": %s}\n}\n",
+               batch.jobs, batch.flat_extract_ms, batch.hier_extract_ms,
+               batch.flat_wall_ms, batch.hier_wall_ms,
+               batch.agree ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (!all_identical || !batch.agree) {
+    std::printf("ERROR: netlists diverged across modes\n");
+    return 1;
+  }
+  if (!all_clean) {
+    std::printf("ERROR: generated artwork extracted with warnings\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,194 @@
+// Shared fuzz fixture: random NMOS layout generators for the differential
+// extraction tests and benches.
+//
+// The generators aim at *electrically meaningful* randomness, not uniform
+// rect soup: leaves mix well-formed transistor structures (poly crossing
+// diff with overhangs, implants, contacted terminals), butting and
+// multi-cut contacts, buried windows, bare wiring, and — crucially for the
+// hierarchical extractor — *bare diffusion strips* that only become
+// transistors when a parent-level poly route crosses them. Hierarchies
+// instantiate leaves under every Manhattan orientation (rotations and
+// reflections), overlapping each other and parent wiring, so the
+// interaction-window machinery is exercised hard; labels are placed at
+// shape centers (a label on the shared corner of two distinct nets is a
+// documented resolution residual, not a target).
+#pragma once
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "layout/layout.hpp"
+
+namespace silc_fixtures {
+
+using silc::geom::Orient;
+using silc::geom::Rect;
+using silc::layout::Cell;
+using silc::layout::Library;
+using silc::tech::Layer;
+
+/// Fill `cell` with `motifs` random structures inside roughly
+/// [0, extent]^2. With `labels`, a few shapes get center labels.
+inline void random_leaf_geometry(Cell& cell, std::mt19937& rng, int motifs,
+                                 int extent, bool labels) {
+  std::uniform_int_distribution<int> pos(0, extent);
+  std::uniform_int_distribution<int> len(6, 24);
+  std::uniform_int_distribution<int> kind(0, 9);
+  std::uniform_int_distribution<int> coin(0, 1);
+  int label_id = 0;
+  const auto maybe_label = [&](Layer l, const Rect& r) {
+    if (!labels || kind(rng) > 2) return;
+    cell.add_label("w" + std::to_string(label_id++), l, r.center());
+  };
+  for (int m = 0; m < motifs; ++m) {
+    const int x = pos(rng), y = pos(rng);
+    switch (kind(rng)) {
+      case 0: {  // proper vertical-diff transistor, optional implant
+        const int l = len(rng);
+        const Rect diff{x, y - l / 2, x + 4, y + l / 2 + 4};
+        const Rect poly{x - 4, y, x + 8, y + 4};
+        cell.add_rect(Layer::Diff, diff);
+        cell.add_rect(Layer::Poly, poly);
+        if (coin(rng) != 0) {
+          cell.add_rect(Layer::Implant, {x - 3, y - 3, x + 7, y + 7});
+        }
+        maybe_label(Layer::Diff, {diff.x0, diff.y0, diff.x1, diff.y0 + 2});
+        break;
+      }
+      case 1: {  // contacted diffusion stub
+        cell.add_rect(Layer::Diff, {x - 2, y - 2, x + 6, y + 6});
+        cell.add_rect(Layer::Contact, {x, y, x + 4, y + 4});
+        cell.add_rect(Layer::Metal, {x - 2, y - 2, x + 6, y + 6});
+        maybe_label(Layer::Metal, {x - 2, y - 2, x + 6, y + 6});
+        break;
+      }
+      case 2: {  // butting contact: metal over a poly/diff seam
+        cell.add_rect(Layer::Diff, {x - 6, y, x + 2, y + 4});
+        cell.add_rect(Layer::Poly, {x + 2, y, x + 10, y + 4});
+        cell.add_rect(Layer::Contact, {x - 2, y, x + 6, y + 4});
+        cell.add_rect(Layer::Metal, {x - 8, y - 2, x + 12, y + 6});
+        break;
+      }
+      case 3: {  // buried window joining poly and diff
+        cell.add_rect(Layer::Diff, {x - 8, y, x + 4, y + 4});
+        cell.add_rect(Layer::Poly, {x - 4, y, x + 8, y + 4});
+        cell.add_rect(Layer::Buried, {x - 2, y, x + 2, y + 4});
+        break;
+      }
+      case 4: {  // bare diffusion strip: a parent poly may make it a device
+        const int l = len(rng);
+        cell.add_rect(Layer::Diff,
+                      coin(rng) != 0 ? Rect{x, y, x + 4, y + l}
+                                     : Rect{x, y, x + l, y + 4});
+        break;
+      }
+      case 5: {  // bare poly route: may gate a child diff from above
+        const int l = len(rng);
+        cell.add_rect(Layer::Poly,
+                      coin(rng) != 0 ? Rect{x, y, x + l, y + 4}
+                                     : Rect{x, y, x + 4, y + l});
+        break;
+      }
+      case 6: {  // multi-cut contact between two metal arms and diff
+        cell.add_rect(Layer::Diff, {x - 2, y - 2, x + 10, y + 6});
+        cell.add_rect(Layer::Contact, {x, y, x + 4, y + 4});
+        cell.add_rect(Layer::Contact, {x + 4, y, x + 8, y + 4});
+        cell.add_rect(Layer::Metal, {x - 2, y - 2, x + 3, y + 6});
+        cell.add_rect(Layer::Metal, {x + 5, y - 2, x + 10, y + 6});
+        break;
+      }
+      case 7: {  // metal rail
+        const int l = len(rng);
+        const Rect r{x, y, x + 3 * l, y + 6};
+        cell.add_rect(Layer::Metal, r);
+        maybe_label(Layer::Metal, r);
+        break;
+      }
+      default: {  // loose wiring on a random conducting layer
+        const Layer layers[] = {Layer::Diff, Layer::Poly, Layer::Metal};
+        const int l = len(rng);
+        const Rect r = coin(rng) != 0 ? Rect{x, y, x + l, y + 4}
+                                      : Rect{x, y, x + 4, y + l};
+        cell.add_rect(layers[kind(rng) % 3], r);
+        maybe_label(layers[kind(rng) % 3], r);
+        break;
+      }
+    }
+  }
+}
+
+struct RandomHierarchyOptions {
+  int leaves = 3;          // distinct leaf cells
+  int instances = 6;       // instance count in the top cell
+  int motifs = 6;          // structures per leaf
+  int extent = 60;         // leaf coordinate extent
+  int spread = 150;        // instance placement extent
+  bool transposing = true; // use all 8 orientations (else R0/R180/MX/MY)
+  int parent_wires = 6;    // top-level routes (may cross instances)
+  bool labels = true;
+};
+
+/// A random overlapping hierarchy: leaves instantiated under random
+/// orientations plus parent-level wiring that crosses them (forming
+/// parent-over-child transistors and contacts).
+inline const Cell& random_hierarchy(Library& lib, unsigned seed,
+                                    const RandomHierarchyOptions& o = {}) {
+  std::mt19937 rng(seed);
+  std::vector<Cell*> leaves;
+  for (int i = 0; i < o.leaves; ++i) {
+    Cell& leaf = lib.create("leaf" + std::to_string(i));
+    random_leaf_geometry(leaf, rng, o.motifs, o.extent, o.labels);
+    leaves.push_back(&leaf);
+  }
+  Cell& top = lib.create("top");
+  const Orient all[] = {Orient::R0,  Orient::R90,   Orient::R180,
+                        Orient::R270, Orient::MX,   Orient::MY,
+                        Orient::MXR90, Orient::MYR90};
+  const Orient plain[] = {Orient::R0, Orient::R180, Orient::MX, Orient::MY};
+  std::uniform_int_distribution<int> pos(0, o.spread);
+  std::uniform_int_distribution<std::size_t> which(0, leaves.size() - 1);
+  std::uniform_int_distribution<int> ori(0, o.transposing ? 7 : 3);
+  for (int i = 0; i < o.instances; ++i) {
+    const Orient orient = o.transposing ? all[ori(rng)] : plain[ori(rng)];
+    top.add_instance(*leaves[which(rng)], {orient, {pos(rng), pos(rng)}},
+                     "i" + std::to_string(i));
+  }
+  // Parent wiring: long strips likely to cross instances — poly strips
+  // over child diffusion form transistors that exist only at this level.
+  std::uniform_int_distribution<int> wl(20, o.spread);
+  std::uniform_int_distribution<int> wkind(0, 2);
+  for (int i = 0; i < o.parent_wires; ++i) {
+    const Layer layers[] = {Layer::Poly, Layer::Metal, Layer::Diff};
+    const Layer l = layers[wkind(rng)];
+    const int x = pos(rng), y = pos(rng), len = wl(rng);
+    top.add_rect(l, wkind(rng) != 0 ? Rect{x, y, x + len, y + 4}
+                                    : Rect{x, y, x + 4, y + len});
+  }
+  if (o.labels) {
+    top.add_label("top_a", Layer::Metal, {pos(rng), pos(rng)});
+    top.add_label("top_b", Layer::Poly, {pos(rng), pos(rng)});
+  }
+  return top;
+}
+
+/// A dense flat soup of random rects on all extraction layers (violations
+/// and degenerate structures abound — warning paths get exercised).
+inline std::vector<silc::layout::Shape> random_soup(unsigned seed, int n,
+                                                    int extent = 300) {
+  std::mt19937 rng(seed);
+  const Layer layers[] = {Layer::Diff,    Layer::Poly,   Layer::Contact,
+                          Layer::Metal,   Layer::Implant, Layer::Buried};
+  std::uniform_int_distribution<int> c(0, extent), w(2, 30),
+      li(0, 5);
+  std::vector<silc::layout::Shape> shapes;
+  shapes.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int x = c(rng), y = c(rng);
+    shapes.push_back(
+        {layers[li(rng)], Rect{x, y, x + w(rng), y + w(rng)}});
+  }
+  return shapes;
+}
+
+}  // namespace silc_fixtures

@@ -80,3 +80,11 @@ fi
 "$BUILD_DIR/bench_drc" --smoke --json="$BUILD_DIR/BENCH_drc.json"
 echo "--- BENCH_drc.json (smoke) ---"
 cat "$BUILD_DIR/BENCH_drc.json"
+
+# --- smoke extract bench: BENCH_extract.json tracks the extraction modes -
+# bench_extract likewise always runs: byte-identical canonical netlists
+# flat vs hier (cold + warm cache), warning-free committed artwork, and
+# batch-mode agreement are enforced with a non-zero exit.
+"$BUILD_DIR/bench_extract" --smoke --json="$BUILD_DIR/BENCH_extract.json"
+echo "--- BENCH_extract.json (smoke) ---"
+cat "$BUILD_DIR/BENCH_extract.json"

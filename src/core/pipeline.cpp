@@ -91,7 +91,17 @@ const layout::Flattened& DesignDB::flattened() {
 
 const extract::Netlist& DesignDB::netlist() {
   if (!netlist_) {
-    netlist_ = extract::extract_flat(flattened());
+    switch (options.extract_mode) {
+      case extract::Mode::Flat:
+        netlist_ = extract::extract_flat(flattened());
+        break;
+      case extract::Mode::Hier:
+        // No shared flatten: the hierarchical extractor works cell by cell
+        // (cached across the run — and the batch — via extract_cache).
+        netlist_ = extract::extract_hier(*chip, tech::nmos(),
+                                         options.extract_cache);
+        break;
+    }
     ++extract_runs;
   }
   return *netlist_;
@@ -229,8 +239,10 @@ bool stage_drc(DesignDB& db) {
                               " more violations");
   }
   if (violations.empty()) {
+    // flat_shape_count() == flattened().shapes.size(), without forcing the
+    // flatten a hier-mode compile otherwise never pays.
     db.diags.note("drc", "clean over " +
-                             std::to_string(db.flattened().shapes.size()) +
+                             std::to_string(db.chip->flat_shape_count()) +
                              " rects");
   }
   return true;  // DRC findings are reported, not fatal to later checks
@@ -484,11 +496,13 @@ BatchResult compile_many(const std::vector<BatchJob>& jobs, int threads) {
   br.results.resize(n);
   br.libraries.resize(n);
 
-  // One DRC verdict cache for the whole batch: designs share standard
-  // cells, so later jobs (and repeats of the same design) skip straight
-  // to the cached per-cell verdicts. Purely an accelerator — verdicts are
-  // deterministic, so results stay identical at any thread count.
+  // One DRC verdict cache and one extraction netlist cache for the whole
+  // batch: designs share standard cells, so later jobs (and repeats of the
+  // same design) skip straight to the cached per-cell verdicts and partial
+  // netlists. Purely accelerators — both are deterministic, so results
+  // stay identical at any thread count.
   drc::VerdictCache drc_cache;
+  extract::NetlistCache extract_cache;
 
   // Same crew pattern as sim::TapePool, one job granularity: an atomic
   // cursor hands out the next design; every job owns a private Library so
@@ -505,6 +519,7 @@ BatchResult compile_many(const std::vector<BatchJob>& jobs, int threads) {
       opt.sim_threads = 1;  // one level of parallelism: across designs
       opt.drc_threads = 1;
       if (opt.drc_cache == nullptr) opt.drc_cache = &drc_cache;
+      if (opt.extract_cache == nullptr) opt.extract_cache = &extract_cache;
       br.results[i] = compile(*lib, job.flow, job.source, opt);
       br.libraries[i] = std::move(lib);
     }

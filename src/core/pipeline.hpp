@@ -139,6 +139,19 @@ struct CompileOptions {
   /// drc stage use a cache local to the run, which still collapses
   /// repeated cells within the chip.
   drc::VerdictCache* drc_cache = nullptr;
+  /// Extraction mode for the extract stage (and every later consumer of
+  /// DesignDB::netlist()). Hier (the default) extracts each unique cell
+  /// once into a cached partial netlist and re-solves connectivity only in
+  /// interaction windows; Flat is the exhaustive baseline. Both produce
+  /// byte-identical canonical netlists (see extract/extract.hpp), and with
+  /// Hier a full compile never pays the shared chip flatten unless DRC
+  /// runs in Flat/Tiled mode.
+  extract::Mode extract_mode = extract::Mode::Hier;
+  /// Per-cell netlist cache for hierarchical extraction (non-owning,
+  /// thread-safe) — the extract-stage mirror of drc_cache: compile_many
+  /// shares one across the batch; null gives the run a local cache that
+  /// still collapses repeated cells within the chip.
+  extract::NetlistCache* extract_cache = nullptr;
 };
 
 /// Wall-clock record of one stage slot in a run. Stages cut off by policy,

@@ -1,103 +1,19 @@
 #include "extract/extract.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <map>
 #include <numeric>
+#include <tuple>
 
-#include "geom/rectset.hpp"
+#include "extract/connect.hpp"
 
 namespace silc::extract {
 
-using geom::Coord;
+using detail::Connectivity;
+using detail::RawLayers;
+using detail::RectGrid;
 using geom::Point;
 using geom::Rect;
-using geom::RectSet;
 using tech::Layer;
-
-namespace {
-
-/// Bucketed index over a rect list for overlap queries.
-class RectGrid {
- public:
-  explicit RectGrid(const std::vector<Rect>& rects, Coord stripe = 128)
-      : rects_(rects), stripe_(stripe) {
-    for (std::size_t i = 0; i < rects.size(); ++i) {
-      for (Coord b = bucket(rects[i].x0); b <= bucket(rects[i].x1); ++b) {
-        buckets_[b].push_back(static_cast<int>(i));
-      }
-    }
-    stamp_.assign(rects.size(), -1);
-  }
-
-  /// Indices of rects whose closed region intersects `q`.
-  template <typename Fn>
-  void for_touching(const Rect& q, Fn&& fn) {
-    ++query_;
-    for (Coord b = bucket(q.x0); b <= bucket(q.x1); ++b) {
-      const auto it = buckets_.find(b);
-      if (it == buckets_.end()) continue;
-      for (const int i : it->second) {
-        if (stamp_[static_cast<std::size_t>(i)] == query_) continue;
-        stamp_[static_cast<std::size_t>(i)] = query_;
-        if (rects_[static_cast<std::size_t>(i)].touches(q)) fn(i);
-      }
-    }
-  }
-
- private:
-  [[nodiscard]] Coord bucket(Coord x) const {
-    // Floor division (coordinates may be negative).
-    return x >= 0 ? x / stripe_ : -((-x + stripe_ - 1) / stripe_);
-  }
-
-  const std::vector<Rect>& rects_;
-  Coord stripe_;
-  std::map<Coord, std::vector<int>> buckets_;
-  std::vector<long long> stamp_;
-  long long query_ = 0;
-};
-
-struct UnionFind {
-  std::vector<int> parent;
-  explicit UnionFind(std::size_t n) : parent(n) {
-    std::iota(parent.begin(), parent.end(), 0);
-  }
-  int find(int x) {
-    while (parent[static_cast<std::size_t>(x)] != x) {
-      parent[static_cast<std::size_t>(x)] =
-          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
-      x = parent[static_cast<std::size_t>(x)];
-    }
-    return x;
-  }
-  void unite(int a, int b) {
-    a = find(a);
-    b = find(b);
-    if (a != b) parent[static_cast<std::size_t>(a)] = b;
-  }
-};
-
-std::string last_component(const std::string& name) {
-  const std::size_t dot = name.rfind('.');
-  return dot == std::string::npos ? name : name.substr(dot + 1);
-}
-
-bool is_vdd_name(const std::string& name) {
-  std::string s = last_component(name);
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  return s == "vdd" || s == "vcc";
-}
-
-bool is_gnd_name(const std::string& name) {
-  std::string s = last_component(name);
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  return s == "gnd" || s == "vss" || s == "ground";
-}
-
-}  // namespace
 
 int Netlist::find_node(const std::string& name) const {
   for (std::size_t i = 0; i < node_names.size(); ++i) {
@@ -141,212 +57,171 @@ std::string Netlist::summary() const {
   return s;
 }
 
+void Netlist::canonicalize() {
+  const std::size_t n = node_count();
+  if (node_anchors.size() != n) return;  // hand-built netlist: nothing to do
+
+  // Renumber nodes by ascending intrinsic anchor. Anchors of distinct
+  // extracted nodes are distinct (two regions sharing a layer cannot share
+  // a bottom-left corner without overlapping); the old id tiebreak only
+  // matters for netlists built outside the extractors.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const NodeAnchor& aa = node_anchors[static_cast<std::size_t>(a)];
+    const NodeAnchor& ab = node_anchors[static_cast<std::size_t>(b)];
+    if (aa == ab) return a < b;
+    return aa < ab;
+  });
+  std::vector<int> newid(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    newid[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+
+  std::vector<std::vector<std::string>> aliases(n);
+  std::vector<NodeAnchor> anchors(n);
+  for (std::size_t old = 0; old < n; ++old) {
+    const auto at = static_cast<std::size_t>(newid[old]);
+    aliases[at] = std::move(node_aliases[old]);
+    anchors[at] = node_anchors[old];
+  }
+  node_aliases = std::move(aliases);
+  node_anchors = std::move(anchors);
+
+  // Names and supply rails re-derive from the sorted aliases: the primary
+  // name is the shortest (then lexicographically least) alias, so naming
+  // never depends on label discovery order.
+  node_names.assign(n, "");
+  vdd_nodes.clear();
+  gnd_nodes.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& as = node_aliases[i];
+    std::sort(as.begin(), as.end());
+    as.erase(std::unique(as.begin(), as.end()), as.end());
+    std::string primary;
+    bool vdd = false, gnd = false;
+    for (const std::string& a : as) {
+      if (primary.empty() || a.size() < primary.size() ||
+          (a.size() == primary.size() && a < primary)) {
+        primary = a;
+      }
+      vdd = vdd || detail::is_vdd_name(a);
+      gnd = gnd || detail::is_gnd_name(a);
+    }
+    node_names[i] = primary.empty() ? "n" + std::to_string(i) : primary;
+    if (vdd) vdd_nodes.push_back(static_cast<int>(i));
+    if (gnd) gnd_nodes.push_back(static_cast<int>(i));
+  }
+
+  const auto remap = [&](int node) {
+    return node < 0 ? node : newid[static_cast<std::size_t>(node)];
+  };
+  for (Transistor& t : transistors) {
+    t.gate = remap(t.gate);
+    t.source = remap(t.source);
+    t.drain = remap(t.drain);
+  }
+  std::sort(transistors.begin(), transistors.end(),
+            [](const Transistor& a, const Transistor& b) {
+              const auto key = [](const Transistor& t) {
+                return std::tuple(t.channel.y0, t.channel.x0, t.channel.y1,
+                                  t.channel.x1, t.vertical,
+                                  static_cast<int>(t.type), t.gate, t.source,
+                                  t.drain, t.width, t.length);
+              };
+              return key(a) < key(b);
+            });
+  std::sort(warnings.begin(), warnings.end());
+}
+
+std::string to_text(const Netlist& nl) {
+  std::string out = "silc-netlist v1\n";
+  out += "nodes " + std::to_string(nl.node_count()) + " transistors " +
+         std::to_string(nl.transistors.size()) + " warnings " +
+         std::to_string(nl.warnings.size()) + "\n";
+  const char* cls_name[] = {"diff", "poly", "metal"};
+  for (std::size_t i = 0; i < nl.node_count(); ++i) {
+    out += "node " + std::to_string(i) + " " + nl.node_names[i];
+    if (i < nl.node_anchors.size()) {
+      const NodeAnchor& a = nl.node_anchors[i];
+      out += " anchor=" + std::string(cls_name[a.layer % 3]) + ":(" +
+             std::to_string(a.x) + "," + std::to_string(a.y) + ")";
+    }
+    if (nl.is_vdd(static_cast<int>(i))) out += " vdd";
+    if (nl.is_gnd(static_cast<int>(i))) out += " gnd";
+    if (!nl.node_aliases[i].empty()) {
+      out += " aliases=";
+      for (std::size_t k = 0; k < nl.node_aliases[i].size(); ++k) {
+        if (k > 0) out += ",";
+        out += nl.node_aliases[i][k];
+      }
+    }
+    out += "\n";
+  }
+  for (std::size_t i = 0; i < nl.transistors.size(); ++i) {
+    const Transistor& t = nl.transistors[i];
+    out += "t " + std::to_string(i) +
+           (t.type == Device::Depletion ? " dep" : " enh") + " g=" +
+           std::to_string(t.gate) + " s=" + std::to_string(t.source) + " d=" +
+           std::to_string(t.drain) + " w=" + std::to_string(t.width) + " l=" +
+           std::to_string(t.length) + " ch=" + geom::to_string(t.channel) +
+           (t.vertical ? " v" : " h") + "\n";
+  }
+  for (const std::string& w : nl.warnings) out += "warn " + w + "\n";
+  return out;
+}
+
+const char* to_string(Mode m) { return m == Mode::Flat ? "flat" : "hier"; }
+
 Netlist extract(const layout::Cell& top, const tech::Tech& technology) {
   return extract_flat(layout::flatten_with_labels(top), technology);
 }
 
 Netlist extract_flat(const layout::Flattened& flat, const tech::Tech& technology) {
   (void)technology;
+  const Connectivity c = connect(RawLayers::from_shapes(flat.shapes));
+
   Netlist out;
-
-  RectSet diff, poly, metal, contact, implant, buried;
-  for (const layout::Shape& s : flat.shapes) {
-    switch (s.layer) {
-      case Layer::Diff: diff.add(s.rect); break;
-      case Layer::Poly: poly.add(s.rect); break;
-      case Layer::Metal: metal.add(s.rect); break;
-      case Layer::Contact: contact.add(s.rect); break;
-      case Layer::Implant: implant.add(s.rect); break;
-      case Layer::Buried: buried.add(s.rect); break;
-      default: break;
-    }
+  const auto n = static_cast<std::size_t>(c.node_count);
+  out.node_names.assign(n, "");
+  out.node_aliases.assign(n, {});
+  out.node_anchors = c.anchors;
+  out.transistors.reserve(c.protos.size());
+  for (const detail::ProtoTransistor& p : c.protos) {
+    out.transistors.push_back(detail::resolve_proto(p, c.anchors));
   }
 
-  const RectSet channels = poly.intersect(diff).subtract(buried);
-  const RectSet diffc = diff.subtract(channels);
-
-  // Conducting pieces, with a global index space:
-  //   [0, nd)           diffusion pieces
-  //   [nd, nd+np)       poly pieces
-  //   [nd+np, nd+np+nm) metal pieces
-  const std::vector<Rect>& dr = diffc.rects();
-  const std::vector<Rect>& pr = poly.rects();
-  const std::vector<Rect>& mr = metal.rects();
-  const int nd = static_cast<int>(dr.size());
-  const int np = static_cast<int>(pr.size());
-  const int nm = static_cast<int>(mr.size());
-  UnionFind uf(static_cast<std::size_t>(nd + np + nm));
-
-  // Intra-layer connectivity (edge-shared rects).
-  const std::vector<int> dl = geom::label_components(dr);
-  const std::vector<int> pl = geom::label_components(pr);
-  const std::vector<int> ml = geom::label_components(mr);
-  std::map<int, int> first_of;
-  for (int i = 0; i < nd; ++i) {
-    auto [it, fresh] = first_of.emplace(dl[static_cast<std::size_t>(i)], i);
-    if (!fresh) uf.unite(i, it->second);
-  }
-  first_of.clear();
-  for (int i = 0; i < np; ++i) {
-    auto [it, fresh] = first_of.emplace(pl[static_cast<std::size_t>(i)], nd + i);
-    if (!fresh) uf.unite(nd + i, it->second);
-  }
-  first_of.clear();
-  for (int i = 0; i < nm; ++i) {
-    auto [it, fresh] = first_of.emplace(ml[static_cast<std::size_t>(i)], nd + np + i);
-    if (!fresh) uf.unite(nd + np + i, it->second);
-  }
-
-  RectGrid diff_grid(dr), poly_grid(pr), metal_grid(mr);
-
-  // Contacts join every conducting piece they overlap (butting contacts
-  // join poly, diff and metal at once).
-  for (const auto& comp : contact.components()) {
-    Rect cc;
-    for (const Rect& r : comp) cc = cc.bound(r);
-    std::vector<int> pieces;
-    diff_grid.for_touching(cc, [&](int i) {
-      if (dr[static_cast<std::size_t>(i)].overlaps(cc)) pieces.push_back(i);
-    });
-    poly_grid.for_touching(cc, [&](int i) {
-      if (pr[static_cast<std::size_t>(i)].overlaps(cc)) pieces.push_back(nd + i);
-    });
-    metal_grid.for_touching(cc, [&](int i) {
-      if (mr[static_cast<std::size_t>(i)].overlaps(cc)) pieces.push_back(nd + np + i);
-    });
-    for (std::size_t i = 1; i < pieces.size(); ++i) uf.unite(pieces[0], pieces[i]);
-    if (pieces.empty()) {
-      out.warnings.push_back("floating contact at " + geom::to_string(cc));
-    }
-  }
-  // Buried windows join poly and diffusion.
-  for (const auto& comp : buried.components()) {
-    Rect bb;
-    for (const Rect& r : comp) bb = bb.bound(r);
-    std::vector<int> pieces;
-    diff_grid.for_touching(bb, [&](int i) {
-      if (dr[static_cast<std::size_t>(i)].overlaps(bb)) pieces.push_back(i);
-    });
-    poly_grid.for_touching(bb, [&](int i) {
-      if (pr[static_cast<std::size_t>(i)].overlaps(bb)) pieces.push_back(nd + i);
-    });
-    for (std::size_t i = 1; i < pieces.size(); ++i) uf.unite(pieces[0], pieces[i]);
-  }
-
-  // Piece -> dense node ids.
-  std::map<int, int> node_of_root;
-  std::vector<int> node_of_piece(static_cast<std::size_t>(nd + np + nm));
-  for (int i = 0; i < nd + np + nm; ++i) {
-    const int root = uf.find(i);
-    auto [it, fresh] = node_of_root.emplace(root, static_cast<int>(node_of_root.size()));
-    node_of_piece[static_cast<std::size_t>(i)] = it->second;
-  }
-  const std::size_t n_nodes = node_of_root.size();
-  out.node_names.assign(n_nodes, "");
-  out.node_aliases.assign(n_nodes, {});
-
-  // Transistors.
-  for (const auto& comp : channels.components()) {
-    Rect ch;
-    std::int64_t area = 0;
-    for (const Rect& r : comp) {
-      ch = ch.bound(r);
-      area += r.area();
-    }
-    if (area != ch.area()) {
-      out.warnings.push_back("non-rectangular channel at " + geom::to_string(ch));
-    }
-    Transistor t;
-    t.channel = ch;
-    t.type = implant.intersects(ch) ? Device::Depletion : Device::Enhancement;
-
-    // Gate: the poly piece over the channel.
-    int gate_piece = -1;
-    poly_grid.for_touching(ch, [&](int i) {
-      if (pr[static_cast<std::size_t>(i)].overlaps(ch)) gate_piece = nd + i;
-    });
-    if (gate_piece < 0) {
-      out.warnings.push_back("channel without gate poly at " + geom::to_string(ch));
-      continue;
-    }
-    t.gate = node_of_piece[static_cast<std::size_t>(gate_piece)];
-
-    // Source/drain: diffusion pieces abutting the channel, classified by side.
-    int node_left = -1, node_right = -1, node_top = -1, node_bottom = -1;
-    diff_grid.for_touching(ch, [&](int i) {
-      const Rect& r = dr[static_cast<std::size_t>(i)];
-      if (!r.edge_connected(ch)) return;
-      const int node = node_of_piece[static_cast<std::size_t>(i)];
-      if (r.x1 == ch.x0) node_left = node;
-      if (r.x0 == ch.x1) node_right = node;
-      if (r.y1 == ch.y0) node_bottom = node;
-      if (r.y0 == ch.y1) node_top = node;
-    });
-    if (node_top >= 0 && node_bottom >= 0) {
-      t.source = node_bottom;
-      t.drain = node_top;
-      t.width = ch.width();
-      t.length = ch.height();
-    } else if (node_left >= 0 && node_right >= 0) {
-      t.source = node_left;
-      t.drain = node_right;
-      t.width = ch.height();
-      t.length = ch.width();
-    } else {
-      out.warnings.push_back("channel with fewer than two diffusion terminals at " +
-                             geom::to_string(ch));
-      continue;
-    }
-    out.transistors.push_back(t);
-  }
-
-  // Names from labels.
-  const auto piece_at = [&](Layer layer, Point at) -> int {
-    int found = -1;
-    const Rect probe{at.x, at.y, at.x, at.y};
-    switch (layer) {
-      case Layer::Diff:
-        diff_grid.for_touching(probe, [&](int i) {
-          if (dr[static_cast<std::size_t>(i)].contains(at)) found = i;
-        });
-        break;
-      case Layer::Poly:
-        poly_grid.for_touching(probe, [&](int i) {
-          if (pr[static_cast<std::size_t>(i)].contains(at)) found = nd + i;
-        });
-        break;
-      case Layer::Metal:
-        metal_grid.for_touching(probe, [&](int i) {
-          if (mr[static_cast<std::size_t>(i)].contains(at)) found = nd + np + i;
-        });
-        break;
-      default: break;
-    }
-    return found;
-  };
+  // Names from labels: each label attaches to the node whose conducting
+  // piece on the label's layer contains the point (smallest anchor wins if
+  // the point sits on a shared corner of distinct nets).
+  RectGrid grids[detail::kClasses] = {RectGrid(c.rects[detail::kDiff]),
+                                      RectGrid(c.rects[detail::kPoly]),
+                                      RectGrid(c.rects[detail::kMetal])};
+  std::vector<std::string> warning_texts;
+  for (const detail::Warning& w : c.warnings) warning_texts.push_back(w.render());
   for (const layout::FlatLabel& label : flat.labels) {
-    const int piece = piece_at(label.layer, label.at);
-    if (piece < 0) {
-      out.warnings.push_back("label '" + label.text + "' not over " +
-                             std::string(tech::name(label.layer)));
+    const int cls = detail::class_of(label.layer);
+    std::vector<int> cands;
+    if (cls >= 0) {
+      const Rect probe{label.at.x, label.at.y, label.at.x, label.at.y};
+      grids[cls].for_touching(probe, [&](int i) {
+        if (c.rects[cls][static_cast<std::size_t>(i)].contains(label.at)) {
+          cands.push_back(c.node_of[cls][static_cast<std::size_t>(i)]);
+        }
+      });
+    }
+    const int node = detail::pick_candidate(cands, c.anchors);
+    if (node < 0) {
+      warning_texts.push_back(
+          detail::Warning{detail::Warning::Kind::LabelMiss, {}, label.text,
+                          label.layer}
+              .render());
       continue;
     }
-    const int node = node_of_piece[static_cast<std::size_t>(piece)];
-    auto& aliases = out.node_aliases[static_cast<std::size_t>(node)];
-    if (std::find(aliases.begin(), aliases.end(), label.text) == aliases.end()) {
-      aliases.push_back(label.text);
-    }
-    std::string& primary = out.node_names[static_cast<std::size_t>(node)];
-    // Prefer the shortest (least hierarchical) label as primary name.
-    if (primary.empty() || label.text.size() < primary.size()) {
-      primary = label.text;
-    }
-    if (is_vdd_name(label.text) && !out.is_vdd(node)) out.vdd_nodes.push_back(node);
-    if (is_gnd_name(label.text) && !out.is_gnd(node)) out.gnd_nodes.push_back(node);
+    out.node_aliases[static_cast<std::size_t>(node)].push_back(label.text);
   }
-  for (std::size_t i = 0; i < n_nodes; ++i) {
-    if (out.node_names[i].empty()) out.node_names[i] = "n" + std::to_string(i);
-  }
+  out.warnings = std::move(warning_texts);
+  out.canonicalize();
   return out;
 }
 

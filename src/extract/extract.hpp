@@ -1,4 +1,4 @@
-// Circuit extraction: flattened NMOS layout -> transistor netlist.
+// Circuit extraction: NMOS layout -> transistor netlist.
 //
 // The extractor recovers the electrical circuit a fab would build:
 //   * transistor channels are poly-over-diffusion (minus buried contacts);
@@ -11,12 +11,65 @@
 //     case, also VCC/VSS/ground) are recognized as supply rails.
 //
 // Extraction + switch-level simulation (swsim) is how the compiler verifies
-// that generated artwork implements the behavioral description.
+// that generated artwork implements the behavioral description — it closes
+// the silicon-compilation loop by independently re-deriving the circuit
+// from the manufacturing geometry, so its correctness is the trust anchor
+// of the whole pipeline.
+//
+// Two modes, one contract — byte-identical *canonical* netlists:
+//
+//   * Flat (extract_flat): the exhaustive baseline — the whole chip
+//     flattened, one global connectivity solve.
+//
+//   * Hier (extract_hier): each unique layout::Cell is extracted once into
+//     a cached partial netlist (NetlistCache, keyed by a content hash of
+//     the cell's geometry *and* labelling plus the technology's
+//     extract_signature(), so identical cells hit across libraries and
+//     across a compile_many batch), and instances are stitched by
+//     re-solving connectivity only inside *interaction windows*: regions
+//     where instance bounding boxes, inflated by a small halo, meet each
+//     other or the parent's own wiring. Windows grow to a fixpoint that
+//     pulls in whole semantic components (transistor channels, contact and
+//     buried-window groups) that reach them, so a transistor formed only
+//     by parent-level poly crossing child diffusion is re-derived from the
+//     true combined geometry; outside the windows the cached per-cell
+//     verdicts are exact and are carried over as geometry fragments.
+//
+// The comparison contract is the canonical form (Netlist::canonicalize):
+// every node carries an intrinsic geometric anchor — the lowest-then-
+// leftmost point of its conducting region, with a fixed layer order as the
+// tiebreaker — which is a property of the region itself, not of any
+// particular rectangle decomposition, so flat and hierarchical extraction
+// number nodes identically however they sliced the geometry. Every other
+// potentially frame- or decomposition-dependent decision is likewise made
+// intrinsic: transistor terminals are "does the diffusion region overlap
+// the one-unit strip along this channel side" (never "does a canonical
+// piece end exactly at the bbox edge"), the terminal axis and the
+// source/drain order (source = bottom/left) are chosen once in the global
+// frame — cached cells carry per-side candidate sets, not choices — and
+// candidate ties resolve to the smallest node anchor in both modes. Node
+// names re-derive from sorted label aliases (shortest, then
+// lexicographically least, wins), transistors sort by channel geometry,
+// warnings render from geometry in chip coordinates. After canonicalize(),
+// operator== is byte-for-byte equality of the electrical content; the
+// differential fuzz harness (tests/test_extract_equiv.cpp) enforces it
+// over random soups and random overlapping hierarchies under every
+// instance orientation, rotated and reflected. One documented residual:
+// a label point lying on the shared boundary of several electrically
+// distinct nets binds inside the cell that resolves it, so if later
+// stitching reorders those nets' anchors the picked net can differ from
+// flat's — degenerate placement no generator emits (labels sit on shape
+// interiors).
 #pragma once
 
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "geom/geom.hpp"
 #include "layout/layout.hpp"
 #include "tech/tech.hpp"
 
@@ -32,6 +85,32 @@ struct Transistor {
   geom::Coord width = 0;   // channel W, half-lambda units
   geom::Coord length = 0;  // channel L
   geom::Rect channel{};
+  /// Terminal axis: true when source/drain abut the channel's bottom/top
+  /// edges, false when they abut left/right. In a canonical netlist the
+  /// source is always the bottom (vertical) or left (horizontal) terminal,
+  /// whatever orientation the owning cell was instantiated under.
+  bool vertical = true;
+
+  friend bool operator==(const Transistor&, const Transistor&) = default;
+};
+
+/// Intrinsic geometric anchor of an electrical node: the lowest-then-
+/// leftmost point of its conducting region, per layer, with diffusion <
+/// poly < metal breaking cross-layer ties. A property of the region as a
+/// point set — any exact disjoint rectangle cover computes the same anchor
+/// — which is what lets flat and hierarchical extraction agree on node
+/// numbering byte for byte.
+struct NodeAnchor {
+  geom::Coord y = 0;
+  geom::Coord x = 0;
+  std::uint8_t layer = 0;  // 0 diffusion, 1 poly, 2 metal
+
+  friend bool operator==(const NodeAnchor&, const NodeAnchor&) = default;
+  friend bool operator<(const NodeAnchor& a, const NodeAnchor& b) {
+    if (a.y != b.y) return a.y < b.y;
+    if (a.x != b.x) return a.x < b.x;
+    return a.layer < b.layer;
+  }
 };
 
 struct Netlist {
@@ -39,6 +118,9 @@ struct Netlist {
   std::vector<std::string> node_names;
   /// All labels seen per node (aliases), parallel to node_names.
   std::vector<std::vector<std::string>> node_aliases;
+  /// Intrinsic anchor per node (parallel to node_names); filled by the
+  /// extractors, empty on hand-built netlists (sim::to_switch_level).
+  std::vector<NodeAnchor> node_anchors;
   std::vector<Transistor> transistors;
   std::vector<std::string> warnings;
   /// Nodes recognized as supply rails (possibly several disconnected
@@ -56,11 +138,83 @@ struct Netlist {
   /// One-line census ("N nodes, T transistors (E enh + D dep), W warnings")
   /// for reports and the compiler's diagnostics stream.
   [[nodiscard]] std::string summary() const;
+
+  /// Rewrite into the canonical form flat and hierarchical extraction are
+  /// compared in: nodes renumbered by ascending anchor, aliases sorted
+  /// with the primary name re-derived as the shortest (then
+  /// lexicographically least) alias or "n<id>", supply lists re-derived
+  /// from the aliases and sorted, transistors sorted by channel geometry,
+  /// warnings sorted. No-op when node_anchors was never filled (netlists
+  /// built outside the extractors). Both extract entry points return
+  /// canonical netlists.
+  void canonicalize();
+
+  /// Byte-for-byte equality of the canonical electrical content (names,
+  /// aliases, anchors, transistors, supplies, warnings).
+  friend bool operator==(const Netlist&, const Netlist&) = default;
 };
 
+/// Stable text rendering of a canonical netlist — the golden-fixture
+/// format (fixtures/golden/*.net): one header, one line per node, one per
+/// transistor, one per warning. Diffable line by line.
+[[nodiscard]] std::string to_text(const Netlist& nl);
+
+/// Per-cell partial extraction (hier.cpp); opaque to the public API.
+struct CellNet;
+
+/// Per-cell partial netlists shared across hierarchical extractions — and,
+/// via core::compile_many, across every design of a batch. Keyed by the
+/// technology's extract_signature() plus content hashes of the cell's
+/// geometry *and* labelling (layout::geometry_hash + layout::naming_hash,
+/// with shape count and bbox folded in as collision insurance), so
+/// identical cells rebuilt in different libraries hit. Thread-safe;
+/// concurrent misses may recompute the same entry, which is harmless
+/// because per-cell extractions are deterministic.
+class NetlistCache {
+ public:
+  struct Key {
+    std::uint64_t tech_sig = 0;
+    std::uint64_t geometry = 0;
+    std::uint64_t naming = 0;
+    std::uint64_t shapes = 0;
+    geom::Rect bbox;
+
+    friend bool operator<(const Key& a, const Key& b);
+  };
+
+  [[nodiscard]] std::shared_ptr<const CellNet> find(const Key& k) const;
+  /// Insert and return the stored entry (the first writer wins when two
+  /// workers race on the same miss).
+  std::shared_ptr<const CellNet> store(const Key& k,
+                                       std::shared_ptr<const CellNet> net);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  mutable std::mutex m_;
+  std::map<Key, std::shared_ptr<const CellNet>> map_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+enum class Mode : std::uint8_t { Flat, Hier };
+
+[[nodiscard]] const char* to_string(Mode m);
+
+/// Extract a cell, flattened internally (the exhaustive baseline).
 [[nodiscard]] Netlist extract(const layout::Cell& top,
                               const tech::Tech& technology = tech::nmos());
+/// Extract pre-flattened geometry exhaustively.
 [[nodiscard]] Netlist extract_flat(const layout::Flattened& flat,
                                    const tech::Tech& technology = tech::nmos());
+/// Extract hierarchically: unique cells once (cached in `cache` when
+/// given; a local cache is used when null, which still collapses repeated
+/// cells within one chip), interaction windows re-solved. Canonically
+/// byte-identical to extract_flat on the same cell.
+[[nodiscard]] Netlist extract_hier(const layout::Cell& top,
+                                   const tech::Tech& technology = tech::nmos(),
+                                   NetlistCache* cache = nullptr);
 
 }  // namespace silc::extract

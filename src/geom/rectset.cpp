@@ -238,6 +238,15 @@ bool RectSet::intersects(const Rect& r) const {
   return false;
 }
 
+bool RectSet::touches(const Rect& r) const {
+  if (r.x0 > r.x1 || r.y0 > r.y1) return false;
+  for (const Rect& s : rects()) {
+    if (s.y0 > r.y1) break;
+    if (s.touches(r)) return true;
+  }
+  return false;
+}
+
 std::vector<Rect> RectSet::overlapping(const Rect& w) const {
   std::vector<Rect> out;
   for (const Rect& s : rects()) {

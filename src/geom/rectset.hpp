@@ -34,6 +34,10 @@ class RectSet {
   [[nodiscard]] bool covers(const Rect& r) const;
   /// True when `r`'s interior meets the region's interior.
   [[nodiscard]] bool intersects(const Rect& r) const;
+  /// True when `r`'s closed region meets the region's closed region (shared
+  /// edges and corners count — the abutment test hierarchical extraction's
+  /// window ownership rules are built on).
+  [[nodiscard]] bool touches(const Rect& r) const;
 
   /// Windowed query: the canonical rects whose closed region meets the
   /// closed window `w`, unclipped, in canonical order. This is the query

@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "geom/rectset.hpp"
+
 namespace silc::layout {
 
 void Cell::add_rect(Layer layer, const Rect& r) {
@@ -180,6 +182,57 @@ std::uint64_t hash_cell(const Cell& c, std::map<const Cell*, std::uint64_t>& mem
 std::uint64_t geometry_hash(const Cell& top) {
   std::map<const Cell*, std::uint64_t> memo;
   return hash_cell(top, memo);
+}
+
+namespace {
+
+std::uint64_t naming_hash_cell(const Cell& c,
+                               std::map<const Cell*, std::uint64_t>& memo) {
+  const auto it = memo.find(&c);
+  if (it != memo.end()) return it->second;
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  const auto mix_str = [&](const std::string& s) {
+    mix(s.size());
+    for (const char ch : s) mix(static_cast<unsigned char>(ch));
+  };
+  mix(c.labels().size());
+  for (const TextLabel& l : c.labels()) {
+    mix_str(l.text);
+    mix(static_cast<std::uint64_t>(l.layer));
+    mix(static_cast<std::uint64_t>(l.at.x));
+    mix(static_cast<std::uint64_t>(l.at.y));
+  }
+  mix(c.instances().size());
+  for (const Instance& i : c.instances()) {
+    mix_str(i.name);
+    mix(naming_hash_cell(*i.cell, memo));
+  }
+  memo.emplace(&c, h);
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t naming_hash(const Cell& top) {
+  std::map<const Cell*, std::uint64_t> memo;
+  return naming_hash_cell(top, memo);
+}
+
+void collect_shapes_near(const Cell& top, const geom::Transform& t,
+                         const geom::RectSet& near, std::vector<Shape>& out) {
+  for (const Shape& s : top.shapes()) {
+    const Rect r = t.apply(s.rect);
+    if (near.touches(r)) out.push_back({s.layer, r});
+  }
+  for (const Instance& i : top.instances()) {
+    const Transform ct = t * i.transform;
+    if (!near.touches(ct.apply(i.cell->bbox()))) continue;
+    collect_shapes_near(*i.cell, ct, near, out);
+  }
 }
 
 }  // namespace silc::layout

@@ -18,6 +18,10 @@
 #include "geom/geom.hpp"
 #include "tech/tech.hpp"
 
+namespace silc::geom {
+class RectSet;  // geom/rectset.hpp (collect_shapes_near takes a region)
+}  // namespace silc::geom
+
 namespace silc::layout {
 
 using geom::Coord;
@@ -144,5 +148,22 @@ struct Flattened {
 /// libraries, which is what keys the DRC per-cell verdict cache. Shared
 /// subtrees are memoized, so the cost is linear in unique cells.
 [[nodiscard]] std::uint64_t geometry_hash(const Cell& top);
+
+/// Content hash of everything that names electrical nodes but is invisible
+/// to geometry_hash: own text labels (text, layer, position) plus,
+/// recursively, each instance's (name, child naming hash). Extraction
+/// results depend on labels and on the instance names that prefix them
+/// ("alu.bit3.out"), so the per-cell netlist cache keys on this hash *and*
+/// geometry_hash — two cells with equal geometry but different labelling
+/// must not share a cached netlist. Memoized like geometry_hash.
+[[nodiscard]] std::uint64_t naming_hash(const Cell& top);
+
+/// Flatten-on-demand, restricted: append to `out` every shape of the
+/// subtree under `top` (pre-transformed by `t`) whose transformed rect
+/// meets the closed region `near`, descending only into instances whose
+/// transformed bounding box meets it. This is the gather primitive
+/// windowed hierarchical analyses use instead of a full flatten.
+void collect_shapes_near(const Cell& top, const geom::Transform& t,
+                         const geom::RectSet& near, std::vector<Shape>& out);
 
 }  // namespace silc::layout

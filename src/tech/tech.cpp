@@ -128,6 +128,13 @@ std::uint64_t Tech::drc_signature() const {
   return h;
 }
 
+std::uint64_t Tech::extract_signature() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  h ^= static_cast<std::uint64_t>(lambda);
+  h *= 1099511628211ull;
+  return h;
+}
+
 const Tech& nmos() {
   static const Tech t = [] {
     Tech t;

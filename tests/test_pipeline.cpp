@@ -161,14 +161,26 @@ TEST(Pipeline, ExceptionsBecomeStageDiagnostics) {
 }
 
 TEST(Pipeline, ExtractsAndFlattensExactlyOnce) {
+  // Hier everywhere (the default): DRC and extraction both work cell by
+  // cell, so a full compile never flattens the chip at all — and still
+  // extracts at most once (transistor count + artwork check share it).
   layout::Library lib;
   DesignDB db(lib, Flow::Behavioral, kGray2, fast_verify("gray2"));
   EXPECT_TRUE(Pipeline::behavioral().run(db)) << db.diags.text();
-  // DRC + extraction share one flatten; transistor count + artwork check
-  // share one extraction.
-  EXPECT_EQ(db.flatten_runs, 1);
+  EXPECT_EQ(db.flatten_runs, 0);
   EXPECT_EQ(db.extract_runs, 1);
   EXPECT_TRUE(db.artwork_ok);
+
+  // Flat modes: DRC + extraction share exactly one flatten.
+  layout::Library lib2;
+  CompileOptions flat_opt = fast_verify("gray2");
+  flat_opt.drc_mode = drc::Mode::Flat;
+  flat_opt.extract_mode = extract::Mode::Flat;
+  DesignDB db2(lib2, Flow::Behavioral, kGray2, flat_opt);
+  EXPECT_TRUE(Pipeline::behavioral().run(db2)) << db2.diags.text();
+  EXPECT_EQ(db2.flatten_runs, 1);
+  EXPECT_EQ(db2.extract_runs, 1);
+  EXPECT_TRUE(db2.artwork_ok);
 }
 
 TEST(Pipeline, MalformedBehavioralSourceIsAParseDiagnostic) {
@@ -228,6 +240,42 @@ TEST(Pipeline, CompileManyIsDeterministicAcrossThreadCounts) {
     // Spot-check the fields same_outcome covers.
     EXPECT_EQ(a.cif, b.cif) << i;
     EXPECT_EQ(a.transistors, b.transistors) << i;
+  }
+}
+
+TEST(Pipeline, BatchSharesExtractCacheAndStaysDeterministic) {
+  // The batch threads one NetlistCache through every job (like the DRC
+  // VerdictCache): repeated designs hit it, and results stay bit-identical
+  // at any thread count — cached partial netlists are deterministic.
+  std::vector<BatchJob> jobs;
+  for (int rep = 0; rep < 3; ++rep) {
+    jobs.push_back({Flow::Behavioral, kGray2, fast_verify("gray2")});
+    jobs.push_back({Flow::Structural, kChain, CompileOptions{.name = "chain"}});
+  }
+  extract::NetlistCache shared;
+  for (BatchJob& j : jobs) j.options.extract_cache = &shared;
+  const BatchResult one = compile_many(jobs, 1);
+  EXPECT_GT(shared.hits(), 0u);  // repeats hit the shared cache
+  const std::uint64_t misses_after_serial = shared.misses();
+  const BatchResult four = compile_many(jobs, 4);
+  EXPECT_EQ(shared.misses(), misses_after_serial);  // warm across batches
+  ASSERT_EQ(one.results.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_TRUE(one.results[i].same_outcome(four.results[i])) << i;
+    EXPECT_EQ(one.results[i].transistors, four.results[i].transistors) << i;
+  }
+
+  // Mode cross-check at the batch level: flat extraction compiles to the
+  // same transistor counts and verification outcome as hier.
+  std::vector<BatchJob> flat_jobs = jobs;
+  for (BatchJob& j : flat_jobs) {
+    j.options.extract_cache = nullptr;
+    j.options.extract_mode = extract::Mode::Flat;
+  }
+  const BatchResult flat = compile_many(flat_jobs, 2);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(flat.results[i].transistors, one.results[i].transistors) << i;
+    EXPECT_EQ(flat.results[i].verified, one.results[i].verified) << i;
   }
 }
 
