@@ -41,6 +41,9 @@ struct ModeTimes {
   int tiled_threads = 1;
   std::size_t violations = 0;
   bool identical = true;
+  /// Verdict-cache counters over one cold + one warm hier check (the last
+  /// rep's cache): the warm pass must be all hits.
+  silc::obs::CacheStats cache;
 };
 
 /// The PDP-8 RIM loader (the bootstrap traditionally toggled in at 7756),
@@ -81,6 +84,7 @@ ModeTimes measure(const std::string& name, const silc::layout::Cell& chip,
     t0 = Clock::now();
     (void)silc::drc::check_hier(chip, silc::tech::nmos(), &cache);
     m.hier_warm_ms += ms_since(t0);
+    m.cache = cache.stats();
 
     t0 = Clock::now();
     tiled1 = silc::drc::check_tiled(flat_shapes, silc::tech::nmos(), 1);
@@ -137,16 +141,20 @@ int main(int argc, char** argv) {
 
   std::printf("=== DRC engine: flat vs hier vs tiled (%d rep%s) ===\n", reps,
               reps == 1 ? "" : "s");
-  std::printf("%-10s %8s %9s %10s %10s %9s %12s %6s\n", "design", "rects",
-              "flat ms", "hier ms", "warm ms", "tiled ms", "tiled(N) ms",
-              "same");
+  std::printf("%-10s %8s %9s %10s %10s %9s %12s %6s %11s\n", "design",
+              "rects", "flat ms", "hier ms", "warm ms", "tiled ms",
+              "tiled(N) ms", "same", "cache h/m");
   bool all_identical = true;
   bool all_clean = true;
   for (const ModeTimes& m : rows) {
-    std::printf("%-10s %8zu %9.2f %10.2f %10.3f %9.2f %12.2f %6s\n",
+    char hm[32];
+    std::snprintf(hm, sizeof hm, "%llu/%llu",
+                  static_cast<unsigned long long>(m.cache.hits),
+                  static_cast<unsigned long long>(m.cache.misses));
+    std::printf("%-10s %8zu %9.2f %10.2f %10.3f %9.2f %12.2f %6s %11s\n",
                 m.design.c_str(), m.rects, m.flat_ms, m.hier_cold_ms,
                 m.hier_warm_ms, m.tiled1_ms, m.tiledN_ms,
-                m.identical ? "yes" : "NO");
+                m.identical ? "yes" : "NO", hm);
     all_identical = all_identical && m.identical;
     all_clean = all_clean && m.violations == 0;
   }
@@ -165,10 +173,16 @@ int main(int argc, char** argv) {
                  "\"hier_cold_ms\": %.2f, \"hier_warm_ms\": %.3f, "
                  "\"tiled_1t_ms\": %.2f, \"tiled_threads\": %d, "
                  "\"tiled_nt_ms\": %.2f, "
-                 "\"violations\": %zu, \"identical_across_modes\": %s}%s\n",
+                 "\"violations\": %zu, \"identical_across_modes\": %s, "
+                 "\"cache\": {\"hits\": %llu, \"misses\": %llu, "
+                 "\"entries\": %llu, \"bytes\": %llu}}%s\n",
                  m.design.c_str(), m.rects, m.flat_ms, m.hier_cold_ms,
                  m.hier_warm_ms, m.tiled1_ms, m.tiled_threads, m.tiledN_ms,
                  m.violations, m.identical ? "true" : "false",
+                 static_cast<unsigned long long>(m.cache.hits),
+                 static_cast<unsigned long long>(m.cache.misses),
+                 static_cast<unsigned long long>(m.cache.entries),
+                 static_cast<unsigned long long>(m.cache.bytes),
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

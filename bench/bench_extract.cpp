@@ -40,6 +40,9 @@ struct ModeTimes {
   double hier_warm_ms = 0;
   bool identical = true;
   bool clean = true;
+  /// Netlist-cache counters over one cold + one warm hier extraction (the
+  /// last rep's cache): the warm pass must be all hits.
+  silc::obs::CacheStats cache;
 };
 
 /// The PDP-8 RIM loader plus deterministic fill (same content as
@@ -77,6 +80,7 @@ ModeTimes measure(const std::string& name, const silc::layout::Cell& chip,
     t0 = Clock::now();
     (void)silc::extract::extract_hier(chip, silc::tech::nmos(), &cache);
     m.hier_warm_ms += ms_since(t0);
+    m.cache = cache.stats();
   }
   m.flat_ms /= reps;
   m.hier_cold_ms /= reps;
@@ -185,14 +189,19 @@ int main(int argc, char** argv) {
 
   std::printf("=== extraction: flat vs hier (%d rep%s) ===\n", reps,
               reps == 1 ? "" : "s");
-  std::printf("%-10s %8s %8s %9s %10s %10s %6s\n", "design", "rects", "devs",
-              "flat ms", "hier ms", "warm ms", "same");
+  std::printf("%-10s %8s %8s %9s %10s %10s %6s %11s\n", "design", "rects",
+              "devs", "flat ms", "hier ms", "warm ms", "same", "cache h/m");
   bool all_identical = true;
   bool all_clean = true;
   for (const ModeTimes& m : rows) {
-    std::printf("%-10s %8zu %8zu %9.2f %10.2f %10.3f %6s\n", m.design.c_str(),
-                m.rects, m.transistors, m.flat_ms, m.hier_cold_ms,
-                m.hier_warm_ms, m.identical ? "yes" : "NO");
+    char hm[32];
+    std::snprintf(hm, sizeof hm, "%llu/%llu",
+                  static_cast<unsigned long long>(m.cache.hits),
+                  static_cast<unsigned long long>(m.cache.misses));
+    std::printf("%-10s %8zu %8zu %9.2f %10.2f %10.3f %6s %11s\n",
+                m.design.c_str(), m.rects, m.transistors, m.flat_ms,
+                m.hier_cold_ms, m.hier_warm_ms, m.identical ? "yes" : "NO",
+                hm);
     all_identical = all_identical && m.identical;
     all_clean = all_clean && m.clean;
   }
@@ -217,10 +226,16 @@ int main(int argc, char** argv) {
                  "    {\"design\": \"%s\", \"rects\": %zu, "
                  "\"transistors\": %zu, \"flat_ms\": %.2f, "
                  "\"hier_cold_ms\": %.2f, \"hier_warm_ms\": %.3f, "
-                 "\"identical_across_modes\": %s}%s\n",
+                 "\"identical_across_modes\": %s, "
+                 "\"cache\": {\"hits\": %llu, \"misses\": %llu, "
+                 "\"entries\": %llu, \"bytes\": %llu}}%s\n",
                  m.design.c_str(), m.rects, m.transistors, m.flat_ms,
                  m.hier_cold_ms, m.hier_warm_ms,
                  m.identical ? "true" : "false",
+                 static_cast<unsigned long long>(m.cache.hits),
+                 static_cast<unsigned long long>(m.cache.misses),
+                 static_cast<unsigned long long>(m.cache.entries),
+                 static_cast<unsigned long long>(m.cache.bytes),
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f,

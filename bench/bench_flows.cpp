@@ -10,18 +10,39 @@
 // designs/sec at 1 thread and at hardware concurrency, emitted as
 // BENCH_compile.json so CI tracks the compile-path trajectory the same
 // way BENCH_sim.json tracks the simulator.
+//
+// Since the observability layer (src/obs/) this bench is also its
+// enforcement point:
+//   * the serial batch is timed untraced and traced (min-of-3 each) and
+//     the tracing overhead must stay under --obs-overhead-limit percent
+//     (default 2%) on the full 24-job batch — the "<2% when enabled"
+//     contract is verified by the bench itself, not asserted;
+//   * --budgets=FILE checks the measured smoke per-stage ms_per_run
+//     against the checked-in latency-budget table (scripts/
+//     latency_budgets.txt) and exits non-zero on any breach;
+//   * --check-budgets=BENCH.json re-checks an existing bench JSON against
+//     --budgets without re-running anything (the ci.sh self-test uses
+//     this to prove the gate actually fails);
+//   * --trace=FILE exports the traced runs as Chrome trace-event JSON.
 // Flags: --json=PATH (default BENCH_compile.json), --smoke (fewer batch
-// repetitions, skip the google-benchmark microbenches).
+// repetitions, skip the google-benchmark microbenches, report tracing
+// overhead without gating it — a 8-job smoke batch is inside the noise
+// floor), --trace=FILE, --budgets=FILE, --check-budgets=JSON,
+// --obs-overhead-limit=PCT.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/compiler.hpp"
 #include "design_sources.hpp"
+#include "obs/obs.hpp"
 #include "synth/synth.hpp"
 
 namespace {
@@ -151,13 +172,109 @@ bool same_results(const silc::core::BatchResult& a,
   return true;
 }
 
+/// Per-stage (stage, ms_per_run) pairs of a batch profile — the shape the
+/// budget checker consumes.
+std::vector<std::pair<std::string, double>> profile_ms(
+    const silc::core::BatchResult& br) {
+  std::vector<std::pair<std::string, double>> sm;
+  for (const silc::core::StageProfile& s : br.profile) {
+    sm.emplace_back(s.stage, s.runs > 0 ? s.total_ms / s.runs : 0.0);
+  }
+  return sm;
+}
+
+/// Serial-batch wall clocks with the tracer off vs on: `reps` of each,
+/// interleaved in alternating order (U-T, T-U, U-T, ...) so slow machine
+/// drift biases neither side, min-of-N against scheduler noise. The first
+/// untraced rep's BatchResult is kept for the profile — results are
+/// deterministic, so any rep would do. The traced minimum stays 0 when
+/// the obs layer is compiled out.
+struct SerialWalls {
+  double untraced_ms = 0;
+  double traced_ms = 0;
+};
+
+SerialWalls serial_walls(const std::vector<silc::core::BatchJob>& jobs,
+                         int reps, silc::core::BatchResult* keep) {
+  SerialWalls w;
+  const auto untraced = [&](int r) {
+    silc::core::BatchResult br = silc::core::compile_many(jobs, 1);
+    w.untraced_ms = r == 0 ? br.wall_ms : std::min(w.untraced_ms, br.wall_ms);
+    if (r == 0 && keep != nullptr) *keep = std::move(br);
+  };
+  const auto traced = [&](int r) {
+    if (!silc::obs::kEnabled) return;
+    silc::obs::Tracer::global().enable(1u << 16);
+    const silc::core::BatchResult br = silc::core::compile_many(jobs, 1);
+    silc::obs::Tracer::global().disable();
+    w.traced_ms = r == 0 ? br.wall_ms : std::min(w.traced_ms, br.wall_ms);
+  };
+  for (int r = 0; r < reps; ++r) {
+    if (r % 2 == 0) {
+      untraced(r);
+      traced(r);
+    } else {
+      traced(r);
+      untraced(r);
+    }
+  }
+  return w;
+}
+
+/// Re-check an existing bench JSON's stage_ms rows against a budget table
+/// without re-running anything — the ci.sh busted-budget self-test drives
+/// this to prove the gate fails when it must.
+int check_budgets_file(const std::string& json_path,
+                       const std::string& budgets_path) {
+  std::ifstream in(json_path);
+  if (!in) {
+    std::printf("ERROR: cannot read %s\n", json_path.c_str());
+    return 1;
+  }
+  std::vector<std::pair<std::string, double>> sm;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto sp = line.find("\"stage\": \"");
+    if (sp == std::string::npos) continue;
+    const auto sb = sp + 10;
+    const auto se = line.find('"', sb);
+    const auto mp = line.find("\"ms_per_run\": ");
+    if (se == std::string::npos || mp == std::string::npos) continue;
+    sm.emplace_back(line.substr(sb, se - sb),
+                    std::strtod(line.c_str() + mp + 14, nullptr));
+  }
+  if (sm.empty()) {
+    std::printf("ERROR: no stage_ms rows found in %s\n", json_path.c_str());
+    return 1;
+  }
+  std::string err;
+  const auto table = silc::obs::load_budgets(budgets_path, &err);
+  if (!table) {
+    std::printf("ERROR: %s\n", err.c_str());
+    return 1;
+  }
+  const auto verdicts = silc::obs::check_budgets(*table, sm);
+  std::printf("=== latency budgets: %s vs %s ===\n%s", json_path.c_str(),
+              budgets_path.c_str(),
+              silc::obs::budget_report(verdicts).c_str());
+  if (!silc::obs::budgets_ok(verdicts)) {
+    std::printf("ERROR: latency budget breached\n");
+    return 1;
+  }
+  return 0;
+}
+
 /// Measure the compile pipeline, print the table, emit JSON. Returns 0 on
-/// success, 1 when a design failed or thread counts disagreed.
-int run_suite(const std::string& json_path, bool smoke) {
+/// success, 1 when a design failed, thread counts disagreed, tracing cost
+/// more than its limit on the full batch, or a latency budget broke.
+int run_suite(const std::string& json_path, bool smoke,
+              const std::string& trace_path, const std::string& budgets_path,
+              double overhead_limit) {
   using silc::core::BatchResult;
   using silc::core::compile_many;
 
   const int reps = smoke ? 2 : 6;
+  const int walls = 3;  // min-of-3 wall clocks, traced and untraced
   const std::vector<silc::core::BatchJob> designs = one_rep();
   const std::vector<silc::core::BatchJob> jobs = bench_jobs(reps);
   const unsigned hw = std::thread::hardware_concurrency();
@@ -165,20 +282,58 @@ int run_suite(const std::string& json_path, bool smoke) {
 
   std::printf("=== compile pipeline: %zu jobs (%zu designs x %d reps) ===\n",
               jobs.size(), designs.size(), reps);
-  const BatchResult serial = compile_many(jobs, 1);
+  BatchResult serial;
+  const SerialWalls wallclocks = serial_walls(jobs, walls, &serial);
+  const double untraced_ms = wallclocks.untraced_ms;
+  const double traced_ms = wallclocks.traced_ms;
+
+  // The parallel batch runs traced too, so the exported timeline shows
+  // the crew (each enable() restarts the trace: the export holds exactly
+  // this batch).
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_dropped = 0;
+  if (silc::obs::kEnabled) silc::obs::Tracer::global().enable(1u << 16);
   const BatchResult parallel = compile_many(jobs, many);
+  if (silc::obs::kEnabled) {
+    silc::obs::Tracer::global().disable();
+    trace_events = silc::obs::Tracer::global().total_events();
+    trace_dropped = silc::obs::Tracer::global().dropped_events();
+  }
+  if (!trace_path.empty()) {
+    if (silc::obs::write_chrome_trace(trace_path)) {
+      std::printf("wrote %s (%llu events, %llu dropped)\n", trace_path.c_str(),
+                  static_cast<unsigned long long>(trace_events),
+                  static_cast<unsigned long long>(trace_dropped));
+    } else {
+      std::printf("ERROR: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
+  const double overhead_pct =
+      silc::obs::kEnabled && untraced_ms > 0
+          ? 100.0 * (traced_ms - untraced_ms) / untraced_ms
+          : 0.0;
+
   const bool identical = same_results(serial, parallel);
   const bool all_ok = serial.ok_count() == jobs.size();
 
   std::printf("%s", serial.profile_text().c_str());
   const double serial_dps = 1000.0 * static_cast<double>(jobs.size()) /
-                            serial.wall_ms;
+                            untraced_ms;
   const double parallel_dps = 1000.0 * static_cast<double>(jobs.size()) /
                               parallel.wall_ms;
   std::printf("batch: %7.2f designs/sec at 1 thread, %7.2f at %d threads "
-              "(results %s)\n\n",
+              "(results %s)\n",
               serial_dps, parallel_dps, parallel.threads,
               identical ? "identical" : "DIVERGED");
+  if (silc::obs::kEnabled) {
+    std::printf("obs: traced %.1f ms vs untraced %.1f ms serial "
+                "(min of %d) = %+.2f%% overhead%s\n\n",
+                traced_ms, untraced_ms, walls, overhead_pct,
+                smoke ? " (smoke: reported, not gated)" : "");
+  } else {
+    std::printf("obs: compiled out (SILC_OBS=OFF)\n\n");
+  }
 
   FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
@@ -210,12 +365,20 @@ int run_suite(const std::string& json_path, bool smoke) {
   std::fprintf(f,
                "    {\"threads\": 1, \"wall_ms\": %.1f, "
                "\"designs_per_sec\": %.2f},\n",
-               serial.wall_ms, serial_dps);
+               untraced_ms, serial_dps);
   std::fprintf(f,
                "    {\"threads\": %d, \"wall_ms\": %.1f, "
                "\"designs_per_sec\": %.2f}\n",
                parallel.threads, parallel.wall_ms, parallel_dps);
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"obs\": {\"enabled\": %s, \"untraced_wall_ms\": %.1f, "
+               "\"traced_wall_ms\": %.1f, \"trace_overhead_pct\": %.2f, "
+               "\"overhead_limit_pct\": %.2f, \"trace_events\": %llu, "
+               "\"trace_dropped\": %llu},\n",
+               silc::obs::kEnabled ? "true" : "false", untraced_ms, traced_ms,
+               overhead_pct, overhead_limit,
+               static_cast<unsigned long long>(trace_events),
+               static_cast<unsigned long long>(trace_dropped));
   std::fprintf(f, "  \"ok\": %zu,\n", serial.ok_count());
   std::fprintf(f, "  \"identical_across_threads\": %s\n",
                identical ? "true" : "false");
@@ -223,17 +386,40 @@ int run_suite(const std::string& json_path, bool smoke) {
   std::fclose(f);
   std::printf("wrote %s\n\n", json_path.c_str());
 
+  int rc = 0;
   if (!all_ok) {
     std::printf("ERROR: %zu/%zu designs failed to compile clean\n",
                 jobs.size() - serial.ok_count(), jobs.size());
-    return 1;
+    rc = 1;
   }
   if (!identical) {
     std::printf("ERROR: batch results differ between 1 and %d threads\n",
                 parallel.threads);
-    return 1;
+    rc = 1;
   }
-  return 0;
+  // The <2% tracing-overhead contract, enforced on the full 24-job batch
+  // (the smoke batch is too small to measure 2% against scheduler noise).
+  if (!smoke && silc::obs::kEnabled && overhead_pct > overhead_limit) {
+    std::printf("ERROR: tracing overhead %.2f%% exceeds %.2f%% limit\n",
+                overhead_pct, overhead_limit);
+    rc = 1;
+  }
+  if (!budgets_path.empty()) {
+    std::string err;
+    const auto table = silc::obs::load_budgets(budgets_path, &err);
+    if (!table) {
+      std::printf("ERROR: %s\n", err.c_str());
+      return 1;
+    }
+    const auto verdicts = silc::obs::check_budgets(*table, profile_ms(serial));
+    std::printf("=== latency budgets (%s) ===\n%s", budgets_path.c_str(),
+                silc::obs::budget_report(verdicts).c_str());
+    if (!silc::obs::budgets_ok(verdicts)) {
+      std::printf("ERROR: latency budget breached\n");
+      rc = 1;
+    }
+  }
+  return rc;
 }
 
 void BM_BehavioralFlow(benchmark::State& state) {
@@ -260,16 +446,36 @@ BENCHMARK(BM_StructuralFlow);
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_compile.json";
+  std::string trace_path;
+  std::string budgets_path;
+  std::string check_budgets_path;
+  double overhead_limit = 2.0;
   bool smoke = false;
   std::vector<char*> passthrough{argv[0]};
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    else if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
+    else if (std::strncmp(argv[i], "--budgets=", 10) == 0)
+      budgets_path = argv[i] + 10;
+    else if (std::strncmp(argv[i], "--check-budgets=", 16) == 0)
+      check_budgets_path = argv[i] + 16;
+    else if (std::strncmp(argv[i], "--obs-overhead-limit=", 21) == 0)
+      overhead_limit = std::strtod(argv[i] + 21, nullptr);
     else if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     else passthrough.push_back(argv[i]);
   }
+  if (!check_budgets_path.empty()) {
+    // Pure re-check of an existing bench JSON: no compiling, no benching.
+    if (budgets_path.empty()) {
+      std::printf("ERROR: --check-budgets requires --budgets=FILE\n");
+      return 1;
+    }
+    return check_budgets_file(check_budgets_path, budgets_path);
+  }
   print_flow_table();
   print_encoding_table();
-  const int rc = run_suite(json_path, smoke);
+  const int rc = run_suite(json_path, smoke, trace_path, budgets_path,
+                           overhead_limit);
   if (!smoke) {
     int bench_argc = static_cast<int>(passthrough.size());
     benchmark::Initialize(&bench_argc, passthrough.data());

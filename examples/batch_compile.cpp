@@ -12,13 +12,17 @@
 //     structured diagnostic instead of crashing the batch.
 //
 // Prints the per-design outcomes, every diagnostic, and the aggregate
-// per-stage timing profile.
+// per-stage timing profile. With --trace=FILE the whole batch runs under
+// the span tracer and exports Chrome trace-event JSON (load it in
+// chrome://tracing or https://ui.perfetto.dev).
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "core/compiler.hpp"
 #include "design_sources.hpp"
+#include "obs/obs.hpp"
 #include "pdp8_model.hpp"
 
 namespace {
@@ -38,8 +42,14 @@ silc::core::CompileOptions verified(const std::string& name) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace silc::core;
+
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
+  }
+  if (!trace_path.empty()) silc::obs::Tracer::global().enable();
 
   std::vector<std::string> names;
   std::vector<BatchJob> jobs;
@@ -85,6 +95,18 @@ int main() {
   }
 
   std::printf("\naggregate stage profile:\n%s", batch.profile_text().c_str());
+
+  if (!trace_path.empty()) {
+    silc::obs::Tracer::global().disable();
+    if (silc::obs::write_chrome_trace(trace_path)) {
+      std::printf("\nwrote %s — open in chrome://tracing or "
+                  "https://ui.perfetto.dev\n",
+                  trace_path.c_str());
+    } else {
+      std::printf("\nERROR: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
   // Four designs make it all the way to verified silicon; the PDP-8 stops
   // where asked and the malformed one fails with a diagnostic, not a crash.
   return batch.ok_count() == 4 ? 0 : 1;

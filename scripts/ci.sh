@@ -13,7 +13,14 @@
 #     throughput at 1 and N threads), and the drc bench must produce
 #     BENCH_drc.json (flat vs hier vs tiled ms, byte-identical violation
 #     sets enforced) so perf regressions are visible; set
-#     SILC_SKIP_BENCH=1 to bypass on machines without google-benchmark.
+#     SILC_SKIP_BENCH=1 to bypass on machines without google-benchmark;
+#   * the flows smoke bench enforces scripts/latency_budgets.txt (every
+#     profiled stage must hold its per-stage ms budget), and the gate is
+#     itself tested: a deliberately busted budget table must make the
+#     checker fail;
+#   * the library and every tier-1 test must also build and pass with the
+#     observability layer compiled out (SILC_OBS=OFF), so the no-op macro
+#     path cannot rot.
 # Usage: scripts/ci.sh [build-dir]   (default: build)
 set -euo pipefail
 
@@ -64,9 +71,27 @@ if [ "${SILC_SKIP_BENCH:-0}" = "1" ]; then
 elif [ -x "$BUILD_DIR/bench_flows" ]; then
   # Smoke output goes to the build dir: the repo-root BENCH_compile.json
   # holds full-run baselines and must not be clobbered by CI smoke data.
-  "$BUILD_DIR/bench_flows" --smoke --json="$BUILD_DIR/BENCH_compile.json"
+  # --budgets makes this run the latency gate: any stage over its line in
+  # scripts/latency_budgets.txt (x margin) fails CI.
+  "$BUILD_DIR/bench_flows" --smoke --json="$BUILD_DIR/BENCH_compile.json" \
+      --budgets=scripts/latency_budgets.txt
   echo "--- BENCH_compile.json (smoke) ---"
   cat "$BUILD_DIR/BENCH_compile.json"
+
+  # --- the budget gate must actually gate: busted-budget self-test ------
+  # Re-check the JSON just produced against a table whose drc budget is
+  # impossible; the checker exiting zero would mean the gate is dead.
+  BUSTED=$(mktemp)
+  sed 's/^drc .*/drc 0.000001/' scripts/latency_budgets.txt > "$BUSTED"
+  if "$BUILD_DIR/bench_flows" --check-budgets="$BUILD_DIR/BENCH_compile.json" \
+      --budgets="$BUSTED" > /dev/null 2>&1; then
+    echo "ERROR: budget checker passed a deliberately busted table —" \
+         "the latency gate is not gating" >&2
+    rm -f "$BUSTED"
+    exit 1
+  fi
+  rm -f "$BUSTED"
+  echo "busted-budget self-test: checker correctly failed"
 else
   echo "ERROR: $BUILD_DIR/bench_flows was not built (google-benchmark" \
        "missing?); set SILC_SKIP_BENCH=1 to bypass" >&2
@@ -88,3 +113,13 @@ cat "$BUILD_DIR/BENCH_drc.json"
 "$BUILD_DIR/bench_extract" --smoke --json="$BUILD_DIR/BENCH_extract.json"
 echo "--- BENCH_extract.json (smoke) ---"
 cat "$BUILD_DIR/BENCH_extract.json"
+
+# --- SILC_OBS=OFF: the compiled-out path must build and pass ------------
+# Every instrumentation macro expands to a no-op and the tracer refuses to
+# enable; the library, tests, benches and examples must still compile and
+# the tier-1 suites must pass, so the OFF path cannot rot.
+NOOBS_DIR="${BUILD_DIR}-noobs"
+cmake -B "$NOOBS_DIR" -S . -DSILC_OBS=OFF
+cmake --build "$NOOBS_DIR" -j
+(cd "$NOOBS_DIR" && ctest --output-on-failure --no-tests=error -j)
+echo "SILC_OBS=OFF build + tier-1 tests: ok"

@@ -127,6 +127,7 @@ bool Pipeline::has_stage(const std::string& name) const {
 }
 
 bool Pipeline::run(DesignDB& db) const {
+  const auto run_t0 = std::chrono::steady_clock::now();
   const CompileOptions& opt = db.options;
   bool policy_ok = true;
   if (!opt.stop_after.empty() && !has_stage(opt.stop_after)) {
@@ -144,25 +145,29 @@ bool Pipeline::run(DesignDB& db) const {
   bool failed = !policy_ok;
   bool stopped = false;
   for (const Stage& s : stages_) {
-    StageTiming t{s.name, 0, false, false};
+    StageTiming t{s.name, 0, false, false, false};
     const bool skipped =
         std::find(opt.skip.begin(), opt.skip.end(), s.name) != opt.skip.end();
     const bool is_stop = !opt.stop_after.empty() && s.name == opt.stop_after;
     if (failed || stopped || skipped) {
       // A stage both skipped and named by stop_after still ends the run.
       stopped |= is_stop;
+      t.skipped = skipped;
       db.timings.push_back(std::move(t));
       continue;
     }
     const std::size_t diags_before = db.diags.all().size();
     const auto t0 = std::chrono::steady_clock::now();
     bool ok = false;
-    try {
-      ok = s.fn(db);
-    } catch (const std::exception& e) {
-      db.diags.error(s.name, e.what());
-    } catch (...) {
-      db.diags.error(s.name, "unknown error (non-standard exception)");
+    {
+      SILC_OBS_SPAN(s.name, "stage");
+      try {
+        ok = s.fn(db);
+      } catch (const std::exception& e) {
+        db.diags.error(s.name, e.what());
+      } catch (...) {
+        db.diags.error(s.name, "unknown error (non-standard exception)");
+      }
     }
     t.ms = std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now() - t0)
@@ -181,6 +186,9 @@ bool Pipeline::run(DesignDB& db) const {
     }
     stopped |= is_stop;
   }
+  db.pipeline_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - run_t0)
+                       .count();
   return !failed;
 }
 
@@ -444,6 +452,7 @@ CompileResult finish(DesignDB& db) {
   }
   r.diags = db.diags.all();
   r.timings = db.timings;
+  r.pipeline_ms = db.pipeline_ms;
   return r;
 }
 
@@ -453,8 +462,15 @@ CompileResult compile(layout::Library& lib, Flow flow,
   DesignDB db(lib, flow, source, options);
   const Pipeline p =
       flow == Flow::Behavioral ? Pipeline::behavioral() : Pipeline::structural();
+#if SILC_OBS_ENABLED
+  const std::vector<obs::MetricSample> before = obs::Metrics::global().snapshot();
+#endif
   p.run(db);
-  return finish(db);
+  CompileResult r = finish(db);
+#if SILC_OBS_ENABLED
+  r.metrics = obs::delta(before, obs::Metrics::global().snapshot());
+#endif
+  return r;
 }
 
 // ------------------------------------------------------------------ batch --
@@ -514,6 +530,7 @@ BatchResult compile_many(const std::vector<BatchJob>& jobs, int threads) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       const BatchJob& job = jobs[i];
+      SILC_OBS_SPAN("job:" + job.options.name, "batch");
       auto lib = std::make_unique<layout::Library>(job.options.name);
       CompileOptions opt = job.options;
       opt.sim_threads = 1;  // one level of parallelism: across designs
@@ -522,9 +539,11 @@ BatchResult compile_many(const std::vector<BatchJob>& jobs, int threads) {
       if (opt.extract_cache == nullptr) opt.extract_cache = &extract_cache;
       br.results[i] = compile(*lib, job.flow, job.source, opt);
       br.libraries[i] = std::move(lib);
+      SILC_OBS_COUNT("batch.jobs", 1);
     }
   };
 
+  SILC_OBS_SPAN("compile_many:" + std::to_string(n) + "jobs", "batch");
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> crew;
   for (int t = 1; t < br.threads; ++t) crew.emplace_back(work);

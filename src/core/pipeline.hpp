@@ -52,6 +52,7 @@
 #include "extract/extract.hpp"
 #include "lang/lang.hpp"
 #include "layout/layout.hpp"
+#include "obs/obs.hpp"
 #include "rtl/rtl.hpp"
 #include "sim/sim.hpp"
 #include "synth/synth.hpp"
@@ -154,13 +155,18 @@ struct CompileOptions {
   extract::NetlistCache* extract_cache = nullptr;
 };
 
-/// Wall-clock record of one stage slot in a run. Stages cut off by policy,
-/// an earlier failure, or `skip` appear with ran == false.
+/// Wall-clock record of one stage slot in a run. Every stage of the flow
+/// gets exactly one entry, always — stages dropped by `skip` carry
+/// skipped == true, stages cut off by stop_after or an earlier failure
+/// carry ran == false — so a run's timings are a complete account: the
+/// ms of the ran entries sum to the pipeline wall clock (DesignDB /
+/// CompileResult::pipeline_ms) minus policy-validation overhead.
 struct StageTiming {
   std::string stage;
   double ms = 0;
   bool ran = false;
   bool ok = false;
+  bool skipped = false;  // dropped by CompileOptions::skip
 };
 
 // ------------------------------------------------------------ artifact DB --
@@ -196,6 +202,8 @@ struct DesignDB {
 
   DiagStream diags;
   std::vector<StageTiming> timings;
+  /// Total Pipeline::run wall clock (policy validation + every stage).
+  double pipeline_ms = 0;
 
   /// Times the chip was actually flattened / extracted — the compile-once
   /// guarantee is testable: one full compile must leave both at <= 1.
@@ -263,6 +271,17 @@ struct CompileResult {
   std::size_t rect_count = 0;
   std::vector<Diag> diags;
   std::vector<StageTiming> timings;
+  /// Total pipeline wall clock — the number the per-stage timings account
+  /// for (see StageTiming).
+  double pipeline_ms = 0;
+  /// Structured measurement of the run: the obs::Metrics registry delta
+  /// across this compile (cache hits/misses/bytes, interaction-window
+  /// counts and areas, sim-pool occupancy, ...), nonzero entries only.
+  /// Exact when compiles don't overlap; under a concurrent compile_many
+  /// batch, globally-shared work (the batch caches) is attributed to
+  /// whichever overlapping compile observed it. Empty under SILC_OBS=OFF.
+  /// Excluded from same_outcome(), like timings.
+  std::vector<obs::MetricSample> metrics;
 
   [[nodiscard]] bool ok() const;
   [[nodiscard]] bool has_errors() const;

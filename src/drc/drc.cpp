@@ -61,28 +61,88 @@ void Result::canonicalize() {
 
 // ----------------------------------------------------------- verdict cache --
 
+namespace {
+
+std::uint64_t verdict_bytes(const std::vector<Violation>& vs) {
+  std::uint64_t b = sizeof(std::vector<Violation>);
+  for (const Violation& v : vs) {
+    b += sizeof(Violation) + v.rule.size() + v.detail.size();
+  }
+  return b;
+}
+
+}  // namespace
+
 std::shared_ptr<const std::vector<Violation>> VerdictCache::find(
     const Key& k) const {
   const std::lock_guard<std::mutex> lk(m_);
   const auto it = map_.find(k);
   if (it == map_.end()) {
     ++misses_;
+    SILC_OBS_COUNT("drc.cache.misses", 1);
+    SILC_OBS_INSTANT("drc.cache.miss", "cache");
     return nullptr;
   }
   ++hits_;
-  return it->second;
+  it->second.last_use = ++clock_;
+  SILC_OBS_COUNT("drc.cache.hits", 1);
+  SILC_OBS_INSTANT("drc.cache.hit", "cache");
+  return it->second.verdict;
 }
 
 std::shared_ptr<const std::vector<Violation>> VerdictCache::store(
     const Key& k, std::vector<Violation> violations) {
   auto v = std::make_shared<const std::vector<Violation>>(std::move(violations));
+  const std::uint64_t bytes = verdict_bytes(*v);
   const std::lock_guard<std::mutex> lk(m_);
-  return map_.emplace(k, std::move(v)).first->second;
+  const auto [it, fresh] =
+      map_.emplace(k, Entry{std::move(v), bytes, ++clock_});
+  if (fresh) {
+    bytes_ += bytes;
+    SILC_OBS_COUNT("drc.cache.bytes", bytes);
+    evict_overflow_locked();
+  }
+  return it->second.verdict;  // first writer wins on a race
+}
+
+void VerdictCache::set_capacity(std::size_t max_entries) {
+  const std::lock_guard<std::mutex> lk(m_);
+  capacity_ = max_entries;
+  evict_overflow_locked();
+}
+
+void VerdictCache::evict_overflow_locked() {
+  while (capacity_ > 0 && map_.size() > capacity_) {
+    auto victim = map_.begin();
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    }
+    bytes_ -= victim->second.bytes;
+    SILC_OBS_COUNT("drc.cache.bytes", -static_cast<long long>(victim->second.bytes));
+    map_.erase(victim);
+    ++evictions_;
+    SILC_OBS_COUNT("drc.cache.evictions", 1);
+  }
+}
+
+obs::CacheStats VerdictCache::stats() const {
+  const std::lock_guard<std::mutex> lk(m_);
+  return {hits_, misses_, evictions_, map_.size(), bytes_};
 }
 
 std::size_t VerdictCache::size() const {
   const std::lock_guard<std::mutex> lk(m_);
   return map_.size();
+}
+
+std::uint64_t VerdictCache::hits() const {
+  const std::lock_guard<std::mutex> lk(m_);
+  return hits_;
+}
+
+std::uint64_t VerdictCache::misses() const {
+  const std::lock_guard<std::mutex> lk(m_);
+  return misses_;
 }
 
 // ------------------------------------------------------------ entry points --
@@ -169,6 +229,8 @@ Result check_tiled(const std::vector<Shape>& shapes, const Tech& technology,
     for (;;) {
       const int idx = next.fetch_add(1, std::memory_order_relaxed);
       if (idx >= grid.tiles()) return;
+      SILC_OBS_SPAN("drc.tile:" + std::to_string(idx), "drc");
+      SILC_OBS_COUNT("drc.tiles", 1);
       const Rect core = grid.tile(idx);
       LayerTable soup = full.window(geom::RectSet(core.inflated(halo)), halo);
       Result r;

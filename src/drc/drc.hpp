@@ -67,6 +67,7 @@
 
 #include "geom/rectset.hpp"
 #include "layout/layout.hpp"
+#include "obs/obs.hpp"
 #include "tech/tech.hpp"
 
 namespace silc::drc {
@@ -148,13 +149,35 @@ class VerdictCache {
   std::shared_ptr<const std::vector<Violation>> store(
       const Key& k, std::vector<Violation> violations);
 
+  /// Bound the cache to `max_entries` verdicts (0 = unbounded, the
+  /// default): on overflow the least-recently-used entry is evicted and
+  /// counted. Evicted verdicts are merely recomputed on next demand —
+  /// correctness never depends on residency.
+  void set_capacity(std::size_t max_entries);
+
+  /// Lifetime hit/miss/eviction totals plus current entry count and
+  /// approximate payload bytes — what the benches record and the
+  /// obs::Metrics registry mirrors (drc.cache.*).
+  [[nodiscard]] obs::CacheStats stats() const;
+
   [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::uint64_t hits() const { return hits_; }
-  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
 
  private:
+  struct Entry {
+    std::shared_ptr<const std::vector<Violation>> verdict;
+    std::uint64_t bytes = 0;    // approximate payload size
+    std::uint64_t last_use = 0; // LRU stamp
+  };
+  void evict_overflow_locked();
+
   mutable std::mutex m_;
-  std::map<Key, std::shared_ptr<const std::vector<Violation>>> map_;
+  mutable std::map<Key, Entry> map_;  // find() refreshes the LRU stamp
+  std::size_t capacity_ = 0;          // 0 = unbounded
+  std::uint64_t bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+  mutable std::uint64_t clock_ = 0;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
 };

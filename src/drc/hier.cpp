@@ -66,6 +66,8 @@ class HierChecker {
   }
 
   Result check_cell(const Cell& cell) {
+    SILC_OBS_SPAN("drc.cell:" + cell.name(), "drc");
+    SILC_OBS_COUNT("drc.cells", 1);
     Result out;
     if (cell.instances().empty()) {
       LayerTable t(cell.shapes(), tech_);
@@ -121,8 +123,12 @@ class HierChecker {
       if (!in_seams(v)) out.violations.push_back(std::move(v));
     }
 
+    SILC_OBS_COUNT("drc.windows", seams.rects().size());
+    SILC_OBS_COUNT("drc.window_area", seams.area());
+
     // Re-verify the seams against the full local geometry.
     if (!seams.empty()) {
+      SILC_OBS_SPAN("drc.seams:" + cell.name(), "drc");
       LayerTable full(layout::flatten(cell), tech_);
       for (const auto& comp : seams.dilated(h).components()) {
         LayerTable soup = full.window(RectSet(comp), h);

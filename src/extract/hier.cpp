@@ -104,27 +104,91 @@ bool operator<(const NetlistCache::Key& a, const NetlistCache::Key& b) {
          std::tie(b.bbox.x0, b.bbox.y0, b.bbox.x1, b.bbox.y1);
 }
 
+namespace {
+
+std::uint64_t cellnet_bytes(const CellNet& n) {
+  std::uint64_t b = sizeof(CellNet);
+  b += n.pieces.size() * sizeof(CellNet::Piece);
+  b += n.transistors.size() * sizeof(detail::ProtoTransistor);
+  b += n.junctions.size() * sizeof(detail::Junction);
+  for (const Warning& w : n.warnings) b += sizeof(Warning) + w.text.size();
+  for (const CellNet::Label& l : n.labels) {
+    b += sizeof(CellNet::Label) + l.text.size();
+  }
+  return b;
+}
+
+}  // namespace
+
 std::shared_ptr<const CellNet> NetlistCache::find(const Key& k) const {
   const std::lock_guard<std::mutex> lock(m_);
   const auto it = map_.find(k);
   if (it == map_.end()) {
     ++misses_;
+    SILC_OBS_COUNT("extract.cache.misses", 1);
+    SILC_OBS_INSTANT("extract.cache.miss", "cache");
     return nullptr;
   }
   ++hits_;
-  return it->second;
+  it->second.last_use = ++clock_;
+  SILC_OBS_COUNT("extract.cache.hits", 1);
+  SILC_OBS_INSTANT("extract.cache.hit", "cache");
+  return it->second.net;
 }
 
 std::shared_ptr<const CellNet> NetlistCache::store(
     const Key& k, std::shared_ptr<const CellNet> net) {
+  const std::uint64_t bytes = net != nullptr ? cellnet_bytes(*net) : 0;
   const std::lock_guard<std::mutex> lock(m_);
-  const auto [it, fresh] = map_.emplace(k, std::move(net));
-  return it->second;  // first writer wins on a race
+  const auto [it, fresh] =
+      map_.emplace(k, Entry{std::move(net), bytes, ++clock_});
+  if (fresh) {
+    bytes_ += bytes;
+    SILC_OBS_COUNT("extract.cache.bytes", bytes);
+    evict_overflow_locked();
+  }
+  return it->second.net;  // first writer wins on a race
+}
+
+void NetlistCache::set_capacity(std::size_t max_entries) {
+  const std::lock_guard<std::mutex> lock(m_);
+  capacity_ = max_entries;
+  evict_overflow_locked();
+}
+
+void NetlistCache::evict_overflow_locked() {
+  while (capacity_ > 0 && map_.size() > capacity_) {
+    auto victim = map_.begin();
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    }
+    bytes_ -= victim->second.bytes;
+    SILC_OBS_COUNT("extract.cache.bytes",
+                   -static_cast<long long>(victim->second.bytes));
+    map_.erase(victim);
+    ++evictions_;
+    SILC_OBS_COUNT("extract.cache.evictions", 1);
+  }
+}
+
+obs::CacheStats NetlistCache::stats() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  return {hits_, misses_, evictions_, map_.size(), bytes_};
 }
 
 std::size_t NetlistCache::size() const {
   const std::lock_guard<std::mutex> lock(m_);
   return map_.size();
+}
+
+std::uint64_t NetlistCache::hits() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  return hits_;
+}
+
+std::uint64_t NetlistCache::misses() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  return misses_;
 }
 
 // ------------------------------------------------------------ the engine --
@@ -202,6 +266,8 @@ class HierExtractor {
   }
 
   CellNet build(const Cell& c) {
+    SILC_OBS_SPAN("extract.cell:" + c.name(), "extract");
+    SILC_OBS_COUNT("extract.cells", 1);
     if (c.instances().empty()) return own_net(c);
     return stitch(c);
   }
@@ -305,6 +371,10 @@ class HierExtractor {
       if (!grew) break;
       wx = wx.unite(added);
     }
+
+    SILC_OBS_COUNT("extract.windows", wx.rects().size());
+    SILC_OBS_COUNT("extract.window_area", wx.area());
+    SILC_OBS_SPAN("extract.stitch:" + c.name(), "extract");
 
     // Inside the windows: a fresh connectivity solve over the true
     // combined geometry, clipped to the window region.

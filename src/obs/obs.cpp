@@ -1,0 +1,435 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace silc::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void copy_name(char (&dst)[Event::kNameCap + 1], std::string_view src) {
+  const std::size_t n = std::min(src.size(), Event::kNameCap);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- tracer --
+
+/// Single-writer event buffer. The owning thread appends; nobody else
+/// writes. Reads (drain) happen only when the owner is quiesced.
+struct Tracer::ThreadBuf {
+  std::uint32_t tid = 0;
+  std::uint64_t dropped = 0;
+  std::vector<Event> events;
+};
+
+Tracer& Tracer::global() {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::enable(std::size_t max_events_per_thread) {
+  if (!kEnabled) return;  // compiled-out builds can never record
+  const std::lock_guard<std::mutex> lock(reg_m_);
+  capacity_ = std::max<std::size_t>(max_events_per_thread, 1);
+  for (const auto& b : bufs_) {
+    b->events.clear();
+    b->dropped = 0;
+  }
+  epoch_ns_.store(steady_ns(), std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_release); }
+
+std::uint64_t Tracer::now_ns() const {
+  return steady_ns() - epoch_ns_.load(std::memory_order_relaxed);
+}
+
+Tracer::ThreadBuf& Tracer::buf_for_this_thread() {
+  thread_local ThreadBuf* mine = nullptr;
+  thread_local Tracer* owner = nullptr;
+  if (mine == nullptr || owner != this) {
+    const std::lock_guard<std::mutex> lock(reg_m_);
+    bufs_.push_back(std::make_unique<ThreadBuf>());
+    mine = bufs_.back().get();
+    mine->tid = static_cast<std::uint32_t>(bufs_.size() - 1);
+    mine->events.reserve(std::min<std::size_t>(capacity_, 1024));
+    owner = this;
+  }
+  return *mine;
+}
+
+void Tracer::record(Event::Type type, std::string_view name, const char* cat,
+                    std::uint64_t ts_ns, std::uint64_t dur_ns, double value) {
+  ThreadBuf& b = buf_for_this_thread();
+  if (b.events.size() >= capacity_) {
+    // Drop the newest, never overwrite: the recorded prefix stays
+    // well-formed (every end it holds has its begin).
+    ++b.dropped;
+    return;
+  }
+  Event e;
+  copy_name(e.name, name);
+  e.cat = cat;
+  e.type = type;
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  e.value = value;
+  b.events.push_back(e);
+}
+
+void Tracer::begin(std::string_view name, const char* cat) {
+  if (!enabled()) return;
+  record(Event::Type::Begin, name, cat, now_ns(), 0, 0);
+}
+
+void Tracer::end(std::string_view name, const char* cat) {
+  if (!enabled()) return;
+  record(Event::Type::End, name, cat, now_ns(), 0, 0);
+}
+
+void Tracer::instant(std::string_view name, const char* cat) {
+  if (!enabled()) return;
+  record(Event::Type::Instant, name, cat, now_ns(), 0, 0);
+}
+
+void Tracer::counter(std::string_view name, const char* cat, double value) {
+  if (!enabled()) return;
+  record(Event::Type::Counter, name, cat, now_ns(), 0, value);
+}
+
+void Tracer::complete(std::string_view name, const char* cat,
+                      std::uint64_t ts_ns, std::uint64_t dur_ns) {
+  if (!enabled()) return;
+  record(Event::Type::Complete, name, cat, ts_ns, dur_ns, 0);
+}
+
+std::vector<Tracer::ThreadEvents> Tracer::drain() const {
+  const std::lock_guard<std::mutex> lock(reg_m_);
+  std::vector<ThreadEvents> out;
+  out.reserve(bufs_.size());
+  for (const auto& b : bufs_) {
+    if (b->events.empty() && b->dropped == 0) continue;
+    out.push_back({b->tid, b->dropped, b->events});
+  }
+  return out;
+}
+
+std::uint64_t Tracer::total_events() const {
+  const std::lock_guard<std::mutex> lock(reg_m_);
+  std::uint64_t n = 0;
+  for (const auto& b : bufs_) n += b->events.size();
+  return n;
+}
+
+std::uint64_t Tracer::dropped_events() const {
+  const std::lock_guard<std::mutex> lock(reg_m_);
+  std::uint64_t n = 0;
+  for (const auto& b : bufs_) n += b->dropped;
+  return n;
+}
+
+Span::Span(std::string_view name, const char* cat) {
+  Tracer& t = Tracer::global();
+  if (!t.enabled()) return;
+  copy_name(name_, name);
+  cat_ = cat;
+  t0_ = t.now_ns();
+  live_ = true;
+}
+
+Span::~Span() {
+  if (!live_) return;
+  Tracer& t = Tracer::global();
+  t.complete(name_, cat_, t0_, t.now_ns() - t0_);
+}
+
+// ---------------------------------------------------------------- metrics --
+
+Metrics& Metrics::global() {
+  static Metrics m;
+  return m;
+}
+
+std::atomic<long long>& Metrics::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(m_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_
+              .emplace(std::string(name),
+                       std::make_unique<std::atomic<long long>>(0))
+              .first->second;
+}
+
+void Metrics::add(std::string_view name, long long delta) {
+  counter(name).fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::vector<MetricSample> Metrics::snapshot() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, c->load(std::memory_order_relaxed)});
+  }
+  return out;  // map iteration order: already sorted by name
+}
+
+void Metrics::reset() {
+  const std::lock_guard<std::mutex> lock(m_);
+  for (auto& [name, c] : counters_) c->store(0, std::memory_order_relaxed);
+}
+
+std::vector<MetricSample> delta(const std::vector<MetricSample>& before,
+                                const std::vector<MetricSample>& after) {
+  std::map<std::string, long long> base;
+  for (const MetricSample& s : before) base[s.name] = s.value;
+  std::vector<MetricSample> out;
+  for (const MetricSample& s : after) {
+    const auto it = base.find(s.name);
+    const long long d = s.value - (it == base.end() ? 0 : it->second);
+    if (d != 0) out.push_back({s.name, d});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- budgets --
+
+const Budget* BudgetTable::find(std::string_view stage) const {
+  for (const Budget& b : budgets) {
+    if (b.stage == stage) return &b;
+  }
+  return nullptr;
+}
+
+std::optional<BudgetTable> parse_budgets(std::string_view text,
+                                         std::string* error) {
+  BudgetTable table;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string stage;
+    if (!(ls >> stage)) continue;  // blank / comment-only line
+    double ms = 0;
+    if (!(ls >> ms) || ms < 0) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(lineno) +
+                 ": expected '<stage> <ms_per_run>' or 'margin <x>', got '" +
+                 line + "'";
+      }
+      return std::nullopt;
+    }
+    std::string extra;
+    if (ls >> extra) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(lineno) + ": trailing '" + extra +
+                 "' after '" + stage + " " + std::to_string(ms) + "'";
+      }
+      return std::nullopt;
+    }
+    if (stage == "margin") {
+      table.margin = ms;
+    } else if (table.find(stage) != nullptr) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(lineno) + ": duplicate stage '" +
+                 stage + "'";
+      }
+      return std::nullopt;
+    } else {
+      table.budgets.push_back({stage, ms});
+    }
+  }
+  if (table.margin <= 0) {
+    if (error != nullptr) *error = "margin must be positive";
+    return std::nullopt;
+  }
+  return table;
+}
+
+std::optional<BudgetTable> load_budgets(const std::string& path,
+                                        std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_budgets(text.str(), error);
+}
+
+std::vector<BudgetVerdict> check_budgets(
+    const BudgetTable& table,
+    const std::vector<std::pair<std::string, double>>& stage_ms) {
+  std::vector<BudgetVerdict> out;
+  out.reserve(stage_ms.size());
+  for (const auto& [stage, ms] : stage_ms) {
+    BudgetVerdict v;
+    v.stage = stage;
+    v.ms = ms;
+    const Budget* b = table.find(stage);
+    if (b == nullptr) {
+      v.unbudgeted = true;
+      v.over = true;
+    } else {
+      v.limit_ms = b->ms_per_run * table.margin;
+      v.over = ms > v.limit_ms;
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+bool budgets_ok(const std::vector<BudgetVerdict>& verdicts) {
+  return std::all_of(verdicts.begin(), verdicts.end(),
+                     [](const BudgetVerdict& v) { return v.ok(); });
+}
+
+std::string budget_report(const std::vector<BudgetVerdict>& verdicts) {
+  std::ostringstream os;
+  char line[160];
+  std::snprintf(line, sizeof line, "%-14s %10s %12s  %s\n", "stage",
+                "ms/run", "limit", "verdict");
+  os << line;
+  for (const BudgetVerdict& v : verdicts) {
+    const char* verdict = v.unbudgeted ? "NO BUDGET (add a line to the table)"
+                          : v.over     ? "OVER BUDGET"
+                                       : "ok";
+    if (v.unbudgeted) {
+      std::snprintf(line, sizeof line, "%-14s %10.3f %12s  %s\n",
+                    v.stage.c_str(), v.ms, "-", verdict);
+    } else {
+      std::snprintf(line, sizeof line, "%-14s %10.3f %12.3f  %s\n",
+                    v.stage.c_str(), v.ms, v.limit_ms, verdict);
+    }
+    os << line;
+  }
+  return os.str();
+}
+
+// ----------------------------------------------------------------- export --
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof esc, "\\u%04x", c);
+          out += esc;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_event(std::string& out, const Event& e, std::uint32_t tid) {
+  const char* ph = "i";
+  switch (e.type) {
+    case Event::Type::Complete: ph = "X"; break;
+    case Event::Type::Begin: ph = "B"; break;
+    case Event::Type::End: ph = "E"; break;
+    case Event::Type::Instant: ph = "i"; break;
+    case Event::Type::Counter: ph = "C"; break;
+  }
+  out += "{\"name\":";
+  append_json_string(out, e.name);
+  out += ",\"cat\":";
+  append_json_string(out, e.cat != nullptr && e.cat[0] != '\0' ? e.cat
+                                                               : "misc");
+  char num[96];
+  std::snprintf(num, sizeof num, ",\"ph\":\"%s\",\"pid\":1,\"tid\":%u", ph,
+                tid);
+  out += num;
+  // Chrome trace timestamps are microseconds; fractions keep ns precision.
+  std::snprintf(num, sizeof num, ",\"ts\":%.3f",
+                static_cast<double>(e.ts_ns) / 1e3);
+  out += num;
+  if (e.type == Event::Type::Complete) {
+    std::snprintf(num, sizeof num, ",\"dur\":%.3f",
+                  static_cast<double>(e.dur_ns) / 1e3);
+    out += num;
+  }
+  if (e.type == Event::Type::Instant) out += ",\"s\":\"t\"";
+  if (e.type == Event::Type::Counter) {
+    std::snprintf(num, sizeof num, ",\"args\":{\"value\":%.6g}", e.value);
+    out += num;
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Tracer& tracer,
+                              const std::vector<MetricSample>& metrics) {
+  const std::vector<Tracer::ThreadEvents> threads = tracer.drain();
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const Tracer::ThreadEvents& t : threads) {
+    // Name the thread track so Perfetto shows the crew structure.
+    if (!first) out += ",\n";
+    first = false;
+    char meta[128];
+    std::snprintf(meta, sizeof meta,
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%u,\"args\":{\"name\":\"silc-t%u\"}}",
+                  t.tid, t.tid);
+    out += meta;
+    for (const Event& e : t.events) {
+      out += ",\n";
+      append_event(out, e, t.tid);
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\",\"metrics\":{";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '\n';
+    append_json_string(out, metrics[i].name);
+    out += ':';
+    out += std::to_string(metrics[i].value);
+  }
+  out += "\n}}\n";
+  return out;
+}
+
+std::string chrome_trace_json() {
+  return chrome_trace_json(Tracer::global(), Metrics::global().snapshot());
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = chrome_trace_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace silc::obs

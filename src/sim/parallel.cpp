@@ -15,9 +15,11 @@
 #include <barrier>
 #include <condition_variable>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/sim.hpp"
 
 namespace silc::sim {
@@ -56,6 +58,17 @@ struct TapePool::Impl {
   int nthreads = 1;
   std::vector<Segment> segments;
 
+  /// Per-worker occupancy tallies, one cache line each so the hot path
+  /// never bounces a line between threads; each worker writes only its own
+  /// slot, so no atomics are needed. Flushed to obs::Metrics at teardown
+  /// (sim.pool.ops.t<i> / sim.pool.strips.t<i> / sim.pool.passes).
+  struct alignas(64) WorkerStat {
+    std::uint64_t ops = 0;     // tape ops this worker evaluated
+    std::uint64_t strips = 0;  // parallel strips it picked up
+  };
+  std::vector<WorkerStat> stat;
+  std::uint64_t passes = 0;  // written by eval() only (the caller thread)
+
   std::mutex m;
   std::condition_variable cv;
   std::uint64_t epoch = 0;
@@ -70,6 +83,7 @@ struct TapePool::Impl {
         word(w),
         nthreads(threads),
         segments(plan_segments(t, min_level_ops)),
+        stat(static_cast<std::size_t>(threads)),
         barrier(threads) {
     for (int i = 1; i < nthreads; ++i) {
       workers.emplace_back([this, i] { worker_loop(i); });
@@ -83,6 +97,18 @@ struct TapePool::Impl {
     }
     cv.notify_all();
     for (std::thread& t : workers) t.join();
+#if SILC_OBS_ENABLED
+    // Workers are joined, so every tally is final and safe to read.
+    for (std::size_t i = 0; i < stat.size(); ++i) {
+      if (stat[i].ops == 0 && stat[i].strips == 0) continue;
+      const std::string t = ".t" + std::to_string(i);
+      obs::Metrics::global().add("sim.pool.ops" + t,
+                                 static_cast<long long>(stat[i].ops));
+      obs::Metrics::global().add("sim.pool.strips" + t,
+                                 static_cast<long long>(stat[i].strips));
+    }
+    SILC_OBS_COUNT("sim.pool.passes", passes);
+#endif
   }
 
   void pass(int self, std::uint64_t* v) {
@@ -95,9 +121,16 @@ struct TapePool::Impl {
         const std::uint32_t b =
             s.begin + per * static_cast<std::uint32_t>(self);
         const std::uint32_t e = std::min(s.end, b + per);
-        if (b < e) eval_range(*tape, word, v, b, e);
+        if (b < e) {
+          eval_range(*tape, word, v, b, e);
+          if constexpr (obs::kEnabled) {
+            stat[static_cast<std::size_t>(self)].ops += e - b;
+            ++stat[static_cast<std::size_t>(self)].strips;
+          }
+        }
       } else if (self == 0) {
         eval_range(*tape, word, v, s.begin, s.end);
+        if constexpr (obs::kEnabled) stat[0].ops += s.end - s.begin;
       }
       // Publishes this level's slot writes to every reader of the next.
       barrier.arrive_and_wait();
@@ -120,6 +153,7 @@ struct TapePool::Impl {
   }
 
   void eval(std::uint64_t* v) {
+    if constexpr (obs::kEnabled) ++passes;
     {
       const std::lock_guard<std::mutex> lk(m);
       slots = v;

@@ -304,5 +304,85 @@ TEST(Pipeline, CompileManyAggregatesAStageProfile) {
   }
 }
 
+TEST(Pipeline, TimingsCoverEverySlotWhateverThePolicy) {
+  // Skipped and unreached stages still get a timing entry: the timings
+  // are a complete per-slot account, not just a log of what ran.
+  layout::Library lib;
+  CompileOptions opt = fast_verify("gray2");
+  opt.skip = {"drc"};
+  opt.stop_after = "extract";
+  DesignDB db(lib, Flow::Behavioral, kGray2, opt);
+  EXPECT_TRUE(Pipeline::behavioral().run(db));
+  ASSERT_EQ(db.timings.size(), 9u);
+  for (const StageTiming& t : db.timings) {
+    if (t.stage == "drc") {
+      EXPECT_TRUE(t.skipped);
+      EXPECT_FALSE(t.ran);
+    } else if (t.stage == "gate-check" || t.stage == "pla-check" ||
+               t.stage == "artwork-check") {
+      EXPECT_FALSE(t.ran) << t.stage;  // past stop_after
+      EXPECT_FALSE(t.skipped) << t.stage;
+      EXPECT_EQ(t.ms, 0.0) << t.stage;
+    } else {
+      EXPECT_TRUE(t.ran) << t.stage;
+      EXPECT_FALSE(t.skipped) << t.stage;
+    }
+  }
+}
+
+TEST(Pipeline, PolicyErrorStillEmitsEveryTimingSlot) {
+  layout::Library lib;
+  CompileOptions opt;
+  opt.skip = {"no-such-stage"};
+  const CompileResult r = compile(lib, Flow::Behavioral, kGray2, opt);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.timings.size(), 9u);  // every slot, all unreached
+  for (const StageTiming& t : r.timings) {
+    EXPECT_FALSE(t.ran) << t.stage;
+    EXPECT_FALSE(t.skipped) << t.stage;
+  }
+}
+
+TEST(Pipeline, StageTimingsSumToThePipelineWallClock) {
+  layout::Library lib;
+  const CompileResult r =
+      compile(lib, Flow::Behavioral, kGray2, fast_verify("gray2"));
+  EXPECT_TRUE(r.ok()) << r.diag_text();
+  EXPECT_GT(r.pipeline_ms, 0.0);
+  double stage_sum = 0;
+  for (const StageTiming& t : r.timings) stage_sum += t.ms;
+  // The stage timings account for the whole run: nothing substantial
+  // happens outside them (policy validation is the only other work).
+  EXPECT_LE(stage_sum, r.pipeline_ms);
+  EXPECT_GT(stage_sum, 0.9 * r.pipeline_ms);
+}
+
+TEST(Pipeline, CompileResultCarriesAMetricsSnapshot) {
+  layout::Library lib;
+  const CompileResult r =
+      compile(lib, Flow::Behavioral, kGray2, fast_verify("gray2"));
+  EXPECT_TRUE(r.ok()) << r.diag_text();
+  if (!obs::kEnabled) {
+    EXPECT_TRUE(r.metrics.empty());
+    return;
+  }
+  // A full hier-mode compile must at least have touched the DRC and
+  // extraction caches; nonzero entries only.
+  EXPECT_FALSE(r.metrics.empty());
+  const auto has = [&](const std::string& name) {
+    return std::any_of(r.metrics.begin(), r.metrics.end(),
+                       [&](const obs::MetricSample& s) {
+                         return s.name == name && s.value != 0;
+                       });
+  };
+  EXPECT_TRUE(has("drc.cache.misses"));
+  EXPECT_TRUE(has("extract.cache.misses"));
+  EXPECT_TRUE(has("drc.cells"));
+  EXPECT_TRUE(has("extract.cells"));
+  for (const obs::MetricSample& s : r.metrics) {
+    EXPECT_NE(s.value, 0) << s.name;
+  }
+}
+
 }  // namespace
 }  // namespace silc::core
