@@ -18,9 +18,16 @@
 #     profiled stage must hold its per-stage ms budget), and the gate is
 #     itself tested: a deliberately busted budget table must make the
 #     checker fail;
+#   * the budget gate is hardened against truncation: an empty or missing
+#     budget table must fail the checker, never pass as "nothing to do";
+#   * a chaos smoke rerun pins one extra seeded fault schedule
+#     (SILC_CHAOS_SEED) beyond the 50 rounds baked into test_fault;
 #   * the library and every tier-1 test must also build and pass with the
-#     observability layer compiled out (SILC_OBS=OFF), so the no-op macro
-#     path cannot rot.
+#     observability layer compiled out (SILC_OBS=OFF) and with fault
+#     injection compiled out (SILC_FAULT=OFF), so neither no-op macro
+#     path can rot;
+#   * an ASan+UBSan build runs the whole suite; set SILC_SKIP_ASAN=1 to
+#     bypass on toolchains without sanitizer runtimes.
 # Usage: scripts/ci.sh [build-dir]   (default: build)
 set -euo pipefail
 
@@ -92,6 +99,25 @@ elif [ -x "$BUILD_DIR/bench_flows" ]; then
   fi
   rm -f "$BUSTED"
   echo "busted-budget self-test: checker correctly failed"
+
+  # --- and it must fail loudly on a missing/empty table, not pass -------
+  # An unreadable or empty budget file used to fall through as "no
+  # budgets, nothing to check"; a truncated table must fail the gate.
+  EMPTY=$(mktemp)
+  if "$BUILD_DIR/bench_flows" --check-budgets="$BUILD_DIR/BENCH_compile.json" \
+      --budgets="$EMPTY" > /dev/null 2>&1; then
+    echo "ERROR: budget checker passed an empty budget table —" \
+         "a truncated table would silently disable the latency gate" >&2
+    rm -f "$EMPTY"
+    exit 1
+  fi
+  rm -f "$EMPTY"
+  if "$BUILD_DIR/bench_flows" --check-budgets="$BUILD_DIR/BENCH_compile.json" \
+      --budgets=/nonexistent/budgets.txt > /dev/null 2>&1; then
+    echo "ERROR: budget checker passed a missing budget table" >&2
+    exit 1
+  fi
+  echo "empty/missing-budget self-test: checker correctly failed"
 else
   echo "ERROR: $BUILD_DIR/bench_flows was not built (google-benchmark" \
        "missing?); set SILC_SKIP_BENCH=1 to bypass" >&2
@@ -114,6 +140,14 @@ cat "$BUILD_DIR/BENCH_drc.json"
 echo "--- BENCH_extract.json (smoke) ---"
 cat "$BUILD_DIR/BENCH_extract.json"
 
+# --- chaos smoke: one extra seeded round beyond the 50 baked-in ---------
+# The chaos differential harness (tests/test_fault.cpp) already ran under
+# ctest; rerun just the Chaos suite under a fixed extra seed so CI pins a
+# schedule that is NOT in the default 50-round sweep. Bump the seed when a
+# field incident yields a schedule worth pinning forever.
+SILC_CHAOS_SEED=20260808 "$BUILD_DIR/test_fault" --gtest_filter='Chaos.*'
+echo "chaos smoke (SILC_CHAOS_SEED=20260808): ok"
+
 # --- SILC_OBS=OFF: the compiled-out path must build and pass ------------
 # Every instrumentation macro expands to a no-op and the tracer refuses to
 # enable; the library, tests, benches and examples must still compile and
@@ -123,3 +157,31 @@ cmake -B "$NOOBS_DIR" -S . -DSILC_OBS=OFF
 cmake --build "$NOOBS_DIR" -j
 (cd "$NOOBS_DIR" && ctest --output-on-failure --no-tests=error -j)
 echo "SILC_OBS=OFF build + tier-1 tests: ok"
+
+# --- SILC_FAULT=OFF: injection compiled out, everything still passes ----
+# The fault macros become no-ops and the injector never fires; the
+# injection-dependent tests skip themselves, while the cancellation,
+# deadline, and adversarial-input suites must pass unchanged — proving
+# the robustness contract does not depend on the test-only machinery.
+NOFAULT_DIR="${BUILD_DIR}-nofault"
+cmake -B "$NOFAULT_DIR" -S . -DSILC_FAULT=OFF
+cmake --build "$NOFAULT_DIR" -j
+(cd "$NOFAULT_DIR" && ctest --output-on-failure --no-tests=error -j)
+echo "SILC_FAULT=OFF build + tier-1 tests: ok"
+
+# --- ASan+UBSan: the whole suite under address+UB sanitizers ------------
+# Worker containment, cache eviction-under-sharing, and the chaos harness
+# all juggle exception_ptrs and shared_ptr payloads across threads; the
+# sanitizer leg turns any lifetime or UB slip into a hard failure instead
+# of a latent flake. Set SILC_SKIP_ASAN=1 to bypass on toolchains without
+# sanitizer runtimes.
+if [ "${SILC_SKIP_ASAN:-0}" = "1" ]; then
+  echo "SILC_SKIP_ASAN=1: skipping the sanitizer leg"
+else
+  ASAN_DIR="${BUILD_DIR}-asan"
+  cmake -B "$ASAN_DIR" -S . \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+  cmake --build "$ASAN_DIR" -j
+  (cd "$ASAN_DIR" && ctest --output-on-failure --no-tests=error -j)
+  echo "ASan+UBSan build + tier-1 tests: ok"
+fi

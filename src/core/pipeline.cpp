@@ -10,6 +10,7 @@
 
 #include "cif/cif.hpp"
 #include "core/compiler.hpp"
+#include "fault/fault.hpp"
 
 namespace silc::core {
 
@@ -20,6 +21,7 @@ const char* to_string(Severity s) {
     case Severity::Note: return "note";
     case Severity::Warning: return "warning";
     case Severity::Error: return "error";
+    case Severity::Cancelled: return "cancelled";
   }
   return "?";
 }
@@ -44,9 +46,13 @@ void DiagStream::error(const std::string& stage, std::string message) {
   diags_.push_back({Severity::Error, stage, std::move(message)});
 }
 
+void DiagStream::cancelled(const std::string& stage, std::string message) {
+  diags_.push_back({Severity::Cancelled, stage, std::move(message)});
+}
+
 bool has_errors(const std::vector<Diag>& diags) {
   return std::any_of(diags.begin(), diags.end(), [](const Diag& d) {
-    return d.severity == Severity::Error;
+    return d.severity == Severity::Error || d.severity == Severity::Cancelled;
   });
 }
 
@@ -98,8 +104,20 @@ const extract::Netlist& DesignDB::netlist() {
       case extract::Mode::Hier:
         // No shared flatten: the hierarchical extractor works cell by cell
         // (cached across the run — and the batch — via extract_cache).
-        netlist_ = extract::extract_hier(*chip, tech::nmos(),
-                                         options.extract_cache);
+        // Any failure inside the hier path degrades to the flat engine —
+        // byte-identical canonical netlist (the extract contract), slower,
+        // alive. Cancellation is not a failure and must propagate.
+        try {
+          netlist_ = extract::extract_hier(*chip, tech::nmos(),
+                                           options.extract_cache);
+        } catch (const Cancelled&) {
+          throw;
+        } catch (const std::exception& e) {
+          diags.warning("extract",
+                        std::string("hierarchical extraction failed (") +
+                            e.what() + "); falling back to flat extraction");
+          netlist_ = extract::extract_flat(flattened());
+        }
         break;
     }
     ++extract_runs;
@@ -129,6 +147,20 @@ bool Pipeline::has_stage(const std::string& name) const {
 bool Pipeline::run(DesignDB& db) const {
   const auto run_t0 = std::chrono::steady_clock::now();
   const CompileOptions& opt = db.options;
+
+  // Effective cancellation token: the caller's kill switch, with the
+  // per-run deadline (when armed) layered on top. Installed as this
+  // thread's ambient token so the long loops deep in the engines can poll
+  // it without parameter plumbing (see core/cancel.hpp).
+  CancelToken deadline_token;
+  const CancelToken* token = opt.cancel;
+  if (opt.deadline_ms > 0) {
+    deadline_token.set_deadline_after(opt.deadline_ms);
+    deadline_token.set_parent(token);
+    token = &deadline_token;
+  }
+  const CancelScope ambient(token);
+
   bool policy_ok = true;
   if (!opt.stop_after.empty() && !has_stage(opt.stop_after)) {
     db.diags.error("pipeline",
@@ -149,6 +181,14 @@ bool Pipeline::run(DesignDB& db) const {
     const bool skipped =
         std::find(opt.skip.begin(), opt.skip.end(), s.name) != opt.skip.end();
     const bool is_stop = !opt.stop_after.empty() && s.name == opt.stop_after;
+    if (!failed && !stopped && !skipped && token != nullptr &&
+        token->cancelled()) {
+      // Cut off at the stage boundary: one Cancelled diagnostic, every
+      // remaining slot recorded with ran == false.
+      db.diags.cancelled(s.name, std::string(token->reason()) +
+                                     " before stage '" + s.name + "'");
+      failed = true;
+    }
     if (failed || stopped || skipped) {
       // A stage both skipped and named by stop_after still ends the run.
       stopped |= is_stop;
@@ -162,7 +202,10 @@ bool Pipeline::run(DesignDB& db) const {
     {
       SILC_OBS_SPAN(s.name, "stage");
       try {
+        SILC_FAULT_POINT("pipeline.stage." + s.name);
         ok = s.fn(db);
+      } catch (const Cancelled& c) {
+        db.diags.cancelled(s.name, c.what());
       } catch (const std::exception& e) {
         db.diags.error(s.name, e.what());
       } catch (...) {
@@ -176,10 +219,12 @@ bool Pipeline::run(DesignDB& db) const {
     t.ok = ok;
     db.timings.push_back(std::move(t));
     if (!ok) {
-      // A failing stage must explain itself; guarantee at least one error.
+      // A failing stage must explain itself; guarantee at least one error
+      // (a cancellation explains itself too).
       bool explained = false;
       for (std::size_t i = diags_before; i < db.diags.all().size(); ++i) {
-        explained |= db.diags.all()[i].severity == Severity::Error;
+        const Severity sev = db.diags.all()[i].severity;
+        explained |= sev == Severity::Error || sev == Severity::Cancelled;
       }
       if (!explained) db.diags.error(s.name, "stage failed");
       failed = true;
@@ -233,7 +278,19 @@ bool stage_drc(DesignDB& db) {
                                 db.options.drc_threads);
       break;
     case drc::Mode::Hier:
-      db.drc = drc::check_hier(*db.chip, tech::nmos(), db.options.drc_cache);
+      // Any failure inside the hier path (a poisoned decomposition, an
+      // injected fault) degrades to the flat engine — byte-identical
+      // violation set (the DRC mode contract), slower, alive. Cancellation
+      // is not a failure and must propagate to the stage boundary.
+      try {
+        db.drc = drc::check_hier(*db.chip, tech::nmos(), db.options.drc_cache);
+      } catch (const Cancelled&) {
+        throw;
+      } catch (const std::exception& e) {
+        db.diags.warning("drc", std::string("hierarchical DRC failed (") +
+                                    e.what() + "); falling back to flat");
+        db.drc = drc::check_flat(db.flattened().shapes);
+      }
       break;
   }
   const auto& violations = db.drc->violations;
@@ -414,6 +471,12 @@ bool CompileResult::ok() const {
 
 bool CompileResult::has_errors() const { return core::has_errors(diags); }
 
+bool CompileResult::cancelled() const {
+  return std::any_of(diags.begin(), diags.end(), [](const Diag& d) {
+    return d.severity == Severity::Cancelled;
+  });
+}
+
 std::string CompileResult::diag_text() const { return render(diags); }
 
 bool CompileResult::same_outcome(const CompileResult& other) const {
@@ -524,21 +587,49 @@ BatchResult compile_many(const std::vector<BatchJob>& jobs, int threads) {
   // cursor hands out the next design; every job owns a private Library so
   // workers never touch shared mutable state, and results land in
   // index-parallel slots — identical output at any thread count.
+  //
+  // Batch isolation: compile() never throws on malformed source, but the
+  // machinery around it (allocation, an injected fault, a bug) can — and
+  // an exception escaping a std::thread is std::terminate for the whole
+  // batch. Every job body is therefore exception-contained on the worker:
+  // a throw becomes one failed CompileResult with a structured diagnostic
+  // while every other job's result stays bit-identical to a fault-free
+  // run (tests/test_fault.cpp proves it under chaos schedules).
   std::atomic<std::size_t> next{0};
   const auto work = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       const BatchJob& job = jobs[i];
-      SILC_OBS_SPAN("job:" + job.options.name, "batch");
-      auto lib = std::make_unique<layout::Library>(job.options.name);
-      CompileOptions opt = job.options;
-      opt.sim_threads = 1;  // one level of parallelism: across designs
-      opt.drc_threads = 1;
-      if (opt.drc_cache == nullptr) opt.drc_cache = &drc_cache;
-      if (opt.extract_cache == nullptr) opt.extract_cache = &extract_cache;
-      br.results[i] = compile(*lib, job.flow, job.source, opt);
-      br.libraries[i] = std::move(lib);
+      try {
+        SILC_OBS_SPAN("job:" + job.options.name, "batch");
+        const fault::ScopeGuard fault_scope("job:" + std::to_string(i));
+        SILC_FAULT_POINT("batch.job");
+        auto lib = std::make_unique<layout::Library>(job.options.name);
+        CompileOptions opt = job.options;
+        opt.sim_threads = 1;  // one level of parallelism: across designs
+        opt.drc_threads = 1;
+        if (opt.drc_cache == nullptr) opt.drc_cache = &drc_cache;
+        if (opt.extract_cache == nullptr) opt.extract_cache = &extract_cache;
+        br.results[i] = compile(*lib, job.flow, job.source, opt);
+        br.libraries[i] = std::move(lib);
+      } catch (const std::exception& e) {
+        CompileResult failed;
+        failed.diags.push_back({Severity::Error, "batch",
+                                "job '" + job.options.name +
+                                    "' failed outside stage boundaries: " +
+                                    e.what()});
+        br.results[i] = std::move(failed);
+        br.libraries[i] = nullptr;
+      } catch (...) {
+        CompileResult failed;
+        failed.diags.push_back({Severity::Error, "batch",
+                                "job '" + job.options.name +
+                                    "' failed outside stage boundaries "
+                                    "(non-standard exception)"});
+        br.results[i] = std::move(failed);
+        br.libraries[i] = nullptr;
+      }
       SILC_OBS_COUNT("batch.jobs", 1);
     }
   };

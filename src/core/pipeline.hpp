@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "assemble/assemble.hpp"
+#include "core/cancel.hpp"
 #include "drc/drc.hpp"
 #include "extract/extract.hpp"
 #include "lang/lang.hpp"
@@ -61,7 +62,11 @@ namespace silc::core {
 
 // ------------------------------------------------------------ diagnostics --
 
-enum class Severity : std::uint8_t { Note, Warning, Error };
+/// Cancelled marks a compile cut short by CompileOptions::deadline_ms or
+/// a CancelToken — structurally distinct from Error so a server can tell
+/// "your design is broken" from "we ran out of time", but counted by
+/// has_errors() so a cancelled compile is never ok().
+enum class Severity : std::uint8_t { Note, Warning, Error, Cancelled };
 
 [[nodiscard]] const char* to_string(Severity s);
 
@@ -74,7 +79,7 @@ struct Diag {
   [[nodiscard]] std::string str() const;  // "error [drc] metal.width ..."
 };
 
-/// True when any diagnostic is an error.
+/// True when any diagnostic is an error (or a cancellation).
 [[nodiscard]] bool has_errors(const std::vector<Diag>& diags);
 /// All diagnostics rendered one per line (Diag::str() per entry).
 [[nodiscard]] std::string render(const std::vector<Diag>& diags);
@@ -85,6 +90,7 @@ class DiagStream {
   void note(const std::string& stage, std::string message);
   void warning(const std::string& stage, std::string message);
   void error(const std::string& stage, std::string message);
+  void cancelled(const std::string& stage, std::string message);
 
   [[nodiscard]] const std::vector<Diag>& all() const { return diags_; }
   [[nodiscard]] bool has_errors() const;
@@ -153,6 +159,17 @@ struct CompileOptions {
   /// shares one across the batch; null gives the run a local cache that
   /// still collapses repeated cells within the chip.
   extract::NetlistCache* extract_cache = nullptr;
+  /// Wall-clock budget for the whole compile (0 = none). When exceeded,
+  /// the run stops at the next stage boundary or long-loop checkpoint
+  /// (DRC seams, extraction windows, sim eval cycles) and returns a
+  /// CompileResult carrying a Severity::Cancelled diagnostic — promptly,
+  /// never a hang, never a throw.
+  int deadline_ms = 0;
+  /// External kill switch (non-owning; must outlive the compile): cancel()
+  /// it from any thread and the compile returns like a deadline miss.
+  /// compile_many passes each job's token through, so a server can abort
+  /// one job — or, by sharing a token, a whole batch.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Wall-clock record of one stage slot in a run. Every stage of the flow
@@ -285,6 +302,9 @@ struct CompileResult {
 
   [[nodiscard]] bool ok() const;
   [[nodiscard]] bool has_errors() const;
+  /// True when the run was cut short by a deadline or CancelToken (a
+  /// Severity::Cancelled diagnostic is present). Implies !ok().
+  [[nodiscard]] bool cancelled() const;
   /// All diagnostics, one per line.
   [[nodiscard]] std::string diag_text() const;
   /// Same compile outcome: ok/verified flags, CIF text, transistor and

@@ -5,9 +5,12 @@
 #include <cmath>
 #include <iterator>
 #include <sstream>
+#include <exception>
 #include <thread>
 
+#include "core/cancel.hpp"
 #include "drc/rules.hpp"
+#include "fault/fault.hpp"
 
 namespace silc::drc {
 
@@ -71,6 +74,32 @@ std::uint64_t verdict_bytes(const std::vector<Violation>& vs) {
   return b;
 }
 
+/// Content hash over the fields that define a verdict (never raw struct
+/// bytes — padding is indeterminate). FNV-1a, same flavour the layout
+/// hashes use.
+std::uint64_t verdict_checksum(const std::vector<Violation>& vs) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t x) {
+    h = (h ^ x) * 1099511628211ULL;
+  };
+  const auto mix_str = [&](const std::string& s) {
+    mix(s.size());
+    for (const char c : s) mix(static_cast<unsigned char>(c));
+  };
+  mix(vs.size());
+  for (const Violation& v : vs) {
+    mix_str(v.rule);
+    mix_str(v.detail);
+    mix(static_cast<std::uint64_t>(v.where.x0));
+    mix(static_cast<std::uint64_t>(v.where.y0));
+    mix(static_cast<std::uint64_t>(v.where.x1));
+    mix(static_cast<std::uint64_t>(v.where.y1));
+    mix(static_cast<std::uint64_t>(v.anchor.x));
+    mix(static_cast<std::uint64_t>(v.anchor.y));
+  }
+  return h;
+}
+
 }  // namespace
 
 std::shared_ptr<const std::vector<Violation>> VerdictCache::find(
@@ -81,6 +110,21 @@ std::shared_ptr<const std::vector<Violation>> VerdictCache::find(
     ++misses_;
     SILC_OBS_COUNT("drc.cache.misses", 1);
     SILC_OBS_INSTANT("drc.cache.miss", "cache");
+    return nullptr;
+  }
+  if (verdict_checksum(*it->second.verdict) != it->second.checksum) {
+    // Poisoned entry (memory corruption or an injected fault): evict and
+    // report a miss, so the caller recomputes — degradation is a slower
+    // check, never a wrong verdict.
+    ++poisoned_;
+    ++misses_;
+    bytes_ -= it->second.bytes;
+    SILC_OBS_COUNT("drc.cache.poisoned", 1);
+    SILC_OBS_COUNT("drc.cache.bytes",
+                   -static_cast<long long>(it->second.bytes));
+    SILC_OBS_COUNT("drc.cache.misses", 1);
+    SILC_OBS_INSTANT("drc.cache.poisoned", "cache");
+    map_.erase(it);
     return nullptr;
   }
   ++hits_;
@@ -94,9 +138,15 @@ std::shared_ptr<const std::vector<Violation>> VerdictCache::store(
     const Key& k, std::vector<Violation> violations) {
   auto v = std::make_shared<const std::vector<Violation>>(std::move(violations));
   const std::uint64_t bytes = verdict_bytes(*v);
+  std::uint64_t checksum = verdict_checksum(*v);
+  if (SILC_FAULT_CORRUPT_AT("drc.cache.store")) {
+    // Injected poisoning flips the stored checksum (never the payload —
+    // concurrent readers may hold it); find() must detect and evict.
+    checksum ^= 0x5a5a5a5a5a5a5a5aULL;
+  }
   const std::lock_guard<std::mutex> lk(m_);
   const auto [it, fresh] =
-      map_.emplace(k, Entry{std::move(v), bytes, ++clock_});
+      map_.emplace(k, Entry{std::move(v), bytes, checksum, ++clock_});
   if (fresh) {
     bytes_ += bytes;
     SILC_OBS_COUNT("drc.cache.bytes", bytes);
@@ -143,6 +193,11 @@ std::uint64_t VerdictCache::hits() const {
 std::uint64_t VerdictCache::misses() const {
   const std::lock_guard<std::mutex> lk(m_);
   return misses_;
+}
+
+std::uint64_t VerdictCache::poisoned() const {
+  const std::lock_guard<std::mutex> lk(m_);
+  return poisoned_;
 }
 
 // ------------------------------------------------------------ entry points --
@@ -225,24 +280,45 @@ Result check_tiled(const std::vector<Shape>& shapes, const Tech& technology,
   engine.prewarm(full);  // workers only ever read the shared table
   std::vector<Result> per_tile(static_cast<std::size_t>(grid.tiles()));
   std::atomic<int> next{0};
+  // Worker threads never throw (that would std::terminate): the first
+  // exception is parked and rethrown on the caller after the join, and its
+  // presence — like a fired CancelToken, captured here because
+  // thread-locals don't inherit — stops everyone claiming further tiles.
+  const core::CancelToken* cancel = core::current_cancel();
+  std::mutex fail_m;
+  std::exception_ptr failure;
+  std::atomic<bool> bail{false};
   const auto work = [&] {
+    const core::CancelScope ambient(cancel);
     for (;;) {
+      if (bail.load(std::memory_order_relaxed) ||
+          core::cancel_requested()) {
+        return;
+      }
       const int idx = next.fetch_add(1, std::memory_order_relaxed);
       if (idx >= grid.tiles()) return;
-      SILC_OBS_SPAN("drc.tile:" + std::to_string(idx), "drc");
-      SILC_OBS_COUNT("drc.tiles", 1);
-      const Rect core = grid.tile(idx);
-      LayerTable soup = full.window(geom::RectSet(core.inflated(halo)), halo);
-      Result r;
-      engine.run(soup, r);
-      Result& mine = per_tile[static_cast<std::size_t>(idx)];
-      for (Violation& v : r.violations) {
-        // Ownership by evidence anchor — a point on the offending
-        // geometry, so the owning tile's window is guaranteed to hold the
-        // evidence that decides the violation.
-        if (grid.owner(v.anchor.x, v.anchor.y) == idx) {
-          mine.violations.push_back(std::move(v));
+      try {
+        SILC_OBS_SPAN("drc.tile:" + std::to_string(idx), "drc");
+        SILC_OBS_COUNT("drc.tiles", 1);
+        SILC_FAULT_POINT("drc.tile");
+        const Rect core = grid.tile(idx);
+        LayerTable soup =
+            full.window(geom::RectSet(core.inflated(halo)), halo);
+        Result r;
+        engine.run(soup, r);
+        Result& mine = per_tile[static_cast<std::size_t>(idx)];
+        for (Violation& v : r.violations) {
+          // Ownership by evidence anchor — a point on the offending
+          // geometry, so the owning tile's window is guaranteed to hold
+          // the evidence that decides the violation.
+          if (grid.owner(v.anchor.x, v.anchor.y) == idx) {
+            mine.violations.push_back(std::move(v));
+          }
         }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lk(fail_m);
+        if (!failure) failure = std::current_exception();
+        bail.store(true, std::memory_order_relaxed);
       }
     }
   };
@@ -250,6 +326,8 @@ Result check_tiled(const std::vector<Shape>& shapes, const Tech& technology,
   for (int t = 1; t < want; ++t) crew.emplace_back(work);
   work();
   for (std::thread& t : crew) t.join();
+  if (failure) std::rethrow_exception(failure);
+  core::check_cancel("drc.tiled");
 
   Result out;
   for (Result& r : per_tile) {

@@ -121,6 +121,12 @@ struct Result {
 /// rebuilt in different libraries hit. Thread-safe; concurrent misses may
 /// recompute the same verdict, which is harmless because verdicts are
 /// deterministic.
+///
+/// Poison detection: every entry stores a content checksum of its verdict,
+/// verified on hit. A mismatch (memory corruption, an injected fault) is
+/// treated as a miss — the entry is evicted, `drc.cache.poisoned` is
+/// counted, and the verdict is recomputed — so a bad cache entry degrades
+/// to recomputation, never to a wrong verdict.
 class VerdictCache {
  public:
   struct Key {
@@ -163,11 +169,15 @@ class VerdictCache {
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t misses() const;
+  /// Entries whose stored checksum failed verification on hit (each was
+  /// evicted and recomputed). Also mirrored as drc.cache.poisoned.
+  [[nodiscard]] std::uint64_t poisoned() const;
 
  private:
   struct Entry {
     std::shared_ptr<const std::vector<Violation>> verdict;
     std::uint64_t bytes = 0;    // approximate payload size
+    std::uint64_t checksum = 0; // verdict content hash, verified on hit
     std::uint64_t last_use = 0; // LRU stamp
   };
   void evict_overflow_locked();
@@ -175,11 +185,12 @@ class VerdictCache {
   mutable std::mutex m_;
   mutable std::map<Key, Entry> map_;  // find() refreshes the LRU stamp
   std::size_t capacity_ = 0;          // 0 = unbounded
-  std::uint64_t bytes_ = 0;
-  std::uint64_t evictions_ = 0;
+  mutable std::uint64_t bytes_ = 0;
+  mutable std::uint64_t evictions_ = 0;
   mutable std::uint64_t clock_ = 0;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
+  mutable std::uint64_t poisoned_ = 0;
 };
 
 enum class Mode : std::uint8_t { Flat, Hier, Tiled };
@@ -217,6 +228,21 @@ struct CheckOptions {
 
 /// Check a cell hierarchically: unique cells once (cached in `cache` when
 /// given), interaction windows re-verified.
+///
+/// Hier→flat fallback matrix (enforced by core::stage_drc and proved
+/// byte-identical by tests/test_fault.cpp, since all modes agree):
+///
+///   failure inside check_hier        | what happens
+///   ---------------------------------+------------------------------------
+///   any std::exception               | caught at the compile stage, warned
+///     (incl. fault::InjectedFault)   |   in diags, re-run as check_flat —
+///                                    |   same Result, byte for byte
+///   poisoned VerdictCache entry      | detected by checksum inside find(),
+///                                    |   evicted + recomputed — no
+///                                    |   fallback needed, same Result
+///   core::Cancelled                  | NEVER degraded — rethrown so the
+///                                    |   deadline wins (retrying on the
+///                                    |   slower flat path would be worse)
 [[nodiscard]] Result check_hier(const layout::Cell& top,
                                 const tech::Tech& technology = tech::nmos(),
                                 VerdictCache* cache = nullptr);

@@ -24,8 +24,10 @@
 #include <utility>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "drc/drc.hpp"
 #include "drc/rules.hpp"
+#include "fault/fault.hpp"
 
 namespace silc::drc {
 
@@ -68,6 +70,8 @@ class HierChecker {
   Result check_cell(const Cell& cell) {
     SILC_OBS_SPAN("drc.cell:" + cell.name(), "drc");
     SILC_OBS_COUNT("drc.cells", 1);
+    core::check_cancel("drc.hier.cell");
+    SILC_FAULT_POINT("drc.hier.cell");
     Result out;
     if (cell.instances().empty()) {
       LayerTable t(cell.shapes(), tech_);
@@ -131,6 +135,8 @@ class HierChecker {
       SILC_OBS_SPAN("drc.seams:" + cell.name(), "drc");
       LayerTable full(layout::flatten(cell), tech_);
       for (const auto& comp : seams.dilated(h).components()) {
+        core::check_cancel("drc.hier.seam");
+        SILC_FAULT_POINT("drc.hier.seam");
         LayerTable soup = full.window(RectSet(comp), h);
         Result sr;
         engine_.run(soup, sr);

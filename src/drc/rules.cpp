@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "core/cancel.hpp"
+
 namespace silc::drc {
 
 using geom::Coord;
@@ -233,6 +235,9 @@ void RuleEngine::prewarm(LayerTable& g) const {
 
 void RuleEngine::run(LayerTable& g, Result& out) const {
   for (const DrcRule& r : tech_->drc_rules) {
+    // Rule granularity keeps a deadline responsive even on the flat
+    // fallback path, where one run() covers the whole chip.
+    core::check_cancel("drc.rule");
     switch (r.kind) {
       case DrcRule::Kind::Width: eval_width(r, g, out); break;
       case DrcRule::Kind::Spacing: eval_spacing(r, g, out); break;

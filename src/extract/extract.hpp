@@ -171,6 +171,12 @@ struct CellNet;
 /// identical cells rebuilt in different libraries hit. Thread-safe;
 /// concurrent misses may recompute the same entry, which is harmless
 /// because per-cell extractions are deterministic.
+///
+/// Poison detection: every entry stores a content checksum of its partial
+/// netlist, verified on hit. A mismatch (memory corruption, an injected
+/// fault) is treated as a miss — the entry is evicted,
+/// `extract.cache.poisoned` is counted, and the cell re-extracted — so a
+/// bad cache entry degrades to recomputation, never to a wrong netlist.
 class NetlistCache {
  public:
   struct Key {
@@ -203,11 +209,15 @@ class NetlistCache {
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t misses() const;
+  /// Entries whose stored checksum failed verification on hit (each was
+  /// evicted and re-extracted). Also mirrored as extract.cache.poisoned.
+  [[nodiscard]] std::uint64_t poisoned() const;
 
  private:
   struct Entry {
     std::shared_ptr<const CellNet> net;
     std::uint64_t bytes = 0;    // approximate payload size
+    std::uint64_t checksum = 0; // content hash, verified on hit
     std::uint64_t last_use = 0; // LRU stamp
   };
   void evict_overflow_locked();
@@ -215,11 +225,12 @@ class NetlistCache {
   mutable std::mutex m_;
   mutable std::map<Key, Entry> map_;  // find() refreshes the LRU stamp
   std::size_t capacity_ = 0;          // 0 = unbounded
-  std::uint64_t bytes_ = 0;
-  std::uint64_t evictions_ = 0;
+  mutable std::uint64_t bytes_ = 0;
+  mutable std::uint64_t evictions_ = 0;
   mutable std::uint64_t clock_ = 0;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
+  mutable std::uint64_t poisoned_ = 0;
 };
 
 enum class Mode : std::uint8_t { Flat, Hier };
@@ -236,6 +247,22 @@ enum class Mode : std::uint8_t { Flat, Hier };
 /// given; a local cache is used when null, which still collapses repeated
 /// cells within one chip), interaction windows re-solved. Canonically
 /// byte-identical to extract_flat on the same cell.
+///
+/// Hier→flat fallback matrix (enforced by core::DesignDB::netlist() and
+/// proved byte-identical by tests/test_fault.cpp, since the modes agree):
+///
+///   failure inside extract_hier      | what happens
+///   ---------------------------------+------------------------------------
+///   any std::exception               | caught at the artifact getter,
+///     (incl. fault::InjectedFault)   |   warned in diags, re-run as
+///                                    |   extract_flat — same canonical
+///                                    |   Netlist, byte for byte
+///   poisoned NetlistCache entry      | detected by checksum inside find(),
+///                                    |   evicted + re-extracted — no
+///                                    |   fallback needed, same Netlist
+///   core::Cancelled                  | NEVER degraded — rethrown so the
+///                                    |   deadline wins (retrying on the
+///                                    |   slower flat path would be worse)
 [[nodiscard]] Netlist extract_hier(const layout::Cell& top,
                                    const tech::Tech& technology = tech::nmos(),
                                    NetlistCache* cache = nullptr);

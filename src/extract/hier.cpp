@@ -46,8 +46,10 @@
 #include <utility>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "extract/connect.hpp"
 #include "extract/extract.hpp"
+#include "fault/fault.hpp"
 
 namespace silc::extract {
 
@@ -118,6 +120,43 @@ std::uint64_t cellnet_bytes(const CellNet& n) {
   return b;
 }
 
+/// Content hash over the stable fields of a partial netlist (never raw
+/// struct bytes — padding is indeterminate). FNV-1a; it need not cover
+/// every field byte-perfectly, only be deterministic for a given entry, so
+/// a flipped stored checksum is always detected on hit.
+std::uint64_t cellnet_checksum(const CellNet& n) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t x) {
+    h = (h ^ x) * 1099511628211ULL;
+  };
+  const auto mix_str = [&](const std::string& s) {
+    mix(s.size());
+    for (const char c : s) mix(static_cast<unsigned char>(c));
+  };
+  mix(n.pieces.size());
+  for (const CellNet::Piece& p : n.pieces) {
+    mix(p.cls);
+    mix(static_cast<std::uint64_t>(p.rect.x0));
+    mix(static_cast<std::uint64_t>(p.rect.y0));
+    mix(static_cast<std::uint64_t>(p.rect.x1));
+    mix(static_cast<std::uint64_t>(p.rect.y1));
+    mix(static_cast<std::uint64_t>(p.node));
+  }
+  mix(static_cast<std::uint64_t>(n.node_count));
+  mix(n.transistors.size());
+  mix(n.junctions.size());
+  mix(n.warnings.size());
+  for (const Warning& w : n.warnings) mix_str(w.text);
+  mix(n.labels.size());
+  for (const CellNet::Label& l : n.labels) {
+    mix_str(l.text);
+    mix(static_cast<std::uint64_t>(l.at.x));
+    mix(static_cast<std::uint64_t>(l.at.y));
+    mix(static_cast<std::uint64_t>(l.node));
+  }
+  return h;
+}
+
 }  // namespace
 
 std::shared_ptr<const CellNet> NetlistCache::find(const Key& k) const {
@@ -127,6 +166,23 @@ std::shared_ptr<const CellNet> NetlistCache::find(const Key& k) const {
     ++misses_;
     SILC_OBS_COUNT("extract.cache.misses", 1);
     SILC_OBS_INSTANT("extract.cache.miss", "cache");
+    return nullptr;
+  }
+  const std::uint64_t want =
+      it->second.net != nullptr ? cellnet_checksum(*it->second.net) : 0;
+  if (want != it->second.checksum) {
+    // Poisoned entry (memory corruption or an injected fault): evict and
+    // report a miss, so the caller re-extracts — degradation is a slower
+    // extraction, never a wrong netlist.
+    ++poisoned_;
+    ++misses_;
+    bytes_ -= it->second.bytes;
+    SILC_OBS_COUNT("extract.cache.poisoned", 1);
+    SILC_OBS_COUNT("extract.cache.bytes",
+                   -static_cast<long long>(it->second.bytes));
+    SILC_OBS_COUNT("extract.cache.misses", 1);
+    SILC_OBS_INSTANT("extract.cache.poisoned", "cache");
+    map_.erase(it);
     return nullptr;
   }
   ++hits_;
@@ -139,9 +195,15 @@ std::shared_ptr<const CellNet> NetlistCache::find(const Key& k) const {
 std::shared_ptr<const CellNet> NetlistCache::store(
     const Key& k, std::shared_ptr<const CellNet> net) {
   const std::uint64_t bytes = net != nullptr ? cellnet_bytes(*net) : 0;
+  std::uint64_t checksum = net != nullptr ? cellnet_checksum(*net) : 0;
+  if (SILC_FAULT_CORRUPT_AT("extract.cache.store")) {
+    // Injected poisoning flips the stored checksum (never the payload —
+    // concurrent readers may hold it); find() must detect and evict.
+    checksum ^= 0x5a5a5a5a5a5a5a5aULL;
+  }
   const std::lock_guard<std::mutex> lock(m_);
   const auto [it, fresh] =
-      map_.emplace(k, Entry{std::move(net), bytes, ++clock_});
+      map_.emplace(k, Entry{std::move(net), bytes, checksum, ++clock_});
   if (fresh) {
     bytes_ += bytes;
     SILC_OBS_COUNT("extract.cache.bytes", bytes);
@@ -189,6 +251,11 @@ std::uint64_t NetlistCache::hits() const {
 std::uint64_t NetlistCache::misses() const {
   const std::lock_guard<std::mutex> lock(m_);
   return misses_;
+}
+
+std::uint64_t NetlistCache::poisoned() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  return poisoned_;
 }
 
 // ------------------------------------------------------------ the engine --
@@ -268,6 +335,8 @@ class HierExtractor {
   CellNet build(const Cell& c) {
     SILC_OBS_SPAN("extract.cell:" + c.name(), "extract");
     SILC_OBS_COUNT("extract.cells", 1);
+    core::check_cancel("extract.hier.cell");
+    SILC_FAULT_POINT("extract.hier.cell");
     if (c.instances().empty()) return own_net(c);
     return stitch(c);
   }
@@ -339,6 +408,8 @@ class HierExtractor {
     // until everything near it is wholly inside it.
     RawLayers raw;
     for (;;) {
+      core::check_cancel("extract.hier.window");
+      SILC_FAULT_POINT("extract.hier.window");
       std::vector<layout::Shape> soup;
       layout::collect_shapes_near(c, Transform{}, wx.dilated(h_), soup);
       raw = RawLayers::from_shapes(soup);

@@ -1,0 +1,194 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "core/cancel.hpp"
+#include "obs/obs.hpp"
+
+namespace silc::fault {
+
+const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::Throw: return "throw";
+    case Kind::Delay: return "delay";
+    case Kind::Corrupt: return "corrupt";
+  }
+  return "?";
+}
+
+namespace {
+
+thread_local std::string tl_scope;
+
+/// splitmix64 over (seed, site, scope, hit) — the randomized schedule's
+/// per-hit coin. Stable across platforms and thread interleavings because
+/// every input is content, not address or time.
+std::uint64_t mix(std::uint64_t seed, std::string_view site,
+                  std::string_view scope, std::uint64_t hit) {
+  std::uint64_t h = seed ^ 0x9e3779b97f4a7c15ULL;
+  const auto fold = [&h](std::string_view s) {
+    for (const char c : s) {
+      h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+      h *= 0xbf58476d1ce4e5b9ULL;
+    }
+    h ^= 0xff51afd7ed558ccdULL;
+  };
+  fold(site);
+  fold(scope);
+  h ^= hit + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+double unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool site_matches(const std::string& pattern, std::string_view site) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    const std::string_view prefix(pattern.data(), pattern.size() - 1);
+    return site.substr(0, prefix.size()) == prefix;
+  }
+  return site == pattern;
+}
+
+/// Cooperative stall: sleep in slices, bailing as soon as the thread's
+/// ambient CancelToken fires so an armed deadline cuts the stall short
+/// (the *next* check_cancel turns it into a structured cancellation).
+void stall(int delay_ms) {
+  using clock = std::chrono::steady_clock;
+  const auto until = clock::now() + std::chrono::milliseconds(delay_ms);
+  while (clock::now() < until) {
+    if (core::cancel_requested()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace
+
+Injector& Injector::global() {
+  static Injector injector;
+  return injector;
+}
+
+void Injector::arm(Schedule schedule) {
+  const std::lock_guard<std::mutex> lk(m_);
+  schedule_ = std::move(schedule);
+  hits_.clear();
+  fired_by_site_.clear();
+  fired_total_ = 0;
+  pokes_ = 0;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void Injector::disarm() { armed_.store(false, std::memory_order_relaxed); }
+
+Injector::Decision Injector::decide(std::string_view site, bool corrupt_site) {
+  Decision d;
+  const std::string& scope = tl_scope;
+  std::string key;
+  key.reserve(scope.size() + 1 + site.size());
+  key += scope;
+  key += '\0';
+  key += site;
+
+  const std::lock_guard<std::mutex> lk(m_);
+  if (!armed_.load(std::memory_order_relaxed)) return d;
+  ++pokes_;
+  const std::uint64_t hit = hits_[key]++;
+
+  for (const Trigger& t : schedule_.triggers) {
+    if (!t.scope.empty() && t.scope != scope) continue;
+    if (!site_matches(t.site, site)) continue;
+    const auto want = static_cast<std::uint64_t>(std::max(0, t.after_hits));
+    const bool selected = t.sticky ? hit >= want : hit == want;
+    if (!selected) continue;
+    const bool is_corrupt = t.kind == Kind::Corrupt;
+    if (is_corrupt != corrupt_site) continue;  // corruption only where the
+                                               // site owner can apply it
+    d.action = is_corrupt  ? Action::Corrupt
+               : t.kind == Kind::Throw ? Action::Throw
+                                       : Action::Delay;
+    d.delay_ms = t.delay_ms;
+    break;
+  }
+
+  if (d.action == Action::None &&
+      (schedule_.p_throw > 0 || schedule_.p_delay > 0 ||
+       schedule_.p_corrupt > 0)) {
+    const double u = unit(mix(schedule_.seed, site, scope, hit));
+    if (corrupt_site) {
+      if (u < schedule_.p_corrupt) d.action = Action::Corrupt;
+    } else if (u < schedule_.p_throw) {
+      d.action = Action::Throw;
+    } else if (u < schedule_.p_throw + schedule_.p_delay) {
+      d.action = Action::Delay;
+      d.delay_ms = schedule_.random_delay_ms;
+    }
+  }
+
+  if (d.action != Action::None) {
+    ++fired_total_;
+    ++fired_by_site_[std::string(site)];
+  }
+  return d;
+}
+
+void Injector::poke(std::string_view site) {
+  const Decision d = decide(site, /*corrupt_site=*/false);
+  switch (d.action) {
+    case Action::None:
+    case Action::Corrupt:
+      return;
+    case Action::Throw:
+      SILC_OBS_INSTANT("fault.throw", "fault");
+      throw InjectedFault(std::string(site));
+    case Action::Delay:
+      SILC_OBS_INSTANT("fault.delay", "fault");
+      stall(d.delay_ms);
+      return;
+  }
+}
+
+bool Injector::corrupt(std::string_view site) {
+  const Decision d = decide(site, /*corrupt_site=*/true);
+  if (d.action == Action::Corrupt) {
+    SILC_OBS_INSTANT("fault.corrupt", "fault");
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Injector::fired() const {
+  const std::lock_guard<std::mutex> lk(m_);
+  return fired_total_;
+}
+
+std::uint64_t Injector::pokes() const {
+  const std::lock_guard<std::mutex> lk(m_);
+  return pokes_;
+}
+
+std::vector<std::string> Injector::fired_sites() const {
+  const std::lock_guard<std::mutex> lk(m_);
+  std::vector<std::string> out;
+  out.reserve(fired_by_site_.size());
+  for (const auto& [site, n] : fired_by_site_) out.push_back(site);
+  return out;
+}
+
+ScopeGuard::ScopeGuard(std::string scope) : prev_(std::move(tl_scope)) {
+  tl_scope = std::move(scope);
+}
+
+ScopeGuard::~ScopeGuard() { tl_scope = std::move(prev_); }
+
+const std::string& current_scope() { return tl_scope; }
+
+}  // namespace silc::fault

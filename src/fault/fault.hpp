@@ -1,0 +1,204 @@
+// Deterministic fault injection: prove the failure paths, don't hope.
+//
+// The robustness contract of the compile pipeline — one poisoned job fails
+// alone, hier engines degrade to flat, deadlines always return — is only a
+// contract if CI can *demonstrate* it. This layer plants named fault
+// points at the seams the contract protects, and a seeded Injector fires
+// exceptions, artifact corruption, and delays on a reproducible schedule
+// so the chaos harness (tests/test_fault.cpp) can diff a faulted run
+// against a clean one.
+//
+// Fault sites — the house conventions:
+//
+//   1. Name sites like span names: "subsystem.thing[:instance]", e.g.
+//        SILC_FAULT_POINT("drc.hier.cell");
+//      A site marks a place where the *containment story* changes: a stage
+//      boundary, a worker-crew loop body, a cache store. Do not sprinkle
+//      sites inside pure arithmetic — a fault there proves nothing a site
+//      at the enclosing seam doesn't.
+//   2. SILC_FAULT_POINT may throw fault::InjectedFault (a
+//      std::runtime_error) or sleep; place it where a real exception could
+//      arise, so the injected one exercises the same catch path.
+//   3. Corruption is opt-in per artifact: guard the mutation with
+//        if (SILC_FAULT_CORRUPT_AT("drc.cache.store")) { ...corrupt... }
+//      The site owner decides what "corrupt" means (the caches flip the
+//      stored checksum); the injector only schedules it.
+//   4. Scope faults to a job with fault::ScopeGuard ("job:7") so a batch
+//      schedule targets exactly one victim; triggers with an empty scope
+//      fire anywhere.
+//   5. Adding a degradation path? Pair the site with a test that arms it
+//      and proves the fallback output byte-identical (see the hier→flat
+//      matrix in drc/drc.hpp and extract/extract.hpp).
+//
+// Compile gate: -DSILC_FAULT=OFF (CMake option) turns SILC_FAULT_POINT
+// into ((void)0) and SILC_FAULT_CORRUPT_AT into (false) — zero code in the
+// hot paths, exactly like src/obs/ — while the types below still exist so
+// harnesses compile (arming a schedule is then a no-op and
+// fault::kEnabled lets tests skip injection-dependent assertions).
+//
+// Determinism: explicit triggers fire on the Nth hit of a site within a
+// scope; randomized schedules decide per hit from a hash of
+// (seed, site, scope, hit index). Hit counters are kept per (scope, site),
+// and a batch job runs single-scoped on one worker, so a schedule picks
+// the same victims whatever the thread count or interleaving.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef SILC_FAULT_ENABLED
+#define SILC_FAULT_ENABLED 1
+#endif
+
+namespace silc::fault {
+
+inline constexpr bool kEnabled = SILC_FAULT_ENABLED != 0;
+
+/// What the exception an armed Throw trigger raises looks like: a
+/// std::runtime_error whose message names the site, so the structured diag
+/// a stage boundary renders it into is greppable ("injected fault at ...").
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& site)
+      : std::runtime_error("injected fault at " + site), site_(site) {}
+  [[nodiscard]] const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+enum class Kind : std::uint8_t { Throw, Delay, Corrupt };
+
+[[nodiscard]] const char* to_string(Kind k);
+
+/// One scheduled fault: fire `kind` at the hits of `site` selected by
+/// (after_hits, sticky), optionally only within a named scope.
+struct Trigger {
+  /// Exact site name, or a prefix when it ends in '*' ("drc.*").
+  std::string site;
+  Kind kind = Kind::Throw;
+  /// Fire when the per-(scope, site) hit index reaches this value
+  /// (0 = the first hit)...
+  int after_hits = 0;
+  /// ...once (false) or on every later hit too (true).
+  bool sticky = false;
+  /// Kind::Delay: how long to stall. The stall sleeps in small slices and
+  /// ends early when the thread's ambient CancelToken fires, so an
+  /// injected stall never outlives a deadline by more than one slice.
+  int delay_ms = 10;
+  /// Only fire inside this ScopeGuard scope ("" = any scope).
+  std::string scope;
+};
+
+/// A whole fault schedule: explicit triggers plus an optional seeded
+/// random component (each poke fires kind K with probability p_K, decided
+/// by hashing seed/site/scope/hit — reproducible, schedule-wide).
+struct Schedule {
+  std::vector<Trigger> triggers;
+  std::uint64_t seed = 0;
+  double p_throw = 0;
+  double p_delay = 0;
+  double p_corrupt = 0;  // only honored by SILC_FAULT_CORRUPT_AT sites
+  int random_delay_ms = 5;
+};
+
+/// The process-wide injector. Disarmed (the default and the steady state)
+/// a fault point costs one relaxed atomic load. Arm/disarm from the test
+/// harness only — never from library code.
+class Injector {
+ public:
+  static Injector& global();
+
+  /// Install a schedule and start firing. Resets hit counters and stats.
+  void arm(Schedule schedule);
+  /// Stop firing (hit counters and fired-stats survive until re-arm).
+  void disarm();
+  [[nodiscard]] bool armed() const {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// The fault-point entry (via SILC_FAULT_POINT): counts the hit and
+  /// fires any matching Throw/Delay decision. Only called while armed.
+  void poke(std::string_view site);
+  /// The corruption query (via SILC_FAULT_CORRUPT_AT): true when the
+  /// caller should corrupt its artifact at this hit.
+  bool corrupt(std::string_view site);
+
+  /// Faults fired since the last arm(), and the sites they fired at
+  /// (sorted, deduplicated) — the chaos harness's audit trail.
+  [[nodiscard]] std::uint64_t fired() const;
+  [[nodiscard]] std::uint64_t pokes() const;
+  [[nodiscard]] std::vector<std::string> fired_sites() const;
+
+ private:
+  Injector() = default;
+  enum class Action : std::uint8_t { None, Throw, Delay, Corrupt };
+  struct Decision {
+    Action action = Action::None;
+    int delay_ms = 0;
+  };
+  Decision decide(std::string_view site, bool corrupt_site);
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex m_;
+  Schedule schedule_;
+  std::map<std::string, std::uint64_t, std::less<>> hits_;  // "scope\0site"
+  std::map<std::string, std::uint64_t, std::less<>> fired_by_site_;
+  std::uint64_t fired_total_ = 0;
+  std::uint64_t pokes_ = 0;
+};
+
+/// Label the current thread's pokes with a scope ("job:3") for the
+/// duration of this guard, so schedules can target one batch job.
+/// core::compile_many installs one per job automatically.
+class ScopeGuard {
+ public:
+  explicit ScopeGuard(std::string scope);
+  ~ScopeGuard();
+  ScopeGuard(const ScopeGuard&) = delete;
+  ScopeGuard& operator=(const ScopeGuard&) = delete;
+
+ private:
+  std::string prev_;
+};
+
+/// The calling thread's current scope ("" outside any guard).
+[[nodiscard]] const std::string& current_scope();
+
+}  // namespace silc::fault
+
+// ------------------------------------------------------------------ macros --
+//
+// The only things instrumented code should touch. Both vanish under
+// -DSILC_FAULT=OFF.
+
+#if SILC_FAULT_ENABLED
+
+/// Named fault point: may throw fault::InjectedFault or stall when an
+/// armed schedule selects this hit; one relaxed load otherwise. `site`
+/// may be any string expression (evaluated only when armed).
+#define SILC_FAULT_POINT(site)                         \
+  do {                                                 \
+    if (::silc::fault::Injector::global().armed()) {   \
+      ::silc::fault::Injector::global().poke(site);    \
+    }                                                  \
+  } while (0)
+
+/// True when an armed schedule wants the caller to corrupt its artifact
+/// at this hit; constant false when disarmed or compiled out.
+#define SILC_FAULT_CORRUPT_AT(site)                  \
+  (::silc::fault::Injector::global().armed() &&      \
+   ::silc::fault::Injector::global().corrupt(site))
+
+#else  // SILC_FAULT_ENABLED == 0
+
+#define SILC_FAULT_POINT(site) ((void)0)
+#define SILC_FAULT_CORRUPT_AT(site) (false)
+
+#endif  // SILC_FAULT_ENABLED

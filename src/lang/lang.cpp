@@ -3,6 +3,7 @@
 #include <cctype>
 #include <functional>
 #include <sstream>
+#include <stdexcept>
 
 #include "cells/cells.hpp"
 #include "cif/cif.hpp"
@@ -669,9 +670,13 @@ struct Interpreter::Impl {
         }
         if (!found) throw SilcError(line, "unknown orientation " + os);
       }
-      as_cell(a[0], line)
-          ->add_instance(*as_cell(a[1], line),
-                         {o, {as_int(a[2], line), as_int(a[3], line)}});
+      try {
+        as_cell(a[0], line)
+            ->add_instance(*as_cell(a[1], line),
+                           {o, {as_int(a[2], line), as_int(a[3], line)}});
+      } catch (const std::invalid_argument& e) {
+        throw SilcError(line, e.what());  // recursive placement
+      }
       return {};
     }
     if (name == "label") {

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <map>
 #include <set>
+#include <stdexcept>
 
 #include "geom/rectset.hpp"
 
@@ -14,9 +15,35 @@ void Cell::add_rect(Layer layer, const Rect& r) {
   bbox_valid_ = false;
 }
 
+namespace {
+
+/// True when `target` is reachable through `from`'s instance subtree
+/// (including `from` itself). Hierarchies are DAGs; `seen` bounds the walk
+/// even if a cycle already slipped in through another path.
+bool reaches(const Cell& from, const Cell& target,
+             std::set<const Cell*>& seen) {
+  if (&from == &target) return true;
+  if (!seen.insert(&from).second) return false;
+  for (const Instance& i : from.instances()) {
+    if (reaches(*i.cell, target, seen)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 Instance& Cell::add_instance(const Cell& cell, const Transform& t,
                              std::string inst_name) {
-  assert(&cell != this && "a cell cannot instantiate itself");
+  // A placement that closes a cycle (self-placement, or placing an
+  // ancestor) would make bbox/flatten/hash recurse forever; refuse it
+  // here so every caller — the layout language's place() included —
+  // gets a structured error instead of a stack overflow.
+  std::set<const Cell*> seen;
+  if (reaches(cell, *this, seen)) {
+    throw std::invalid_argument("recursive placement: cell '" + name_ +
+                                "' cannot instantiate '" + cell.name() +
+                                "', which (transitively) contains it");
+  }
   if (inst_name.empty()) {
     inst_name = cell.name() + "_" + std::to_string(instances_.size());
   }

@@ -262,6 +262,12 @@ std::optional<BudgetTable> parse_budgets(std::string_view text,
     if (error != nullptr) *error = "margin must be positive";
     return std::nullopt;
   }
+  if (table.budgets.empty()) {
+    // A budget gate with no budgets silently passes everything — a
+    // truncated or blank file must fail loudly, not disarm CI.
+    if (error != nullptr) *error = "no stage budgets defined";
+    return std::nullopt;
+  }
   return table;
 }
 
@@ -274,6 +280,12 @@ std::optional<BudgetTable> load_budgets(const std::string& path,
   }
   std::ostringstream text;
   text << in.rdbuf();
+  if (in.bad() || text.str().empty()) {
+    // Distinguish "file vanished / unreadable / empty" from a parse error:
+    // all of them must fail loudly rather than yield a toothless table.
+    if (error != nullptr) *error = "empty or unreadable '" + path + "'";
+    return std::nullopt;
+  }
   return parse_budgets(text.str(), error);
 }
 

@@ -14,11 +14,13 @@
 // publishes each level's results to the next.
 #include <barrier>
 #include <condition_variable>
+#include <exception>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "sim/sim.hpp"
 
@@ -75,6 +77,13 @@ struct TapePool::Impl {
   bool quit = false;
   std::uint64_t* slots = nullptr;
 
+  /// First exception a pass raised on any thread. A worker exception must
+  /// never escape worker_loop (std::terminate) nor skip a barrier (the
+  /// whole pool would deadlock), so it is parked here and rethrown by
+  /// eval() on the caller thread after the pass completes.
+  std::mutex fail_m;
+  std::exception_ptr failure;
+
   std::barrier<> barrier;
   std::vector<std::thread> workers;
 
@@ -113,26 +122,34 @@ struct TapePool::Impl {
 
   void pass(int self, std::uint64_t* v) {
     for (const Segment& s : segments) {
-      if (s.parallel) {
-        const std::uint32_t n = s.end - s.begin;
-        const std::uint32_t per =
-            (n + static_cast<std::uint32_t>(nthreads) - 1) /
-            static_cast<std::uint32_t>(nthreads);
-        const std::uint32_t b =
-            s.begin + per * static_cast<std::uint32_t>(self);
-        const std::uint32_t e = std::min(s.end, b + per);
-        if (b < e) {
-          eval_range(*tape, word, v, b, e);
-          if constexpr (obs::kEnabled) {
-            stat[static_cast<std::size_t>(self)].ops += e - b;
-            ++stat[static_cast<std::size_t>(self)].strips;
+      try {
+        if (s.parallel) {
+          if (self != 0) SILC_FAULT_POINT("sim.pool.worker");
+          const std::uint32_t n = s.end - s.begin;
+          const std::uint32_t per =
+              (n + static_cast<std::uint32_t>(nthreads) - 1) /
+              static_cast<std::uint32_t>(nthreads);
+          const std::uint32_t b =
+              s.begin + per * static_cast<std::uint32_t>(self);
+          const std::uint32_t e = std::min(s.end, b + per);
+          if (b < e) {
+            eval_range(*tape, word, v, b, e);
+            if constexpr (obs::kEnabled) {
+              stat[static_cast<std::size_t>(self)].ops += e - b;
+              ++stat[static_cast<std::size_t>(self)].strips;
+            }
           }
+        } else if (self == 0) {
+          eval_range(*tape, word, v, s.begin, s.end);
+          if constexpr (obs::kEnabled) stat[0].ops += s.end - s.begin;
         }
-      } else if (self == 0) {
-        eval_range(*tape, word, v, s.begin, s.end);
-        if constexpr (obs::kEnabled) stat[0].ops += s.end - s.begin;
+      } catch (...) {
+        const std::lock_guard<std::mutex> lk(fail_m);
+        if (!failure) failure = std::current_exception();
       }
       // Publishes this level's slot writes to every reader of the next.
+      // Every thread arrives even after an exception — skipping the
+      // barrier would deadlock the pool.
       barrier.arrive_and_wait();
     }
   }
@@ -163,6 +180,13 @@ struct TapePool::Impl {
     pass(0, v);
     // The final segment's barrier saw every thread arrive, so all writes
     // are complete and visible here.
+    std::exception_ptr parked;
+    {
+      const std::lock_guard<std::mutex> lk(fail_m);
+      parked = failure;
+      failure = nullptr;  // a later pass starts clean
+    }
+    if (parked) std::rethrow_exception(parked);
   }
 };
 

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/cancel.hpp"
 #include "extract/extract.hpp"
 #include "swsim/swsim.hpp"
 #include "synth/synth.hpp"
@@ -240,6 +241,8 @@ std::vector<Trace> CompiledSim::run(const std::vector<Trace>& stimuli,
   dirty_ = true;
   std::vector<Trace> traces(stimuli.size());
   for (std::size_t c = 0; c < cycles; ++c) {
+    // Coarse-grained so the deadline check never shows up in profiles.
+    if ((c & 63u) == 0) core::check_cancel("sim.run");
     for (std::size_t l = 0; l < stimuli.size(); ++l) {
       if (stimuli[l].empty()) continue;
       const Vector& row = stimuli[l][std::min(c, stimuli[l].size() - 1)];
@@ -428,6 +431,8 @@ CrosscheckReport crosscheck(const rtl::Design& design,
   // (no outputs to probe, reserved net names, ...).
   try {
     return crosscheck_impl(design, options);
+  } catch (const core::Cancelled&) {
+    throw;  // cancellation is control flow — the stage boundary renders it
   } catch (const std::exception& e) {
     CrosscheckReport r;
     r.detail = std::string("crosscheck error: ") + e.what();
@@ -482,6 +487,7 @@ PlaCheckReport check_pla_impl(const rtl::Design& design,
     std::uint32_t state = 0;  // run() starts from all-zero registers
     const Trace& stim = stimuli[static_cast<std::size_t>(l)];
     for (int c = 0; c < r.cycles; ++c) {
+      if ((c & 63) == 0) core::check_cancel("sim.pla");
       const Vector& row = stim[static_cast<std::size_t>(c)];
       // Clock edge: next state from the AND/OR planes, then outputs settle
       // combinationally from the *new* state and held inputs — matching
@@ -532,6 +538,8 @@ PlaCheckReport check_pla(const rtl::Design& design,
                          int lanes, unsigned seed, const SimConfig& sim) {
   try {
     return check_pla_impl(design, fsm, personality, cycles, lanes, seed, sim);
+  } catch (const core::Cancelled&) {
+    throw;  // cancellation is control flow — the stage boundary renders it
   } catch (const std::exception& e) {
     PlaCheckReport r;
     r.detail = std::string("pla check error: ") + e.what();

@@ -1,0 +1,601 @@
+// Robustness under fire: deadlines, cancellation, fault injection, cache
+// poisoning, worker containment, and the chaos differential harness.
+//
+// The contract this file proves (see src/fault/fault.hpp):
+//
+//   * a compile with a deadline or a cancelled token returns promptly with
+//     a Severity::Cancelled diagnostic — never a hang, never a throw, even
+//     against an injected multi-second stall;
+//   * an injected exception at any stage boundary becomes a structured
+//     error diagnostic on that compile alone;
+//   * hierarchical DRC / extraction failures degrade to the flat engines
+//     with a warning, byte-identical artifacts (the fallback matrix in
+//     drc/drc.hpp and extract/extract.hpp);
+//   * a poisoned cache entry is detected by checksum, evicted, counted,
+//     and recomputed — degradation is a slower run, never a wrong answer;
+//   * one poisoned compile_many job fails alone; every other job's result
+//     is bit-identical to a fault-free run — proved differentially over
+//     dozens of seeded chaos schedules (the Chaos* tests, which ci.sh also
+//     drives explicitly under a fixed seed);
+//   * worker-thread exceptions (batch crew, sim::TapePool) are captured
+//     and surfaced on the caller — never std::terminate, never a deadlock.
+//
+// Injection-dependent tests skip themselves under -DSILC_FAULT=OFF (the
+// macros are compiled out, so nothing would fire); the cancellation and
+// adversarial-input tests run in both builds.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "design_sources.hpp"
+#include "drc/drc.hpp"
+#include "extract/extract.hpp"
+#include "fault/fault.hpp"
+#include "layout/layout.hpp"
+#include "rtl/rtl.hpp"
+#include "sim/sim.hpp"
+
+namespace silc {
+namespace {
+
+using core::CancelToken;
+using core::CompileOptions;
+using core::CompileResult;
+using core::Flow;
+using core::Severity;
+using fault::Injector;
+using fault::Kind;
+using fault::Schedule;
+using fault::Trigger;
+
+/// Every armed test disarms on exit, pass or fail, so one failure cannot
+/// cascade injected faults into unrelated tests.
+struct DisarmOnExit {
+  ~DisarmOnExit() { Injector::global().disarm(); }
+};
+
+/// Compile options trimmed for harness speed: verification stages still
+/// run (their containment is under test) but over few cycles. The 30s
+/// deadline is the no-hang backstop every chaos compile carries.
+CompileOptions quick(const std::string& name) {
+  CompileOptions o;
+  o.name = name;
+  o.gate_verify_cycles = 64;
+  o.gate_verify_lanes = 4;
+  o.pla_verify_cycles = 32;
+  o.verify_cycles = 4;
+  o.deadline_ms = 30000;
+  return o;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool diag_mentions(const CompileResult& r, const std::string& needle) {
+  return r.diag_text().find(needle) != std::string::npos;
+}
+
+/// The artifact view of "same result": everything same_outcome() compares
+/// except the diagnostics stream — what graceful degradation must preserve
+/// while it adds its fallback warning.
+bool artifacts_equal(const CompileResult& a, const CompileResult& b) {
+  return a.ok() == b.ok() && a.verified == b.verified && a.cif == b.cif &&
+         a.transistors == b.transistors && a.rect_count == b.rect_count &&
+         a.drc.violations == b.drc.violations &&
+         a.verify_detail == b.verify_detail;
+}
+
+// ------------------------------------------------------------ cancellation --
+
+TEST(Cancel, TokenFlagDeadlineAndParentChain) {
+  CancelToken t;
+  EXPECT_FALSE(t.cancelled());
+  t.cancel();
+  EXPECT_TRUE(t.cancelled());
+  EXPECT_STREQ(t.reason(), "cancelled");
+
+  CancelToken d;
+  d.set_deadline_after(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(d.cancelled());
+  EXPECT_STREQ(d.reason(), "deadline exceeded");
+
+  CancelToken parent;
+  CancelToken child;
+  child.set_parent(&parent);
+  EXPECT_FALSE(child.cancelled());
+  parent.cancel();
+  EXPECT_TRUE(child.cancelled());
+
+  // check_cancel honors the ambient scope and throws a named Cancelled.
+  const core::CancelScope scope(&parent);
+  EXPECT_TRUE(core::cancel_requested());
+  try {
+    core::check_cancel("unit.test");
+    FAIL() << "check_cancel did not throw";
+  } catch (const core::Cancelled& c) {
+    EXPECT_NE(std::string(c.what()).find("unit.test"), std::string::npos);
+  }
+}
+
+TEST(Cancel, PreCancelledTokenStopsTheCompileStructurally) {
+  layout::Library lib("cancelled");
+  CancelToken token;
+  token.cancel();
+  CompileOptions o = quick("gray2");
+  o.deadline_ms = 0;
+  o.cancel = &token;
+  CompileResult r;
+  EXPECT_NO_THROW(
+      r = core::compile(lib, Flow::Behavioral, silc_fixtures::kGray2Source, o));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.cancelled());
+  EXPECT_TRUE(r.has_errors());
+  // Structured, not textual: a Severity::Cancelled diag is present, and
+  // every stage slot still has its timing entry (none marked ran).
+  bool saw_cancelled = false;
+  for (const core::Diag& d : r.diags) {
+    saw_cancelled |= d.severity == Severity::Cancelled;
+  }
+  EXPECT_TRUE(saw_cancelled) << r.diag_text();
+  for (const core::StageTiming& t : r.timings) EXPECT_FALSE(t.ran) << t.stage;
+}
+
+TEST(Cancel, DeadlineBeatsAnInjectedStall) {
+  if (!fault::kEnabled) GTEST_SKIP() << "built with SILC_FAULT=OFF";
+  const DisarmOnExit disarm;
+  // A 10-second stall in hierarchical DRC vs a 300ms deadline: the stall
+  // sleeps in 1ms slices polling the ambient token, so the compile must
+  // return a structured cancellation within the deadline plus a modest
+  // scheduling margin — not after 10 seconds.
+  Schedule s;
+  s.triggers.push_back({"drc.hier.cell", Kind::Delay, 0, true, 10000, ""});
+  Injector::global().arm(s);
+
+  layout::Library lib("stalled");
+  CompileOptions o = quick("traffic");
+  o.deadline_ms = 300;
+  const auto t0 = std::chrono::steady_clock::now();
+  CompileResult r;
+  EXPECT_NO_THROW(r = core::compile(lib, Flow::Behavioral,
+                                    silc_fixtures::kTrafficSource, o));
+  const double elapsed = ms_since(t0);
+  EXPECT_TRUE(r.cancelled()) << r.diag_text();
+  EXPECT_FALSE(r.ok());
+  EXPECT_LT(elapsed, 5000.0) << "stall outlived the deadline";
+}
+
+// -------------------------------------------------------- injected faults --
+
+TEST(Inject, StageFaultBecomesAStructuredDiagnostic) {
+  if (!fault::kEnabled) GTEST_SKIP() << "built with SILC_FAULT=OFF";
+  const DisarmOnExit disarm;
+  Schedule s;
+  s.triggers.push_back({"pipeline.stage.cif", Kind::Throw, 0, true, 0, ""});
+  Injector::global().arm(s);
+
+  layout::Library lib("faulted");
+  CompileResult r;
+  EXPECT_NO_THROW(r = core::compile(lib, Flow::Behavioral,
+                                    silc_fixtures::kGray2Source,
+                                    quick("gray2")));
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.cancelled());
+  EXPECT_TRUE(diag_mentions(r, "injected fault at pipeline.stage.cif"))
+      << r.diag_text();
+  EXPECT_GE(Injector::global().fired(), 1u);
+}
+
+TEST(Inject, HierDrcFailureFallsBackToFlatByteIdentical) {
+  if (!fault::kEnabled) GTEST_SKIP() << "built with SILC_FAULT=OFF";
+  const DisarmOnExit disarm;
+  layout::Library base_lib("base");
+  const CompileResult base = core::compile(
+      base_lib, Flow::Behavioral, silc_fixtures::kTrafficSource,
+      quick("traffic"));
+  ASSERT_TRUE(base.ok()) << base.diag_text();
+
+  Schedule s;
+  s.triggers.push_back({"drc.hier.cell", Kind::Throw, 0, true, 0, ""});
+  Injector::global().arm(s);
+  layout::Library lib("hier-drc-down");
+  CompileResult r;
+  EXPECT_NO_THROW(r = core::compile(lib, Flow::Behavioral,
+                                    silc_fixtures::kTrafficSource,
+                                    quick("traffic")));
+  Injector::global().disarm();
+
+  EXPECT_TRUE(diag_mentions(r, "falling back to flat")) << r.diag_text();
+  EXPECT_TRUE(artifacts_equal(r, base)) << "fallback changed the artifacts";
+  EXPECT_TRUE(r.ok()) << r.diag_text();  // a warning, not an error
+}
+
+TEST(Inject, HierExtractFailureFallsBackToFlatByteIdentical) {
+  if (!fault::kEnabled) GTEST_SKIP() << "built with SILC_FAULT=OFF";
+  const DisarmOnExit disarm;
+  layout::Library base_lib("base");
+  const CompileResult base = core::compile(
+      base_lib, Flow::Structural, silc_fixtures::kInvChainSource,
+      quick("chain"));
+  ASSERT_TRUE(base.ok()) << base.diag_text();
+
+  Schedule s;
+  s.triggers.push_back({"extract.hier.cell", Kind::Throw, 0, true, 0, ""});
+  Injector::global().arm(s);
+  layout::Library lib("hier-extract-down");
+  CompileResult r;
+  EXPECT_NO_THROW(r = core::compile(lib, Flow::Structural,
+                                    silc_fixtures::kInvChainSource,
+                                    quick("chain")));
+  Injector::global().disarm();
+
+  EXPECT_TRUE(diag_mentions(r, "falling back to flat extraction"))
+      << r.diag_text();
+  EXPECT_TRUE(artifacts_equal(r, base)) << "fallback changed the artifacts";
+  EXPECT_TRUE(r.ok()) << r.diag_text();
+}
+
+// --------------------------------------------------------- cache poisoning --
+
+TEST(Poison, VerdictCacheDetectsEvictsAndCounts) {
+  if (!fault::kEnabled) GTEST_SKIP() << "built with SILC_FAULT=OFF";
+  const DisarmOnExit disarm;
+  drc::VerdictCache cache;
+  const drc::VerdictCache::Key key{1, 2, 3, {0, 0, 40, 40}};
+  const std::vector<drc::Violation> verdict = {
+      {"metal.width", {0, 0, 2, 2}, "too narrow", {1, 1}}};
+
+  Schedule s;
+  s.triggers.push_back({"drc.cache.store", Kind::Corrupt, 0, true, 0, ""});
+  Injector::global().arm(s);
+  cache.store(key, verdict);
+  Injector::global().disarm();
+
+  // The poisoned hit reads as a miss: entry evicted, poisoning counted.
+  EXPECT_EQ(cache.find(key), nullptr);
+  EXPECT_EQ(cache.poisoned(), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // The recompute path stores a clean entry that verifies and hits.
+  cache.store(key, verdict);
+  const auto v = cache.find(key);
+  ASSERT_NE(v, nullptr);
+  ASSERT_EQ(v->size(), 1u);
+  EXPECT_EQ((*v)[0].rule, "metal.width");
+  EXPECT_EQ(cache.poisoned(), 1u);  // no new poisonings
+}
+
+TEST(Poison, NetlistCachePoisoningRecomputesSameCompile) {
+  if (!fault::kEnabled) GTEST_SKIP() << "built with SILC_FAULT=OFF";
+  const DisarmOnExit disarm;
+  layout::Library base_lib("base");
+  const CompileResult base = core::compile(
+      base_lib, Flow::Behavioral, silc_fixtures::kGray2Source, quick("gray2"));
+  ASSERT_TRUE(base.ok()) << base.diag_text();
+
+  // Every store into the shared cache is poisoned; the second compile's
+  // hits must detect the bad checksums, evict, and re-extract — landing on
+  // the same outcome as a fault-free run, diagnostics included.
+  extract::NetlistCache cache;
+  Schedule s;
+  s.triggers.push_back({"extract.cache.store", Kind::Corrupt, 0, true, 0, ""});
+  Injector::global().arm(s);
+  CompileOptions o = quick("gray2");
+  o.extract_cache = &cache;
+  layout::Library lib1("poisoned1");
+  const CompileResult r1 =
+      core::compile(lib1, Flow::Behavioral, silc_fixtures::kGray2Source, o);
+  layout::Library lib2("poisoned2");
+  const CompileResult r2 =
+      core::compile(lib2, Flow::Behavioral, silc_fixtures::kGray2Source, o);
+  Injector::global().disarm();
+
+  EXPECT_TRUE(r1.same_outcome(base)) << r1.diag_text();
+  EXPECT_TRUE(r2.same_outcome(base)) << r2.diag_text();
+  EXPECT_GE(cache.poisoned(), 1u)
+      << "second compile never tripped over a poisoned entry";
+}
+
+// ------------------------------------------------------ worker containment --
+
+TEST(Contain, TapePoolWorkerExceptionSurfacesOnTheCaller) {
+  if (!fault::kEnabled) GTEST_SKIP() << "built with SILC_FAULT=OFF";
+  const DisarmOnExit disarm;
+  // Drive the pool directly (CompiledSim clamps its thread count to
+  // hardware concurrency, so a 1-core CI box would never spin it up) and
+  // blow up a worker thread mid-pass: the exception must arrive on the
+  // calling thread — not std::terminate, not a barrier deadlock — and the
+  // pool must survive to run the next pass cleanly.
+  using sim::TapeOp;
+  std::vector<TapeOp> ops;
+  // Slots 0,1 are sources; a two-level ladder wide enough to strip-mine.
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    ops.push_back({TapeOp::Code::And, 2 + i, 0, 1, 0});
+  }
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    ops.push_back({TapeOp::Code::Xor, 10 + i, 2 + i, 1, 0});
+  }
+  const sim::Tape tape = sim::assemble_tape(std::move(ops), 18, {});
+  ASSERT_EQ(tape.depth(), 2);
+  sim::TapePool pool(tape, sim::WordKind::U64, 2, 1);
+
+  std::vector<std::uint64_t> slots(18, 0);
+  slots[0] = 0xffffffffffffffffULL;
+  slots[1] = 0x00000000ffffffffULL;
+
+  Schedule s;
+  s.triggers.push_back({"sim.pool.worker", Kind::Throw, 0, false, 0, ""});
+  Injector::global().arm(s);
+  EXPECT_THROW(pool.eval(slots.data()), fault::InjectedFault);
+  Injector::global().disarm();
+
+  // Containment left no poison behind: the same pool computes the pass.
+  std::fill(slots.begin() + 2, slots.end(), 0);
+  pool.eval(slots.data());
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(slots[2 + i], 0x00000000ffffffffULL) << i;
+    EXPECT_EQ(slots[10 + i], 0x0000000000000000ULL) << i;
+  }
+}
+
+TEST(Contain, CrosscheckSwallowsWorkerFaultsIntoTheReport) {
+  if (!fault::kEnabled) GTEST_SKIP() << "built with SILC_FAULT=OFF";
+  const DisarmOnExit disarm;
+  // End-to-end when the machine can actually run a pool: the contained
+  // worker exception must surface as a failed report detail, never escape
+  // sim::crosscheck.
+  if (std::thread::hardware_concurrency() < 2) {
+    GTEST_SKIP() << "needs >= 2 cores for CompiledSim to spin up the pool";
+  }
+  Schedule s;
+  s.triggers.push_back({"sim.pool.worker", Kind::Throw, 0, false, 0, ""});
+  Injector::global().arm(s);
+
+  const rtl::Design design = rtl::parse(silc_fixtures::kGray2Source);
+  sim::CrosscheckOptions o;
+  o.cycles = 32;
+  o.switch_cycles = 0;
+  o.sim.threads = 2;
+  o.sim.parallel_min_ops = 1;
+  sim::CrosscheckReport r;
+  EXPECT_NO_THROW(r = sim::crosscheck(design, o));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("injected fault at sim.pool.worker"),
+            std::string::npos)
+      << r.detail;
+
+  // The pool survives containment: a clean run right after passes.
+  Injector::global().disarm();
+  const sim::CrosscheckReport clean = sim::crosscheck(design, o);
+  EXPECT_TRUE(clean.ok) << clean.detail;
+}
+
+TEST(Contain, BatchJobFaultFailsOnlyTheVictim) {
+  if (!fault::kEnabled) GTEST_SKIP() << "built with SILC_FAULT=OFF";
+  const DisarmOnExit disarm;
+  std::vector<core::BatchJob> jobs;
+  jobs.push_back({Flow::Behavioral, silc_fixtures::counter_source(3),
+                  quick("counter3")});
+  jobs.push_back({Flow::Behavioral, silc_fixtures::kGray2Source,
+                  quick("gray2")});
+  jobs.push_back({Flow::Behavioral, silc_fixtures::kTrafficSource,
+                  quick("traffic")});
+  jobs.push_back({Flow::Structural, silc_fixtures::kInvChainSource,
+                  quick("chain")});
+  const core::BatchResult base = core::compile_many(jobs, 2);
+  ASSERT_EQ(base.ok_count(), jobs.size());
+
+  // Job 2 dies before its compile even starts — outside every stage
+  // boundary, the worst containment case.
+  Schedule s;
+  s.triggers.push_back({"batch.job", Kind::Throw, 0, true, 0, "job:2"});
+  Injector::global().arm(s);
+  const core::BatchResult chaos = core::compile_many(jobs, 2);
+  Injector::global().disarm();
+
+  ASSERT_EQ(chaos.results.size(), jobs.size());
+  EXPECT_FALSE(chaos.results[2].ok());
+  EXPECT_TRUE(diag_mentions(chaos.results[2], "failed outside stage"))
+      << chaos.results[2].diag_text();
+  EXPECT_TRUE(diag_mentions(chaos.results[2], "injected fault at batch.job"));
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (i == 2) continue;
+    EXPECT_TRUE(chaos.results[i].same_outcome(base.results[i]))
+        << "job " << i << " was not isolated from the fault";
+  }
+}
+
+// -------------------------------------------------- chaos differential run --
+
+/// One scheduled chaos scenario: a fault site, what it injects, and what
+/// the victim job is entitled to expect.
+struct SitePlan {
+  const char* site;
+  Kind kind;
+  enum Expect {
+    kHardFail,  // victim fails with a structured "injected fault" diag
+    kDegrade,   // victim's artifacts stay byte-identical (fallback path)
+    kBenign,    // victim's whole outcome stays identical (recompute/delay)
+  } expect;
+  int delay_ms = 0;
+};
+
+constexpr SitePlan kSitePlans[] = {
+    {"pipeline.stage.parse", Kind::Throw, SitePlan::kHardFail, 0},
+    {"pipeline.stage.cif", Kind::Throw, SitePlan::kHardFail, 0},
+    {"pipeline.stage.drc", Kind::Throw, SitePlan::kHardFail, 0},
+    {"batch.job", Kind::Throw, SitePlan::kHardFail, 0},
+    {"drc.hier.cell", Kind::Throw, SitePlan::kDegrade, 0},
+    {"extract.hier.cell", Kind::Throw, SitePlan::kDegrade, 0},
+    {"drc.cache.store", Kind::Corrupt, SitePlan::kBenign, 0},
+    {"extract.cache.store", Kind::Corrupt, SitePlan::kBenign, 0},
+    {"drc.hier.cell", Kind::Delay, SitePlan::kBenign, 5},
+    {"extract.hier.window", Kind::Delay, SitePlan::kBenign, 5},
+};
+
+std::vector<core::BatchJob> chaos_jobs() {
+  std::vector<core::BatchJob> jobs;
+  for (int rep = 0; rep < 6; ++rep) {
+    const std::string tag = ":" + std::to_string(rep);
+    jobs.push_back({Flow::Behavioral, silc_fixtures::counter_source(3),
+                    quick("counter3" + tag)});
+    jobs.push_back({Flow::Behavioral, silc_fixtures::kGray2Source,
+                    quick("gray2" + tag)});
+    jobs.push_back({Flow::Behavioral, silc_fixtures::kTrafficSource,
+                    quick("traffic" + tag)});
+    jobs.push_back({Flow::Structural, silc_fixtures::kInvChainSource,
+                    quick("chain" + tag)});
+  }
+  return jobs;
+}
+
+/// Run one seeded schedule against the 24-job batch and diff every job
+/// against the fault-free baseline. Returns the number of expectation
+/// failures (also recorded via gtest).
+void run_chaos_round(const std::vector<core::BatchJob>& jobs,
+                     const core::BatchResult& base, std::uint64_t seed,
+                     int round) {
+  const SitePlan& plan =
+      kSitePlans[(seed + static_cast<std::uint64_t>(round)) %
+                 std::size(kSitePlans)];
+  const std::size_t victim =
+      (seed / 7 + static_cast<std::uint64_t>(round) * 7) % jobs.size();
+  const std::string label = "round " + std::to_string(round) + " site " +
+                            plan.site + " kind " + to_string(plan.kind) +
+                            " victim " + std::to_string(victim);
+
+  Schedule s;
+  s.seed = seed;
+  s.triggers.push_back({plan.site, plan.kind, 0, true, plan.delay_ms,
+                        "job:" + std::to_string(victim)});
+  Injector::global().arm(s);
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::BatchResult chaos = core::compile_many(jobs, 4);
+  const double elapsed = ms_since(t0);
+  const std::uint64_t fired = Injector::global().fired();
+  Injector::global().disarm();
+
+  ASSERT_EQ(chaos.results.size(), jobs.size()) << label;
+  EXPECT_LT(elapsed, 60000.0) << label << ": batch hung";
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const CompileResult& got = chaos.results[i];
+    const CompileResult& want = base.results[i];
+    if (i != victim) {
+      EXPECT_TRUE(got.same_outcome(want))
+          << label << ": non-victim job " << i << " drifted\n"
+          << got.diag_text();
+      continue;
+    }
+    switch (plan.expect) {
+      case SitePlan::kHardFail:
+        // Sticky throws at always-hit sites: the victim must fail with a
+        // structured injected-fault diagnostic and nothing else crashes.
+        EXPECT_GE(fired, 1u) << label;
+        EXPECT_FALSE(got.ok()) << label;
+        EXPECT_TRUE(diag_mentions(got, "injected fault"))
+            << label << "\n" << got.diag_text();
+        break;
+      case SitePlan::kDegrade:
+        // Hier engine down: flat fallback, artifacts byte-identical (the
+        // diag stream additionally carries the fallback warning when the
+        // site was actually reached — shared caches can absorb the hit).
+        EXPECT_TRUE(artifacts_equal(got, want))
+            << label << "\n" << got.diag_text();
+        break;
+      case SitePlan::kBenign:
+        // Poisoned stores are recomputed, delays only cost time: the whole
+        // outcome, diagnostics included, is identical.
+        EXPECT_TRUE(got.same_outcome(want))
+            << label << "\n" << got.diag_text();
+        break;
+    }
+  }
+}
+
+TEST(Chaos, DifferentialOverSeededSchedules) {
+  if (!fault::kEnabled) GTEST_SKIP() << "built with SILC_FAULT=OFF";
+  const DisarmOnExit disarm;
+  const std::vector<core::BatchJob> jobs = chaos_jobs();
+  ASSERT_EQ(jobs.size(), 24u);
+  const core::BatchResult base = core::compile_many(jobs, 4);
+  ASSERT_EQ(base.ok_count(), jobs.size())
+      << "baseline batch must be fault-free";
+
+  // 50 deterministic rounds sweep every site plan × a rotating victim;
+  // SILC_CHAOS_SEED (ci.sh sets it) adds an extra seeded round on top.
+  std::uint64_t seed = 0x5113c0de2026ULL;
+  for (int round = 0; round < 50; ++round) {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    run_chaos_round(jobs, base, seed, round);
+    if (HasFatalFailure()) return;
+  }
+  if (const char* env = std::getenv("SILC_CHAOS_SEED")) {
+    run_chaos_round(jobs, base,
+                    std::strtoull(env, nullptr, 10) | 1ULL, 50);
+  }
+}
+
+// ------------------------------------------------------ adversarial corpus --
+
+TEST(Adversarial, MalformedInputsDiagnoseNeverThrowNeverHang) {
+  struct Case {
+    const char* what;
+    Flow flow;
+    std::string source;
+  };
+  const Case corpus[] = {
+      {"empty behavioral", Flow::Behavioral, ""},
+      {"empty structural", Flow::Structural, ""},
+      {"truncated processor", Flow::Behavioral,
+       "processor t (input a; output q;) { reg"},
+      {"garbage text", Flow::Behavioral, "%%% this is not a language @@@"},
+      {"combinational cycle", Flow::Behavioral,
+       "processor cyc (input a; output x;) { x = x ^ a; always { } }"},
+      {"self-feeding wire pair", Flow::Behavioral,
+       "processor loopy (input a; output p;) {"
+       "  p = q ^ a; q = p; always { } }"},
+      {"unknown builtin", Flow::Structural, "return frob(1);"},
+      {"structural runtime error", Flow::Structural,
+       "let c = cell(\"z\"); place(c, c, 0, 0); return c;"},
+      {"unknown layer", Flow::Structural,
+       "let c = cell(\"z\"); rect(c, \"bogus\", 0, 0, 4, 4); return c;"},
+      {"no cell returned", Flow::Structural, "let x = 1;"},
+  };
+  for (const Case& c : corpus) {
+    SCOPED_TRACE(c.what);
+    layout::Library lib("adversarial");
+    CompileOptions o = quick("bad");
+    o.deadline_ms = 20000;  // the no-hang guard: malformed != unbounded
+    const auto t0 = std::chrono::steady_clock::now();
+    CompileResult r;
+    EXPECT_NO_THROW(r = core::compile(lib, c.flow, c.source, o)) << c.what;
+    EXPECT_LT(ms_since(t0), 20000.0) << c.what;
+    EXPECT_FALSE(r.ok()) << c.what << " compiled cleanly:\n" << r.diag_text();
+    EXPECT_TRUE(r.has_errors()) << c.what;
+    EXPECT_FALSE(r.diags.empty()) << c.what;
+  }
+
+  // Degenerate geometry (a zero-area rect) must be handled, not crash:
+  // whatever the verdict, the compile returns with structured diagnostics.
+  layout::Library lib("degenerate");
+  CompileOptions o = quick("zero-area");
+  CompileResult r;
+  EXPECT_NO_THROW(
+      r = core::compile(lib, Flow::Structural,
+                        "let c = cell(\"z\"); rect(c, \"metal\", 5, 5, 5, 9);"
+                        " rect(c, \"metal\", 0, 0, 0, 0); return c;",
+                        o));
+  EXPECT_NO_THROW((void)r.diag_text());
+}
+
+}  // namespace
+}  // namespace silc

@@ -250,6 +250,28 @@ TEST(Budgets, RejectsMalformedTablesWithAnError) {
   EXPECT_NE(err.find("cannot open"), std::string::npos);
 }
 
+TEST(Budgets, EmptyTablesAndFilesFailLoudly) {
+  // A budget table with no stage budgets would silently pass every stage —
+  // a truncated or blank file must disarm CI loudly, not quietly.
+  const char* empty_ish[] = {
+      "",
+      "# only comments\n",
+      "margin 2\n",  // a margin but nothing to apply it to
+  };
+  for (const char* text : empty_ish) {
+    std::string err;
+    EXPECT_FALSE(parse_budgets(text, &err).has_value()) << '"' << text << '"';
+    EXPECT_FALSE(err.empty()) << '"' << text << '"';
+  }
+
+  const std::string path = testing::TempDir() + "/silc_empty_budgets.txt";
+  { std::ofstream out(path); }  // create empty
+  std::string err;
+  EXPECT_FALSE(load_budgets(path, &err).has_value());
+  EXPECT_NE(err.find("empty or unreadable"), std::string::npos) << err;
+  std::remove(path.c_str());
+}
+
 TEST(Budgets, CheckFlagsOverAndUnbudgetedStages) {
   BudgetTable table;
   table.margin = 1.5;
