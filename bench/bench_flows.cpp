@@ -24,6 +24,10 @@
 //     --budgets without re-running anything (the ci.sh self-test uses
 //     this to prove the gate actually fails);
 //   * --trace=FILE exports the traced runs as Chrome trace-event JSON.
+// Every run also times the pla-check stage under all three engines
+// (symbolic proof / compiled netlist diff / interpreted replay) so the
+// symbolic speedup stays measured against the oracles it replaced;
+// --pla=MODE picks the engine the suite's own batches verify with.
 // Flags: --json=PATH (default BENCH_compile.json), --smoke (fewer batch
 // repetitions, skip the google-benchmark microbenches, report tracing
 // overhead without gating it — a 8-job smoke batch is inside the noise
@@ -132,6 +136,11 @@ void print_encoding_table() {
 
 // --------------------------------------------- compile pipeline tracking --
 
+/// pla-check engine for every behavioral job in the suite (--pla=MODE).
+/// Symbolic is the pipeline default; the compiled leg in ci.sh keeps the
+/// fallback engine benched so it cannot rot.
+silc::sim::PlaCheckMode g_pla_mode = silc::sim::PlaCheckMode::Symbolic;
+
 silc::core::CompileOptions bench_verify(const std::string& name) {
   silc::core::CompileOptions o;
   o.name = name;
@@ -139,6 +148,7 @@ silc::core::CompileOptions bench_verify(const std::string& name) {
   o.gate_verify_cycles = 128;
   o.gate_verify_lanes = 8;
   o.pla_verify_cycles = 64;
+  o.pla_check_mode = g_pla_mode;
   return o;
 }
 
@@ -183,31 +193,45 @@ std::vector<std::pair<std::string, double>> profile_ms(
   return sm;
 }
 
-/// Serial-batch wall clocks with the tracer off vs on: `reps` of each,
-/// interleaved in alternating order (U-T, T-U, U-T, ...) so slow machine
-/// drift biases neither side, min-of-N against scheduler noise. The first
-/// untraced rep's BatchResult is kept for the profile — results are
-/// deterministic, so any rep would do. The traced minimum stays 0 when
-/// the obs layer is compiled out.
+/// Serial-batch wall clocks with the tracer off vs on: `reps` samples of
+/// each, interleaved in alternating order (U-T, T-U, U-T, ...) so slow
+/// machine drift biases neither side, min-of-N against scheduler noise.
+/// Each sample times `laps` back-to-back batches and reports the per-batch
+/// mean: the symbolic pla-check engine shrank the 24-job batch to ~100 ms,
+/// where a 2% overhead (~2 ms) sits inside one scheduler tick — stretching
+/// the measured work keeps the contract resolvable instead of gating on
+/// jitter. The first untraced batch's BatchResult is kept for the profile
+/// — results are deterministic, so any rep would do. The traced minimum
+/// stays 0 when the obs layer is compiled out.
 struct SerialWalls {
   double untraced_ms = 0;
   double traced_ms = 0;
 };
 
 SerialWalls serial_walls(const std::vector<silc::core::BatchJob>& jobs,
-                         int reps, silc::core::BatchResult* keep) {
+                         int reps, int laps, silc::core::BatchResult* keep) {
   SerialWalls w;
   const auto untraced = [&](int r) {
-    silc::core::BatchResult br = silc::core::compile_many(jobs, 1);
-    w.untraced_ms = r == 0 ? br.wall_ms : std::min(w.untraced_ms, br.wall_ms);
-    if (r == 0 && keep != nullptr) *keep = std::move(br);
+    double ms = 0;
+    for (int l = 0; l < laps; ++l) {
+      silc::core::BatchResult br = silc::core::compile_many(jobs, 1);
+      ms += br.wall_ms;
+      if (r == 0 && l == 0 && keep != nullptr) *keep = std::move(br);
+    }
+    ms /= laps;
+    w.untraced_ms = r == 0 ? ms : std::min(w.untraced_ms, ms);
   };
   const auto traced = [&](int r) {
     if (!silc::obs::kEnabled) return;
-    silc::obs::Tracer::global().enable(1u << 16);
-    const silc::core::BatchResult br = silc::core::compile_many(jobs, 1);
-    silc::obs::Tracer::global().disable();
-    w.traced_ms = r == 0 ? br.wall_ms : std::min(w.traced_ms, br.wall_ms);
+    double ms = 0;
+    for (int l = 0; l < laps; ++l) {
+      silc::obs::Tracer::global().enable(1u << 16);
+      const silc::core::BatchResult br = silc::core::compile_many(jobs, 1);
+      silc::obs::Tracer::global().disable();
+      ms += br.wall_ms;
+    }
+    ms /= laps;
+    w.traced_ms = r == 0 ? ms : std::min(w.traced_ms, ms);
   };
   for (int r = 0; r < reps; ++r) {
     if (r % 2 == 0) {
@@ -267,6 +291,39 @@ int check_budgets_file(const std::string& json_path,
 /// Measure the compile pipeline, print the table, emit JSON. Returns 0 on
 /// success, 1 when a design failed, thread counts disagreed, tracing cost
 /// more than its limit on the full batch, or a latency budget broke.
+double pla_stage_ms_per_run(const silc::core::BatchResult& r) {
+  for (const silc::core::StageProfile& s : r.profile) {
+    if (s.stage == "pla-check") {
+      return s.runs > 0 ? s.total_ms / s.runs : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+struct PlaModeMs {
+  const char* name;
+  double ms_per_run;
+};
+
+/// One serial batch per pla-check engine so the JSON tracks all three
+/// costs side by side — the symbolic win stays visible against the
+/// sampling engines it replaced, whichever mode the suite itself ran in.
+std::vector<PlaModeMs> measure_pla_modes(int reps) {
+  using silc::sim::PlaCheckMode;
+  std::vector<PlaModeMs> out;
+  const PlaCheckMode saved = g_pla_mode;
+  for (const PlaCheckMode mode : {PlaCheckMode::Symbolic,
+                                  PlaCheckMode::Compiled,
+                                  PlaCheckMode::Replay}) {
+    g_pla_mode = mode;
+    const silc::core::BatchResult r = silc::core::compile_many(
+        bench_jobs(reps), 1);
+    out.push_back({silc::sim::to_string(mode), pla_stage_ms_per_run(r)});
+  }
+  g_pla_mode = saved;
+  return out;
+}
+
 int run_suite(const std::string& json_path, bool smoke,
               const std::string& trace_path, const std::string& budgets_path,
               double overhead_limit) {
@@ -274,16 +331,25 @@ int run_suite(const std::string& json_path, bool smoke,
   using silc::core::compile_many;
 
   const int reps = smoke ? 2 : 6;
-  const int walls = 3;  // min-of-3 wall clocks, traced and untraced
+  // Full runs gate the tracing-overhead contract, so they sample harder:
+  // each wall sample covers 4 consecutive batches (~400 ms of work) and
+  // the min is taken over 6 samples per leg. The symbolic pla-check
+  // engine shrank the 24-job batch to ~100 ms, where 2% (~2 ms) sits
+  // inside one scheduler tick — a min-of-3 of single batches reads pure
+  // jitter as a contract breach.
+  const int walls = smoke ? 3 : 6;
+  const int laps = smoke ? 1 : 4;
   const std::vector<silc::core::BatchJob> designs = one_rep();
   const std::vector<silc::core::BatchJob> jobs = bench_jobs(reps);
   const unsigned hw = std::thread::hardware_concurrency();
   const int many = static_cast<int>(hw > 1 ? hw : 2);
 
-  std::printf("=== compile pipeline: %zu jobs (%zu designs x %d reps) ===\n",
-              jobs.size(), designs.size(), reps);
+  std::printf("=== compile pipeline: %zu jobs (%zu designs x %d reps, "
+              "pla-check %s) ===\n",
+              jobs.size(), designs.size(), reps,
+              silc::sim::to_string(g_pla_mode));
   BatchResult serial;
-  const SerialWalls wallclocks = serial_walls(jobs, walls, &serial);
+  const SerialWalls wallclocks = serial_walls(jobs, walls, laps, &serial);
   const double untraced_ms = wallclocks.untraced_ms;
   const double traced_ms = wallclocks.traced_ms;
 
@@ -318,6 +384,13 @@ int run_suite(const std::string& json_path, bool smoke,
   const bool all_ok = serial.ok_count() == jobs.size();
 
   std::printf("%s", serial.profile_text().c_str());
+  const std::vector<PlaModeMs> pla_modes =
+      measure_pla_modes(smoke ? 1 : reps);
+  std::printf("pla-check per engine:");
+  for (const PlaModeMs& m : pla_modes) {
+    std::printf("  %s %.3f ms/run", m.name, m.ms_per_run);
+  }
+  std::printf("\n");
   const double serial_dps = 1000.0 * static_cast<double>(jobs.size()) /
                             untraced_ms;
   const double parallel_dps = 1000.0 * static_cast<double>(jobs.size()) /
@@ -328,8 +401,9 @@ int run_suite(const std::string& json_path, bool smoke,
               identical ? "identical" : "DIVERGED");
   if (silc::obs::kEnabled) {
     std::printf("obs: traced %.1f ms vs untraced %.1f ms serial "
-                "(min of %d) = %+.2f%% overhead%s\n\n",
-                traced_ms, untraced_ms, walls, overhead_pct,
+                "(min of %d, %d batch%s/sample) = %+.2f%% overhead%s\n\n",
+                traced_ms, untraced_ms, walls, laps, laps == 1 ? "" : "es",
+                overhead_pct,
                 smoke ? " (smoke: reported, not gated)" : "");
   } else {
     std::printf("obs: compiled out (SILC_OBS=OFF)\n\n");
@@ -361,6 +435,15 @@ int run_suite(const std::string& json_path, bool smoke,
                  i + 1 < serial.profile.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"pla_check_mode\": \"%s\",\n",
+               silc::sim::to_string(g_pla_mode));
+  std::fprintf(f, "  \"pla_check_mode_ms\": [");
+  for (std::size_t i = 0; i < pla_modes.size(); ++i) {
+    std::fprintf(f, "%s{\"mode\": \"%s\", \"ms_per_run\": %.3f}",
+                 i > 0 ? ", " : "", pla_modes[i].name,
+                 pla_modes[i].ms_per_run);
+  }
+  std::fprintf(f, "],\n");
   std::fprintf(f, "  \"batch\": [\n");
   std::fprintf(f,
                "    {\"threads\": 1, \"wall_ms\": %.1f, "
@@ -461,6 +544,18 @@ int main(int argc, char** argv) {
       check_budgets_path = argv[i] + 16;
     else if (std::strncmp(argv[i], "--obs-overhead-limit=", 21) == 0)
       overhead_limit = std::strtod(argv[i] + 21, nullptr);
+    else if (std::strncmp(argv[i], "--pla=", 6) == 0) {
+      const std::string mode = argv[i] + 6;
+      if (mode == "symbolic") g_pla_mode = silc::sim::PlaCheckMode::Symbolic;
+      else if (mode == "compiled")
+        g_pla_mode = silc::sim::PlaCheckMode::Compiled;
+      else if (mode == "replay") g_pla_mode = silc::sim::PlaCheckMode::Replay;
+      else {
+        std::printf("ERROR: --pla=%s (want symbolic|compiled|replay)\n",
+                    mode.c_str());
+        return 1;
+      }
+    }
     else if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     else passthrough.push_back(argv[i]);
   }

@@ -20,6 +20,9 @@
 #     checker fail;
 #   * the budget gate is hardened against truncation: an empty or missing
 #     budget table must fail the checker, never pass as "nothing to do";
+#   * a second flows smoke leg runs the whole batch on the compiled
+#     pla-check engine (--pla=compiled) so the symbolic prover's fallback
+#     path stays exercised end to end;
 #   * a chaos smoke rerun pins one extra seeded fault schedule
 #     (SILC_CHAOS_SEED) beyond the 50 rounds baked into test_fault;
 #   * the library and every tier-1 test must also build and pass with the
@@ -118,6 +121,15 @@ elif [ -x "$BUILD_DIR/bench_flows" ]; then
     exit 1
   fi
   echo "empty/missing-budget self-test: checker correctly failed"
+
+  # --- one batch leg on the compiled pla-check engine -------------------
+  # The symbolic prover is the default; this leg keeps the compiled
+  # fallback engine exercised end to end (batch determinism + all designs
+  # clean) so it cannot rot between prover failures. No --budgets: the
+  # budget table is calibrated for the default engine.
+  "$BUILD_DIR/bench_flows" --smoke --pla=compiled \
+      --json="$BUILD_DIR/BENCH_compile_pla_compiled.json"
+  echo "pla_check_mode=compiled batch leg: ok"
 else
   echo "ERROR: $BUILD_DIR/bench_flows was not built (google-benchmark" \
        "missing?); set SILC_SKIP_BENCH=1 to bypass" >&2

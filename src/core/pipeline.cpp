@@ -390,15 +390,27 @@ Pipeline make_behavioral() {
                  "design + FSM + programmed personality")) {
       return false;
     }
-    // Replay the personality actually programmed into the NOR-NOR planes
-    // against the compiled tape, pre-artwork — the same discipline the
-    // gate path gets, for the tabulate->PLA lowering.
+    // Check the personality actually programmed into the NOR-NOR planes
+    // against the tabulated spec, pre-artwork — the same discipline the
+    // gate path gets, for the tabulate->PLA lowering. The default engine
+    // is the symbolic cube-containment proof; if the prover itself fails
+    // (never a mismatch verdict — those are final), degrade to the
+    // compiled netlist diff, mirroring the hier->flat fallbacks.
     sim::SimConfig sc;
     sc.threads = db.options.sim_threads;
-    db.pla_check = sim::check_pla(*db.design, *db.fsm,
-                                  db.assembled->personality,
-                                  db.options.pla_verify_cycles,
-                                  /*lanes=*/0, /*seed=*/2u, sc);
+    const auto run_check = [&](sim::PlaCheckMode mode) {
+      return sim::check_pla(*db.design, *db.fsm, db.assembled->personality,
+                            db.options.pla_verify_cycles,
+                            /*lanes=*/0, /*seed=*/2u, sc, mode);
+    };
+    db.pla_check = run_check(db.options.pla_check_mode);
+    if (db.pla_check->error &&
+        db.options.pla_check_mode == sim::PlaCheckMode::Symbolic) {
+      db.diags.warning("pla-check", "symbolic prover failed (" +
+                                        db.pla_check->detail +
+                                        "); falling back to compiled");
+      db.pla_check = run_check(sim::PlaCheckMode::Compiled);
+    }
     if (!db.pla_check->ok) {
       db.diags.error("pla-check",
                      db.pla_check->detail + "; artwork check skipped");

@@ -124,8 +124,16 @@ struct CompileOptions {
                                  // always runs the widest word; this
                                  // bounds the behavioral references)
   int gate_verify_lanes = 16;    // independent behavioral stimulus lanes
-  int pla_verify_cycles = 256;   // pla-check: programmed-personality replay
-                                 // vs compiled tape, every lane
+  int pla_verify_cycles = 256;   // pla-check: cycles for the sampling
+                                 // modes (Compiled/Replay), every lane;
+                                 // the symbolic proof ignores it
+  /// Engine for the pla-check stage (see sim::PlaCheckMode). Symbolic
+  /// (the default) proves the programmed personality equal to the
+  /// tabulated FSM over the whole care space by cube containment —
+  /// orders of magnitude faster than simulating — and degrades to the
+  /// Compiled netlist diff (with a warning diag) if the prover throws;
+  /// Compiled and Replay sample pla_verify_cycles random cycles per lane.
+  sim::PlaCheckMode pla_check_mode = sim::PlaCheckMode::Symbolic;
   /// Threads for the compiled-simulator checks (0 = auto). compile_many
   /// pins this to 1 so design-level parallelism is never oversubscribed
   /// by per-design sim pools.

@@ -2,7 +2,8 @@
 // slots, and drive the bit-parallel kernel over the configured word
 // backend / thread pool. crosscheck(): the three-model equivalence harness
 // (behavioral / compiled / switch-level). check_pla(): the programmed-PLA
-// replay against the compiled tape.
+// equivalence check — symbolic proof, compiled-netlist diff, or the
+// interpreted replay oracle, per PlaCheckMode.
 #include "sim/sim.hpp"
 
 #include <algorithm>
@@ -12,6 +13,9 @@
 
 #include "core/cancel.hpp"
 #include "extract/extract.hpp"
+#include "fault/fault.hpp"
+#include "logic/equiv.hpp"
+#include "obs/obs.hpp"
 #include "swsim/swsim.hpp"
 #include "synth/synth.hpp"
 
@@ -442,13 +446,253 @@ CrosscheckReport crosscheck(const rtl::Design& design,
 
 // ---------------------------------------------------------- PLA-path check --
 
+const char* to_string(PlaCheckMode mode) {
+  switch (mode) {
+    case PlaCheckMode::Symbolic: return "symbolic";
+    case PlaCheckMode::Compiled: return "compiled";
+    case PlaCheckMode::Replay: return "replay";
+  }
+  return "?";
+}
+
 namespace {
 
-PlaCheckReport check_pla_impl(const rtl::Design& design,
-                              const synth::TabulatedFsm& fsm,
-                              const logic::PlaTerms& personality, int cycles,
-                              int lanes, unsigned seed, const SimConfig& sim) {
+/// Shared admission guard: every mode packs minterms into 32-bit cubes
+/// (the replay packs them literally; the symbolic engine's Cube algebra is
+/// 32-bit; the compiled lowering indexes columns by the same layout), so
+/// an over-wide FSM is a structured rejection, not a silent wrap. Shape
+/// drift between the personality and the tabulation is likewise caught
+/// here once, before any engine trusts the indices.
+bool pla_admit(const rtl::Design& design, const synth::TabulatedFsm& fsm,
+               const logic::PlaTerms& personality, PlaCheckReport& r) {
+  int in_bits = 0;
+  for (const rtl::Signal* s : design.of_kind(rtl::SignalKind::Input)) {
+    in_bits += s->width;
+  }
+  int out_bits = 0;
+  for (const rtl::Signal* s : design.of_kind(rtl::SignalKind::Output)) {
+    out_bits += s->width;
+  }
+  const int width = fsm.state_bits + in_bits;
+  if (width > 32) {
+    std::ostringstream os;
+    os << "pla check rejected: minterm needs " << width << " bits ("
+       << fsm.state_bits << " state + " << in_bits
+       << " input), over the 32-bit cube packing limit";
+    r.detail = os.str();
+    return false;
+  }
+  const int nbits = static_cast<int>(fsm.input_names.size());
+  const std::size_t nouts = fsm.output_names.size();
+  if (nbits != width || personality.num_inputs != nbits ||
+      fsm.function.num_inputs != nbits ||
+      fsm.function.outputs.size() != nouts ||
+      personality.output_terms.size() != nouts ||
+      nouts != static_cast<std::size_t>(fsm.state_bits + out_bits)) {
+    r.detail = "pla check rejected: personality/FSM/design shape mismatch";
+    return false;
+  }
+  return true;
+}
+
+/// NOR planes program the complement cover, so the spec each output's
+/// cubes must equal is the complemented table (don't-cares stay free).
+logic::TruthTable complement_table(const logic::TruthTable& f) {
+  return logic::TruthTable::from_tri_function(
+      f.num_inputs(), [&f](std::uint32_t m) {
+        switch (f.get(m)) {
+          case logic::Tri::One: return logic::Tri::Zero;
+          case logic::Tri::Zero: return logic::Tri::One;
+          default: return logic::Tri::DontCare;
+        }
+      });
+}
+
+std::string render_minterm(const synth::TabulatedFsm& fsm, std::uint32_t m) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < fsm.input_names.size(); ++i) {
+    if (i != 0) os << ' ';
+    os << fsm.input_names[i] << '=' << ((m >> i) & 1u);
+  }
+  return os.str();
+}
+
+/// Symbolic mode: per output bit, prove the programmed complement cover
+/// equal to the complemented tabulation on every care row. No simulation;
+/// the verdict covers the whole care space, not a sample.
+PlaCheckReport check_pla_symbolic(const synth::TabulatedFsm& fsm,
+                                  const logic::PlaTerms& personality) {
+  SILC_OBS_SPAN("sim.pla.symbolic", "sim");
   PlaCheckReport r;
+  r.mode = PlaCheckMode::Symbolic;
+  r.terms = personality.term_count();
+  for (std::size_t k = 0; k < fsm.function.outputs.size(); ++k) {
+    core::check_cancel("sim.pla.symbolic");
+    SILC_FAULT_POINT("sim.pla.symbolic");
+    std::vector<logic::Cube> cover;
+    cover.reserve(personality.output_terms[k].size());
+    for (const int t : personality.output_terms[k]) {
+      cover.push_back(personality.terms[static_cast<std::size_t>(t)]);
+    }
+    const logic::EquivVerdict v = logic::check_cover_equiv(
+        complement_table(fsm.function.outputs[k]), cover);
+    if (!v.equal) {
+      r.mismatch_signal = fsm.output_names[k];
+      r.has_counterexample = true;
+      r.counterexample = v.counterexample;
+      // The verdict is on the complement plane; report in output terms.
+      std::ostringstream os;
+      os << "pla vs fsm, output " << fsm.output_names[k] << ": planes drive "
+         << (v.got ? 0 : 1) << ", table wants " << (v.expected ? 0 : 1)
+         << " at minterm " << v.counterexample << " ("
+         << render_minterm(fsm, v.counterexample) << ")";
+      r.detail = os.str();
+      return r;
+    }
+  }
+  std::ostringstream os;
+  os << "pla(" << r.terms << " terms) == fsm: symbolic proof over "
+     << fsm.function.outputs.size() << " outputs x 2^"
+     << fsm.input_names.size() << " care space";
+  r.ok = true;
+  r.proven = true;
+  r.detail = os.str();
+  return r;
+}
+
+/// Lower the programmed personality + feedback registers into a gate
+/// netlist: one shared AND-plane term net per cube, a NOR per output
+/// column, DFFs on the state columns — the same structure the artwork
+/// implements, runnable on the fused bit-parallel tape.
+net::Netlist pla_netlist(const rtl::Design& design,
+                         const synth::TabulatedFsm& fsm,
+                         const logic::PlaTerms& personality) {
+  net::Netlist nl;
+  const int sb = fsm.state_bits;
+  const int nbits = personality.num_inputs;
+  std::vector<int> col(static_cast<std::size_t>(nbits), -1);
+  for (int k = 0; k < sb; ++k) {
+    col[static_cast<std::size_t>(k)] =
+        nl.add_net(fsm.input_names[static_cast<std::size_t>(k)]);
+  }
+  int pos = sb;
+  for (const rtl::Signal* s : design.of_kind(rtl::SignalKind::Input)) {
+    for (int b = 0; b < s->width; ++b, ++pos) {
+      // Input naming mirrors bit_blast so run()'s poke resolves the same
+      // stimulus keys: bare name when 1 bit wide, "name[b]" otherwise.
+      col[static_cast<std::size_t>(pos)] = nl.add_input(
+          s->width == 1 ? s->name : s->name + "[" + std::to_string(b) + "]");
+    }
+  }
+  std::vector<int> ncol(static_cast<std::size_t>(nbits), -1);
+  const auto inverted = [&](int i) {
+    int& n = ncol[static_cast<std::size_t>(i)];
+    if (n < 0) {
+      n = nl.add_gate(net::GateKind::Not,
+                      {col[static_cast<std::size_t>(i)]});
+    }
+    return n;
+  };
+  std::vector<int> term(personality.terms.size(), -1);
+  for (std::size_t t = 0; t < personality.terms.size(); ++t) {
+    const logic::Cube& c = personality.terms[t];
+    std::vector<int> lits;
+    for (std::uint32_t m = c.mask; m != 0; m &= m - 1) {
+      const int i = __builtin_ctz(m);
+      lits.push_back((c.value >> i) & 1u ? col[static_cast<std::size_t>(i)]
+                                         : inverted(i));
+    }
+    term[t] = lits.empty() ? nl.add_gate(net::GateKind::Const1, {})
+              : lits.size() == 1
+                  ? lits[0]
+                  : nl.add_gate(net::GateKind::And, lits);
+  }
+  const auto column = [&](std::size_t k, const std::string& name) {
+    const std::vector<int>& sel = personality.output_terms[k];
+    if (sel.empty()) return nl.add_gate(net::GateKind::Const1, {}, name);
+    std::vector<int> terms;
+    terms.reserve(sel.size());
+    for (const int t : sel) terms.push_back(term[static_cast<std::size_t>(t)]);
+    return nl.add_gate(net::GateKind::Nor, terms, name);
+  };
+  std::size_t k = 0;
+  for (; k < static_cast<std::size_t>(sb); ++k) {
+    nl.add_gate_driving(net::GateKind::Dff, {column(k, "")}, col[k], "");
+  }
+  for (const rtl::Signal* s : design.of_kind(rtl::SignalKind::Output)) {
+    for (int b = 0; b < s->width; ++b, ++k) {
+      const std::string name =
+          s->width == 1 ? s->name : s->name + "[" + std::to_string(b) + "]";
+      nl.mark_output(column(k, name), name);
+    }
+  }
+  return nl;
+}
+
+/// Compiled mode: run the lowered personality and the design's gate tape
+/// side by side, every lane of the widest configured word per pass, and
+/// diff the recorded output traces.
+PlaCheckReport check_pla_compiled(const rtl::Design& design,
+                                  const synth::TabulatedFsm& fsm,
+                                  const logic::PlaTerms& personality,
+                                  int cycles, int lanes, unsigned seed,
+                                  const SimConfig& sim) {
+  SILC_OBS_SPAN("sim.pla.compiled", "sim");
+  SILC_FAULT_POINT("sim.pla.compiled");
+  PlaCheckReport r;
+  r.mode = PlaCheckMode::Compiled;
+  r.cycles = std::max(0, cycles);
+  r.terms = personality.term_count();
+
+  CompiledSim ref(design, sim);
+  CompiledSim pla(pla_netlist(design, fsm, personality), sim);
+  r.lanes = lanes <= 0 ? ref.lanes() : std::min(lanes, ref.lanes());
+
+  std::vector<Trace> stimuli;
+  stimuli.reserve(static_cast<std::size_t>(r.lanes));
+  for (int l = 0; l < r.lanes; ++l) {
+    stimuli.push_back(
+        random_stimulus(design, r.cycles, seed + static_cast<unsigned>(l)));
+  }
+  core::check_cancel("sim.pla.compiled");
+  const std::vector<Trace> want = ref.run(stimuli);
+  std::vector<std::string> probes;
+  for (const rtl::Signal* s : design.of_kind(rtl::SignalKind::Output)) {
+    probes.push_back(s->name);
+  }
+  const std::vector<Trace> got = pla.run(stimuli, probes);
+  for (int l = 0; l < r.lanes; ++l) {
+    const TraceDiff d = diff_traces(got[static_cast<std::size_t>(l)],
+                                    want[static_cast<std::size_t>(l)]);
+    if (d.identical) continue;
+    r.mismatch_lane = l;
+    r.mismatch_cycle = d.cycle;
+    r.mismatch_signal = d.signal;
+    std::ostringstream os;
+    os << "pla vs compiled, lane " << l << " cycle " << d.cycle << " signal "
+       << d.signal << ": " << d.a << " != " << d.b;
+    r.detail = os.str();
+    return r;
+  }
+  std::ostringstream os;
+  os << "pla(" << r.terms << " terms) == compiled over " << r.cycles
+     << " cycles x " << r.lanes << " lanes (netlist tape)";
+  r.ok = true;
+  r.detail = os.str();
+  return r;
+}
+
+/// Replay mode: the original interpreted oracle — personality.evaluate()
+/// per output bit per cycle against the compiled tape. Slow by design;
+/// the other two engines are differentially tested against it.
+PlaCheckReport check_pla_replay(const rtl::Design& design,
+                                const synth::TabulatedFsm& fsm,
+                                const logic::PlaTerms& personality, int cycles,
+                                int lanes, unsigned seed,
+                                const SimConfig& sim) {
+  SILC_OBS_SPAN("sim.pla.replay", "sim");
+  PlaCheckReport r;
+  r.mode = PlaCheckMode::Replay;
   r.cycles = std::max(0, cycles);
   r.terms = personality.term_count();
   const auto ins = design.of_kind(rtl::SignalKind::Input);
@@ -487,7 +731,7 @@ PlaCheckReport check_pla_impl(const rtl::Design& design,
     std::uint32_t state = 0;  // run() starts from all-zero registers
     const Trace& stim = stimuli[static_cast<std::size_t>(l)];
     for (int c = 0; c < r.cycles; ++c) {
-      if ((c & 63) == 0) core::check_cancel("sim.pla");
+      if ((c & 63) == 0) core::check_cancel("sim.pla.replay");
       const Vector& row = stim[static_cast<std::size_t>(c)];
       // Clock edge: next state from the AND/OR planes, then outputs settle
       // combinationally from the *new* state and held inputs — matching
@@ -535,13 +779,30 @@ PlaCheckReport check_pla_impl(const rtl::Design& design,
 PlaCheckReport check_pla(const rtl::Design& design,
                          const synth::TabulatedFsm& fsm,
                          const logic::PlaTerms& personality, int cycles,
-                         int lanes, unsigned seed, const SimConfig& sim) {
+                         int lanes, unsigned seed, const SimConfig& sim,
+                         PlaCheckMode mode) {
   try {
-    return check_pla_impl(design, fsm, personality, cycles, lanes, seed, sim);
+    PlaCheckReport admitted;
+    admitted.mode = mode;
+    admitted.terms = personality.term_count();
+    if (!pla_admit(design, fsm, personality, admitted)) return admitted;
+    switch (mode) {
+      case PlaCheckMode::Symbolic:
+        return check_pla_symbolic(fsm, personality);
+      case PlaCheckMode::Compiled:
+        return check_pla_compiled(design, fsm, personality, cycles, lanes,
+                                  seed, sim);
+      case PlaCheckMode::Replay:
+        return check_pla_replay(design, fsm, personality, cycles, lanes, seed,
+                                sim);
+    }
+    throw std::logic_error("unknown pla check mode");
   } catch (const core::Cancelled&) {
     throw;  // cancellation is control flow — the stage boundary renders it
   } catch (const std::exception& e) {
     PlaCheckReport r;
+    r.mode = mode;
+    r.error = true;
     r.detail = std::string("pla check error: ") + e.what();
     return r;
   }

@@ -40,8 +40,9 @@
 //     trace diff (and an optional VCD dump of the diverging traces).
 //     This is the compiler's behavioral-vs-gates check.
 //   * check_pla(): the PLA path's pre-artwork equivalence check — the
-//     personality actually programmed into the NOR-NOR planes, plus state
-//     feedback, replayed against the compiled tape.
+//     personality actually programmed into the NOR-NOR planes, proven
+//     against the tabulated spec symbolically (default), or cross-checked
+//     as a compiled netlist / interpreted replay (see PlaCheckMode).
 #pragma once
 
 #include <cstdint>
@@ -406,30 +407,76 @@ struct CrosscheckReport {
 
 // ---------------------------------------------------------- PLA-path check --
 
+/// Which engine decides whether the programmed personality matches the
+/// tabulated FSM.
+enum class PlaCheckMode : std::uint8_t {
+  /// Cube-containment equivalence proof (logic::check_cover_equiv) of the
+  /// personality's complement covers against `fsm.function`, per output
+  /// bit, honoring don't-cares. Exhaustive over the whole care space, no
+  /// simulation, and orders of magnitude faster than either sampling
+  /// mode; `cycles`/`lanes`/`seed` are ignored.
+  Symbolic,
+  /// Lower the personality + feedback registers into a net::Netlist, run
+  /// it and the design's gate tape side by side on the widest-word
+  /// backend over seeded random stimulus, and diff the traces. Sampling,
+  /// not proof — kept as the structural cross-check of the same lowering
+  /// the artwork will implement, and as the fallback when the symbolic
+  /// engine throws.
+  Compiled,
+  /// The original interpreted replay: personality.evaluate() per output
+  /// bit per cycle against the compiled tape. Slowest; retained as the
+  /// differential oracle the other two engines are tested against.
+  Replay,
+};
+
+[[nodiscard]] const char* to_string(PlaCheckMode mode);
+
 struct PlaCheckReport {
   bool ok = false;
-  int cycles = 0;
-  int lanes = 0;
+  PlaCheckMode mode = PlaCheckMode::Symbolic;  // engine that produced verdict
+  bool proven = false;    // true: symbolic proof over the whole care space
+  int cycles = 0;         // sampled cycles (0 in symbolic mode)
+  int lanes = 0;          // sampled lanes (0 in symbolic mode)
   std::size_t terms = 0;  // product terms in the programmed personality
   std::string detail;
-  /// First divergence, machine-readable (lane < 0 when ok).
+  /// First divergence, machine-readable (lane < 0 when ok; sampling
+  /// modes only).
   int mismatch_lane = -1;
   int mismatch_cycle = -1;
   std::string mismatch_signal;
+  /// Symbolic-mode counterexample: a concrete minterm (personality bit
+  /// layout, [state bits][input bits]) where the planes and the spec
+  /// disagree. Valid when has_counterexample.
+  bool has_counterexample = false;
+  std::uint32_t counterexample = 0;
+  /// The engine threw (detail carries the exception) — the report is an
+  /// engine failure, not a verdict. Callers may retry another mode.
+  bool error = false;
 };
 
-/// Pre-artwork equivalence check for the tabulate->PLA flow: replay the
-/// *programmed* PLA (NOR-NOR planes, so `personality` holds the complement
-/// cover of each output: out_k = NOR of its selected terms) plus state
-/// feedback registers over seeded random stimulus, and diff against the
-/// compiled gate tape of the same design. `lanes` = 0 uses every lane of
-/// the configured word; `sim` tunes the compiled reference (batch callers
-/// pin sim.threads so design-level parallelism is not oversubscribed).
+/// Pre-artwork equivalence check for the tabulate->PLA flow. `personality`
+/// holds the *programmed* NOR-NOR planes — the complement cover of each
+/// output, out_k = NOR of its selected terms — and is checked against the
+/// design per `mode` (see PlaCheckMode): a symbolic equivalence proof
+/// against `fsm.function` by default, or a sampled diff against the
+/// design's compiled gate tape (Compiled lowers the personality to a
+/// netlist; Replay interprets it cycle by cycle). All modes reject FSMs
+/// whose minterm exceeds the 32-bit cube packing (state_bits + input bits
+/// > 32) with a structured failure rather than wrapping silently.
+///
+/// `cycles`/`lanes`/`seed` drive the sampling modes (`lanes` = 0 uses
+/// every lane of the configured word); `sim` tunes the compiled models
+/// (batch callers pin sim.threads so design-level parallelism is not
+/// oversubscribed). Exceptions other than core::Cancelled are caught into
+/// an ok=false report with `error` set; callers that want
+/// symbolic-with-fallback run Symbolic first and retry Compiled when
+/// `error` (see core's pla-check stage).
 [[nodiscard]] PlaCheckReport check_pla(const rtl::Design& design,
                                        const synth::TabulatedFsm& fsm,
                                        const logic::PlaTerms& personality,
                                        int cycles = 256, int lanes = 0,
                                        unsigned seed = 1,
-                                       const SimConfig& sim = {});
+                                       const SimConfig& sim = {},
+                                       PlaCheckMode mode = PlaCheckMode::Symbolic);
 
 }  // namespace silc::sim

@@ -93,6 +93,16 @@ bool artifacts_equal(const CompileResult& a, const CompileResult& b) {
          a.verify_detail == b.verify_detail;
 }
 
+/// Like artifacts_equal, but tolerating a different verification summary:
+/// what a verify-engine fallback must preserve — the chip, the checks all
+/// passing — while the substitute engine words its verdict differently.
+bool artifacts_equal_modulo_verify(const CompileResult& a,
+                                   const CompileResult& b) {
+  return a.ok() == b.ok() && a.verified == b.verified && a.cif == b.cif &&
+         a.transistors == b.transistors && a.rect_count == b.rect_count &&
+         a.drc.violations == b.drc.violations;
+}
+
 // ------------------------------------------------------------ cancellation --
 
 TEST(Cancel, TokenFlagDeadlineAndParentChain) {
@@ -216,6 +226,35 @@ TEST(Inject, HierDrcFailureFallsBackToFlatByteIdentical) {
   EXPECT_TRUE(diag_mentions(r, "falling back to flat")) << r.diag_text();
   EXPECT_TRUE(artifacts_equal(r, base)) << "fallback changed the artifacts";
   EXPECT_TRUE(r.ok()) << r.diag_text();  // a warning, not an error
+}
+
+TEST(Inject, SymbolicPlaProverFailureFallsBackToCompiled) {
+  if (!fault::kEnabled) GTEST_SKIP() << "built with SILC_FAULT=OFF";
+  const DisarmOnExit disarm;
+  layout::Library base_lib("base");
+  const CompileResult base = core::compile(
+      base_lib, Flow::Behavioral, silc_fixtures::kGray2Source,
+      quick("gray2"));
+  ASSERT_TRUE(base.ok()) << base.diag_text();
+
+  Schedule s;
+  s.triggers.push_back({"sim.pla.symbolic", Kind::Throw, 0, true, 0, ""});
+  Injector::global().arm(s);
+  layout::Library lib("prover-down");
+  CompileResult r;
+  EXPECT_NO_THROW(r = core::compile(lib, Flow::Behavioral,
+                                    silc_fixtures::kGray2Source,
+                                    quick("gray2")));
+  Injector::global().disarm();
+
+  // The proof engine is down, not the personality: pla-check degrades to
+  // the compiled netlist diff with a warning and the compile still passes.
+  EXPECT_TRUE(diag_mentions(r, "falling back to compiled")) << r.diag_text();
+  EXPECT_TRUE(r.ok()) << r.diag_text();
+  EXPECT_TRUE(artifacts_equal_modulo_verify(r, base))
+      << "fallback changed the artifacts";
+  EXPECT_NE(r.verify_detail.find("netlist tape"), std::string::npos)
+      << r.verify_detail;
 }
 
 TEST(Inject, HierExtractFailureFallsBackToFlatByteIdentical) {
@@ -424,6 +463,12 @@ struct SitePlan {
     kHardFail,  // victim fails with a structured "injected fault" diag
     kDegrade,   // victim's artifacts stay byte-identical (fallback path)
     kBenign,    // victim's whole outcome stays identical (recompute/delay)
+    // The pla-check sites exist only on the behavioral flow, so both
+    // verify expectations tolerate an unreached site (fired == 0: the
+    // victim was structural and must be untouched).
+    kVerifyFallback,  // symbolic prover down: compiled fallback, same
+                      // artifacts modulo the verify summary, still ok
+    kVerifyHardFail,  // both pla engines down: structured failure
   } expect;
   int delay_ms = 0;
 };
@@ -439,6 +484,9 @@ constexpr SitePlan kSitePlans[] = {
     {"extract.cache.store", Kind::Corrupt, SitePlan::kBenign, 0},
     {"drc.hier.cell", Kind::Delay, SitePlan::kBenign, 5},
     {"extract.hier.window", Kind::Delay, SitePlan::kBenign, 5},
+    {"sim.pla.symbolic", Kind::Delay, SitePlan::kBenign, 5},
+    {"sim.pla.symbolic", Kind::Throw, SitePlan::kVerifyFallback, 0},
+    {"sim.pla.*", Kind::Throw, SitePlan::kVerifyHardFail, 0},
 };
 
 std::vector<core::BatchJob> chaos_jobs() {
@@ -515,6 +563,33 @@ void run_chaos_round(const std::vector<core::BatchJob>& jobs,
         // Poisoned stores are recomputed, delays only cost time: the whole
         // outcome, diagnostics included, is identical.
         EXPECT_TRUE(got.same_outcome(want))
+            << label << "\n" << got.diag_text();
+        break;
+      case SitePlan::kVerifyFallback:
+        // Symbolic prover down. Behavioral victims degrade to the compiled
+        // diff — same artifacts, different verify wording, plus the
+        // warning; structural victims never reach the site.
+        if (fired == 0) {
+          EXPECT_TRUE(got.same_outcome(want))
+              << label << "\n" << got.diag_text();
+          break;
+        }
+        EXPECT_TRUE(got.ok()) << label << "\n" << got.diag_text();
+        EXPECT_TRUE(artifacts_equal_modulo_verify(got, want))
+            << label << "\n" << got.diag_text();
+        EXPECT_TRUE(diag_mentions(got, "falling back to compiled"))
+            << label << "\n" << got.diag_text();
+        break;
+      case SitePlan::kVerifyHardFail:
+        // Every pla-check engine down (prefix trigger): behavioral victims
+        // fail structurally; structural victims never reach the sites.
+        if (fired == 0) {
+          EXPECT_TRUE(got.same_outcome(want))
+              << label << "\n" << got.diag_text();
+          break;
+        }
+        EXPECT_FALSE(got.ok()) << label;
+        EXPECT_TRUE(diag_mentions(got, "injected fault"))
             << label << "\n" << got.diag_text();
         break;
     }

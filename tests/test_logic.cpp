@@ -5,6 +5,7 @@
 
 #include <random>
 
+#include "logic/equiv.hpp"
 #include "logic/logic.hpp"
 
 namespace silc::logic {
@@ -152,6 +153,150 @@ TEST(MultiOutput, HeuristicPath) {
   ASSERT_EQ(terms.output_terms.size(), 1u);
   for (std::uint32_t r = 0; r < (1u << 11); ++r) {
     EXPECT_EQ(terms.evaluate(0, r), (r & 0x41) == 0x41);
+  }
+}
+
+// ------------------------------------------------- symbolic equivalence --
+
+bool cover_evaluates(const std::vector<Cube>& cover, std::uint32_t m) {
+  for (const Cube& c : cover) {
+    if (c.covers(m)) return true;
+  }
+  return false;
+}
+
+TEST(Equiv, TautologyBasics) {
+  std::uint32_t cex = 0;
+  // x0 + x0' is a tautology over any width.
+  const std::vector<Cube> split = {{1u, 1u}, {1u, 0u}};
+  EXPECT_TRUE(is_tautology(3, split));
+  // A single bound cube is not.
+  EXPECT_FALSE(is_tautology(3, {{1u, 1u}}, &cex));
+  EXPECT_EQ(cex & 1u, 0u);  // the witness has x0 = 0
+  // The empty cover covers nothing.
+  EXPECT_FALSE(is_tautology(2, {}, &cex));
+  // The universal cube covers everything.
+  EXPECT_TRUE(is_tautology(2, {{0u, 0u}}));
+}
+
+TEST(Equiv, CubeContainment) {
+  // x0x1 is inside x0; x0 is not inside x0x1, and the witness minterm
+  // must lie in the big cube but escape the small one.
+  std::uint32_t cex = 0;
+  const Cube big{1u, 1u};    // x0
+  const Cube small{3u, 3u};  // x0 x1
+  EXPECT_TRUE(cube_covered(4, small, {big}));
+  EXPECT_FALSE(cube_covered(4, big, {small}, &cex));
+  EXPECT_TRUE(big.covers(cex));
+  EXPECT_FALSE(small.covers(cex));
+}
+
+TEST(Equiv, ExactCoverPartitionsEveryTriSet) {
+  std::mt19937 rng(11);
+  std::uniform_int_distribution<int> tri(0, 9);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int n = 1 + trial % 6;
+    TruthTable t(n);
+    for (std::uint32_t r = 0; r < t.size(); ++r) {
+      const int x = tri(rng);
+      t.set(r, x < 4 ? Tri::Zero : (x < 8 ? Tri::One : Tri::DontCare));
+    }
+    for (const Tri which : {Tri::Zero, Tri::One, Tri::DontCare}) {
+      const std::vector<Cube> cover = exact_cover(t, which);
+      for (std::uint32_t r = 0; r < t.size(); ++r) {
+        EXPECT_EQ(cover_evaluates(cover, r), t.get(r) == which)
+            << "n=" << n << " row=" << r;
+      }
+    }
+  }
+}
+
+/// Differential fuzz: the symbolic verdict must agree with the truth
+/// table's exhaustive implemented_by on random covers over functions with
+/// don't-cares — and every counterexample must be a genuine witness.
+TEST(Equiv, FuzzAgreesWithImplementedBy) {
+  std::mt19937 rng(2026);
+  std::uniform_int_distribution<int> nbits(1, 7);
+  std::uniform_int_distribution<int> tri(0, 9);
+  std::uniform_int_distribution<int> ncubes(0, 6);
+  int disagreements = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const int n = nbits(rng);
+    const std::uint32_t space = (1u << n) - 1;
+    TruthTable t(n);
+    for (std::uint32_t r = 0; r < t.size(); ++r) {
+      const int x = tri(rng);
+      t.set(r, x < 4 ? Tri::Zero : (x < 8 ? Tri::One : Tri::DontCare));
+    }
+    std::vector<Cube> cover;
+    // Half the trials check a cover that implements the function by
+    // construction; half check arbitrary random covers.
+    if (trial % 2 == 0) {
+      cover = (trial % 4 == 0) ? minimize_qm(t) : minimize_heuristic(t);
+    } else {
+      const int k = ncubes(rng);
+      for (int i = 0; i < k; ++i) {
+        const std::uint32_t mask = rng() & space;
+        cover.push_back({mask, rng() & mask});
+      }
+    }
+    const EquivVerdict v = check_cover_equiv(t, cover);
+    ASSERT_EQ(v.equal, t.implemented_by(cover))
+        << "n=" << n << " trial=" << trial;
+    if (!v.equal) {
+      ++disagreements;
+      EXPECT_LE(v.counterexample, space);
+      EXPECT_NE(t.get(v.counterexample), Tri::DontCare);
+      EXPECT_EQ(t.get(v.counterexample) == Tri::One, v.expected);
+      EXPECT_EQ(cover_evaluates(cover, v.counterexample), v.got);
+      EXPECT_NE(v.expected, v.got)
+          << "counterexample does not witness a disagreement";
+    }
+  }
+  // The random half must actually exercise the failure path.
+  EXPECT_GT(disagreements, 50);
+}
+
+/// NOR-plane handling end to end: program the *complement* cover (what a
+/// NOR-NOR PLA stores), then prove it against the complemented function —
+/// and catch a perturbed plane with a witness, the way check_pla does.
+TEST(Equiv, ComplementCoverRoundTripsThroughNorSemantics) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> tri(0, 9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 2 + trial % 5;
+    TruthTable t(n);
+    for (std::uint32_t r = 0; r < t.size(); ++r) {
+      const int x = tri(rng);
+      t.set(r, x < 4 ? Tri::Zero : (x < 8 ? Tri::One : Tri::DontCare));
+    }
+    const TruthTable comp = TruthTable::from_tri_function(
+        n, [&t](std::uint32_t r) {
+          const Tri v = t.get(r);
+          if (v == Tri::One) return Tri::Zero;
+          if (v == Tri::Zero) return Tri::One;
+          return Tri::DontCare;
+        });
+    const std::vector<Cube> plane = minimize_qm(comp);
+    EXPECT_TRUE(check_cover_equiv(comp, plane).equal);
+    // NOR of the plane reproduces the function on every care row.
+    for (std::uint32_t r = 0; r < t.size(); ++r) {
+      if (t.get(r) == Tri::DontCare) continue;
+      EXPECT_EQ(!cover_evaluates(plane, r), t.get(r) == Tri::One);
+    }
+    // Perturb one literal of a non-trivial plane: the prover must notice
+    // unless the flip lands entirely inside don't-care space.
+    if (plane.empty() || plane[0].mask == 0) continue;
+    std::vector<Cube> bad = plane;
+    bad[0].value ^= bad[0].mask & (~bad[0].mask + 1u);
+    const EquivVerdict v = check_cover_equiv(comp, bad);
+    if (!v.equal) {
+      EXPECT_NE(comp.get(v.counterexample), Tri::DontCare);
+      EXPECT_EQ(cover_evaluates(bad, v.counterexample), v.got);
+      EXPECT_NE(v.expected, v.got);
+    } else {
+      EXPECT_TRUE(comp.implemented_by(bad));  // flip hid in the dc-set
+    }
   }
 }
 

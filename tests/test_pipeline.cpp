@@ -67,6 +67,33 @@ TEST(Pipeline, FullRunTimesEveryStage) {
   }
 }
 
+TEST(Pipeline, PlaCheckModeSelectsTheEngine) {
+  // Same design through all three pla-check engines: every mode passes,
+  // produces the same chip, and stamps its own verdict wording into the
+  // verification summary.
+  CompileResult results[3];
+  const sim::PlaCheckMode modes[3] = {sim::PlaCheckMode::Symbolic,
+                                      sim::PlaCheckMode::Compiled,
+                                      sim::PlaCheckMode::Replay};
+  for (int i = 0; i < 3; ++i) {
+    layout::Library lib;
+    CompileOptions o = fast_verify("gray2");
+    o.pla_check_mode = modes[i];
+    results[i] = compile(lib, Flow::Behavioral, kGray2, o);
+    ASSERT_TRUE(results[i].ok())
+        << sim::to_string(modes[i]) << ": " << results[i].diag_text();
+    EXPECT_TRUE(results[i].verified);
+    EXPECT_EQ(results[i].cif, results[0].cif);
+    EXPECT_EQ(results[i].transistors, results[0].transistors);
+  }
+  EXPECT_NE(results[0].verify_detail.find("symbolic proof"),
+            std::string::npos) << results[0].verify_detail;
+  EXPECT_NE(results[1].verify_detail.find("netlist tape"), std::string::npos)
+      << results[1].verify_detail;
+  EXPECT_NE(results[2].verify_detail.find("== compiled over"),
+            std::string::npos) << results[2].verify_detail;
+}
+
 TEST(Pipeline, StopAfterProducesPartialArtifacts) {
   layout::Library lib;
   CompileOptions opt = fast_verify("gray2");

@@ -4,6 +4,7 @@
 // counter and traffic-light designs plus a PDP-8 program run.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <random>
 #include <sstream>
@@ -298,39 +299,137 @@ logic::PlaTerms programmed_personality(const synth::TabulatedFsm& fsm) {
   return logic::minimize_multi(pla::complement(fsm.function));
 }
 
-TEST(PlaCheck, CounterPersonalityMatchesCompiledTape) {
+TEST(PlaCheck, CounterPersonalityProvenSymbolically) {
   const rtl::Design d = rtl::parse(kCounter);
   const synth::TabulatedFsm fsm = synth::tabulate(d);
   const PlaCheckReport r =
       check_pla(d, fsm, programmed_personality(fsm), 64, 8);
   EXPECT_TRUE(r.ok) << r.detail;
+  EXPECT_EQ(r.mode, PlaCheckMode::Symbolic);
+  EXPECT_TRUE(r.proven);
   EXPECT_GT(r.terms, 0u);
-  EXPECT_EQ(r.cycles, 64);
-  EXPECT_EQ(r.lanes, 8);
+  // The proof does not sample cycles or lanes at all.
+  EXPECT_EQ(r.cycles, 0);
+  EXPECT_EQ(r.lanes, 0);
+  EXPECT_NE(r.detail.find("symbolic proof"), std::string::npos) << r.detail;
 }
 
-TEST(PlaCheck, TrafficPersonalityMatchesAcrossAllLanes) {
+TEST(PlaCheck, CompiledNetlistDiffRunsEveryLane) {
   const rtl::Design d = rtl::parse(kTraffic);
   const synth::TabulatedFsm fsm = synth::tabulate(d);
-  const PlaCheckReport r =
-      check_pla(d, fsm, programmed_personality(fsm), 48, 0);
+  const PlaCheckReport r = check_pla(d, fsm, programmed_personality(fsm), 48,
+                                     0, 1, {}, PlaCheckMode::Compiled);
   EXPECT_TRUE(r.ok) << r.detail;
+  EXPECT_EQ(r.mode, PlaCheckMode::Compiled);
+  EXPECT_FALSE(r.proven);  // sampling, not proof
+  EXPECT_EQ(r.cycles, 48);
   EXPECT_EQ(r.lanes, lanes_of(widest_word()));
+  EXPECT_NE(r.detail.find("netlist tape"), std::string::npos) << r.detail;
 }
 
-TEST(PlaCheck, TamperedPersonalityIsCaught) {
+TEST(PlaCheck, AllThreeModesAgreeOnCommittedDesigns) {
+  for (const char* src : {kCounter, kTraffic}) {
+    const rtl::Design d = rtl::parse(src);
+    const synth::TabulatedFsm fsm = synth::tabulate(d);
+    const logic::PlaTerms p = programmed_personality(fsm);
+    for (const PlaCheckMode mode : {PlaCheckMode::Symbolic,
+                                    PlaCheckMode::Compiled,
+                                    PlaCheckMode::Replay}) {
+      const PlaCheckReport r = check_pla(d, fsm, p, 64, 8, 1, {}, mode);
+      EXPECT_TRUE(r.ok) << to_string(mode) << ": " << r.detail;
+      EXPECT_EQ(r.mode, mode);
+      EXPECT_FALSE(r.error);
+    }
+  }
+}
+
+/// Every seeded mis-programming must be caught by all three engines, and
+/// the symbolic engine must hand back a concrete counterexample minterm
+/// that genuinely witnesses the disagreement (checked against the raw
+/// personality.evaluate and the tabulated truth table — the replay
+/// oracle's own primitives).
+TEST(PlaCheck, TamperedPersonalityCaughtByAllModesWithCounterexample) {
   const rtl::Design d = rtl::parse(kCounter);
   const synth::TabulatedFsm fsm = synth::tabulate(d);
-  logic::PlaTerms bad = programmed_personality(fsm);
-  ASSERT_FALSE(bad.terms.empty());
-  // Mis-program one crosspoint: flip the lowest specified literal of the
-  // first product term (or pin an unconstrained one).
-  logic::Cube& c = bad.terms[0];
-  if (c.mask != 0) c.value ^= c.mask & (~c.mask + 1u);
-  else c = {1u, 1u};
-  const PlaCheckReport r = check_pla(d, fsm, bad, 64, 4);
-  EXPECT_FALSE(r.ok);
-  EXPECT_NE(r.detail.find("pla vs compiled"), std::string::npos) << r.detail;
+  const logic::PlaTerms good = programmed_personality(fsm);
+  ASSERT_FALSE(good.terms.empty());
+
+  std::vector<logic::PlaTerms> tampered;
+  {
+    // Flipped polarity: one crosspoint of the first term mis-programmed
+    // (or an unconstrained column pinned).
+    logic::PlaTerms bad = good;
+    logic::Cube& c = bad.terms[0];
+    if (c.mask != 0) c.value ^= c.mask & (~c.mask + 1u);
+    else c = {1u, 1u};
+    tampered.push_back(std::move(bad));
+  }
+  {
+    // Dropped term: disconnect one product term from the first output
+    // column that uses more than one (minimized covers are irredundant,
+    // so the column's function must change).
+    logic::PlaTerms bad = good;
+    for (auto& sel : bad.output_terms) {
+      if (sel.size() > 1) {
+        sel.pop_back();
+        break;
+      }
+    }
+    tampered.push_back(std::move(bad));
+  }
+
+  for (std::size_t i = 0; i < tampered.size(); ++i) {
+    const logic::PlaTerms& bad = tampered[i];
+    const PlaCheckReport sym = check_pla(d, fsm, bad, 64, 4);
+    EXPECT_FALSE(sym.ok) << "perturbation " << i;
+    ASSERT_TRUE(sym.has_counterexample) << "perturbation " << i;
+    // Re-judge the counterexample with the oracle's own primitives.
+    const auto kit = std::find(fsm.output_names.begin(),
+                               fsm.output_names.end(), sym.mismatch_signal);
+    ASSERT_NE(kit, fsm.output_names.end()) << sym.detail;
+    const int k = static_cast<int>(kit - fsm.output_names.begin());
+    const bool pla_out = !bad.evaluate(k, sym.counterexample);
+    const logic::Tri want =
+        fsm.function.outputs[static_cast<std::size_t>(k)].get(
+            sym.counterexample);
+    ASSERT_NE(want, logic::Tri::DontCare) << sym.detail;
+    EXPECT_NE(pla_out, want == logic::Tri::One)
+        << "perturbation " << i << ": counterexample is not a witness: "
+        << sym.detail;
+    // The sampling engines agree the personality is bad.
+    for (const PlaCheckMode mode :
+         {PlaCheckMode::Compiled, PlaCheckMode::Replay}) {
+      const PlaCheckReport r = check_pla(d, fsm, bad, 64, 4, 1, {}, mode);
+      EXPECT_FALSE(r.ok) << "perturbation " << i << " escaped "
+                         << to_string(mode);
+      EXPECT_FALSE(r.error) << r.detail;
+    }
+  }
+}
+
+TEST(PlaCheck, OverWideFsmRejectedStructurally) {
+  // 40 input bits + 0 state bits cannot pack into a 32-bit minterm; every
+  // mode must reject with a structured diag instead of silently wrapping.
+  const rtl::Design d = rtl::parse(R"(
+    processor wide (input a<20>; input b<20>; output y;) { y = a[0]; })");
+  synth::TabulatedFsm fsm;
+  fsm.state_bits = 0;
+  fsm.function.num_inputs = 1;
+  fsm.function.outputs.emplace_back(1);
+  fsm.input_names = {"a[0]"};
+  fsm.output_names = {"y"};
+  logic::PlaTerms p;
+  p.num_inputs = 1;
+  p.output_terms = {{}};
+  for (const PlaCheckMode mode : {PlaCheckMode::Symbolic,
+                                  PlaCheckMode::Compiled,
+                                  PlaCheckMode::Replay}) {
+    const PlaCheckReport r = check_pla(d, fsm, p, 16, 1, 1, {}, mode);
+    EXPECT_FALSE(r.ok) << to_string(mode);
+    EXPECT_FALSE(r.error) << to_string(mode) << ": " << r.detail;
+    EXPECT_NE(r.detail.find("32-bit cube packing"), std::string::npos)
+        << to_string(mode) << ": " << r.detail;
+  }
 }
 
 // ------------------------------------------------------------- crosscheck --
