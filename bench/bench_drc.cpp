@@ -4,13 +4,18 @@
 // the NOR-NOR tile array dwarfs the FSM chips the compile bench measures).
 //
 // Emits BENCH_drc.json: per-design rect counts, per-mode ms (hier both
-// cold and warm-cache, tiled at 1 and hardware threads), and whether every
+// cold and warm-cache, tiled at 1 and hardware threads), whether every
 // mode produced byte-identical violation sets — the engine's core
 // contract, enforced here with a non-zero exit on divergence or on a
-// dirty verdict (the generators must produce clean layouts).
+// dirty verdict (the generators must produce clean layouts) — and, since
+// the persistent store (src/store/), a store round-trip leg: the warmed
+// VerdictCache is saved to a file, reloaded into a fresh cache, and the
+// re-check must replay all-hits with identical violations (the "store"
+// block beside each design's "cache" block).
 // Flags: --json=PATH (default BENCH_drc.json), --smoke (fewer reps).
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -21,6 +26,7 @@
 #include "drc/drc.hpp"
 #include "layout/layout.hpp"
 #include "mem/mem.hpp"
+#include "store/store.hpp"
 
 namespace {
 
@@ -44,6 +50,12 @@ struct ModeTimes {
   /// Verdict-cache counters over one cold + one warm hier check (the last
   /// rep's cache): the warm pass must be all hits.
   silc::obs::CacheStats cache;
+  /// Store round-trip leg: the warmed cache through a file and back.
+  double store_warm_ms = 0;       // re-check over the reloaded cache
+  std::size_t store_records = 0;  // records saved for this design
+  std::uint64_t store_file_bytes = 0;
+  std::uint64_t store_replay_misses = 0;  // must be 0: all-hits replay
+  bool store_identical = true;
 };
 
 /// The PDP-8 RIM loader (the bootstrap traditionally toggled in at 7756),
@@ -103,6 +115,33 @@ ModeTimes measure(const std::string& name, const silc::layout::Cell& chip,
   m.identical = flat.violations == hier.violations &&
                 flat.violations == tiled1.violations &&
                 flat.violations == tiledN.violations;
+
+  // Store round-trip: warm a fresh cache, push it through a file, and
+  // re-check against a cache that knows only what the file told it.
+  {
+    silc::drc::VerdictCache warmed;
+    (void)silc::drc::check_hier(chip, silc::tech::nmos(), &warmed);
+    silc::store::Store out;
+    warmed.save_to(out);
+    const std::string path = name + ".drcstore.tmp";
+    silc::store::Store in;
+    if (out.save(path) && in.load(path)) {
+      silc::drc::VerdictCache replay;
+      replay.load_from(in);
+      const auto t0 = Clock::now();
+      const Result replayed =
+          silc::drc::check_hier(chip, silc::tech::nmos(), &replay);
+      m.store_warm_ms = ms_since(t0);
+      m.store_records = out.records();
+      m.store_file_bytes = out.file_bytes();
+      m.store_replay_misses = replay.misses();
+      m.store_identical = replayed.violations == hier.violations &&
+                          replay.misses() == 0 && replay.poisoned() == 0;
+    } else {
+      m.store_identical = false;
+    }
+    std::remove(path.c_str());
+  }
   return m;
 }
 
@@ -175,7 +214,10 @@ int main(int argc, char** argv) {
                  "\"tiled_nt_ms\": %.2f, "
                  "\"violations\": %zu, \"identical_across_modes\": %s, "
                  "\"cache\": {\"hits\": %llu, \"misses\": %llu, "
-                 "\"entries\": %llu, \"bytes\": %llu}}%s\n",
+                 "\"entries\": %llu, \"bytes\": %llu}, "
+                 "\"store\": {\"records\": %zu, \"file_bytes\": %llu, "
+                 "\"replay_warm_ms\": %.3f, \"replay_misses\": %llu, "
+                 "\"identical\": %s}}%s\n",
                  m.design.c_str(), m.rects, m.flat_ms, m.hier_cold_ms,
                  m.hier_warm_ms, m.tiled1_ms, m.tiled_threads, m.tiledN_ms,
                  m.violations, m.identical ? "true" : "false",
@@ -183,12 +225,23 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(m.cache.misses),
                  static_cast<unsigned long long>(m.cache.entries),
                  static_cast<unsigned long long>(m.cache.bytes),
+                 m.store_records,
+                 static_cast<unsigned long long>(m.store_file_bytes),
+                 m.store_warm_ms,
+                 static_cast<unsigned long long>(m.store_replay_misses),
+                 m.store_identical ? "true" : "false",
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", json_path.c_str());
 
+  bool store_ok = true;
+  for (const ModeTimes& m : rows) store_ok = store_ok && m.store_identical;
+  if (!store_ok) {
+    std::printf("ERROR: store round-trip replay diverged or missed\n");
+    return 1;
+  }
   if (!all_identical) {
     std::printf("ERROR: violation sets diverged across modes\n");
     return 1;

@@ -5,14 +5,19 @@
 // one NetlistCache across the batch.
 //
 // Emits BENCH_extract.json: per-design rect counts, per-mode ms (hier both
-// cold and warm-cache), the batch's extract-stage totals per mode, and
-// whether flat and hier produced byte-identical canonical netlists — the
-// engine's core contract, enforced here with a non-zero exit on
-// divergence, on any extraction warning (the generators must produce clean
-// artwork), or on batch transistor-count disagreement between modes.
+// cold and warm-cache), the batch's extract-stage totals per mode, whether
+// flat and hier produced byte-identical canonical netlists — the engine's
+// core contract, enforced here with a non-zero exit on divergence, on any
+// extraction warning (the generators must produce clean artwork), or on
+// batch transistor-count disagreement between modes — and, since the
+// persistent store (src/store/), a store round-trip leg: the warmed
+// NetlistCache through a file into a fresh cache, whose re-extraction
+// must replay all-hits with an equal canonical netlist (the "store"
+// block beside each design's "cache" block).
 // Flags: --json=PATH (default BENCH_extract.json), --smoke (fewer reps).
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -22,6 +27,7 @@
 #include "extract/extract.hpp"
 #include "layout/layout.hpp"
 #include "mem/mem.hpp"
+#include "store/store.hpp"
 
 namespace {
 
@@ -43,6 +49,12 @@ struct ModeTimes {
   /// Netlist-cache counters over one cold + one warm hier extraction (the
   /// last rep's cache): the warm pass must be all hits.
   silc::obs::CacheStats cache;
+  /// Store round-trip leg: the warmed cache through a file and back.
+  double store_warm_ms = 0;       // re-extraction over the reloaded cache
+  std::size_t store_records = 0;  // records saved for this design
+  std::uint64_t store_file_bytes = 0;
+  std::uint64_t store_replay_misses = 0;  // must be 0: all-hits replay
+  bool store_identical = true;
 };
 
 /// The PDP-8 RIM loader plus deterministic fill (same content as
@@ -88,6 +100,33 @@ ModeTimes measure(const std::string& name, const silc::layout::Cell& chip,
   m.transistors = flat.transistors.size();
   m.identical = flat == hier;
   m.clean = flat.warnings.empty();
+
+  // Store round-trip: warm a fresh cache, push it through a file, and
+  // re-extract against a cache that knows only what the file told it.
+  {
+    silc::extract::NetlistCache warmed;
+    (void)silc::extract::extract_hier(chip, silc::tech::nmos(), &warmed);
+    silc::store::Store out;
+    warmed.save_to(out);
+    const std::string path = name + ".extractstore.tmp";
+    silc::store::Store in;
+    if (out.save(path) && in.load(path)) {
+      silc::extract::NetlistCache replay;
+      replay.load_from(in);
+      const auto t0 = Clock::now();
+      const Netlist replayed =
+          silc::extract::extract_hier(chip, silc::tech::nmos(), &replay);
+      m.store_warm_ms = ms_since(t0);
+      m.store_records = out.records();
+      m.store_file_bytes = out.file_bytes();
+      m.store_replay_misses = replay.misses();
+      m.store_identical = replayed == hier && replay.misses() == 0 &&
+                          replay.poisoned() == 0;
+    } else {
+      m.store_identical = false;
+    }
+    std::remove(path.c_str());
+  }
   return m;
 }
 
@@ -228,7 +267,10 @@ int main(int argc, char** argv) {
                  "\"hier_cold_ms\": %.2f, \"hier_warm_ms\": %.3f, "
                  "\"identical_across_modes\": %s, "
                  "\"cache\": {\"hits\": %llu, \"misses\": %llu, "
-                 "\"entries\": %llu, \"bytes\": %llu}}%s\n",
+                 "\"entries\": %llu, \"bytes\": %llu}, "
+                 "\"store\": {\"records\": %zu, \"file_bytes\": %llu, "
+                 "\"replay_warm_ms\": %.3f, \"replay_misses\": %llu, "
+                 "\"identical\": %s}}%s\n",
                  m.design.c_str(), m.rects, m.transistors, m.flat_ms,
                  m.hier_cold_ms, m.hier_warm_ms,
                  m.identical ? "true" : "false",
@@ -236,6 +278,11 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(m.cache.misses),
                  static_cast<unsigned long long>(m.cache.entries),
                  static_cast<unsigned long long>(m.cache.bytes),
+                 m.store_records,
+                 static_cast<unsigned long long>(m.store_file_bytes),
+                 m.store_warm_ms,
+                 static_cast<unsigned long long>(m.store_replay_misses),
+                 m.store_identical ? "true" : "false",
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f,
@@ -249,6 +296,12 @@ int main(int argc, char** argv) {
   std::fclose(f);
   std::printf("wrote %s\n", json_path.c_str());
 
+  bool store_ok = true;
+  for (const ModeTimes& m : rows) store_ok = store_ok && m.store_identical;
+  if (!store_ok) {
+    std::printf("ERROR: store round-trip replay diverged or missed\n");
+    return 1;
+  }
   if (!all_identical || !batch.agree) {
     std::printf("ERROR: netlists diverged across modes\n");
     return 1;

@@ -28,13 +28,28 @@
 // (symbolic proof / compiled netlist diff / interpreted replay) so the
 // symbolic speedup stays measured against the oracles it replaced;
 // --pla=MODE picks the engine the suite's own batches verify with.
+//
+// Since the persistent store (src/store/, PR 9) the bench also measures
+// the warm-compile path: --cache-dir=DIR runs the same batch against an
+// on-disk store (cold when DIR is empty, warm when a prior run — or a
+// prior *process*, the case ci.sh drives — left a store behind), plus a
+// cells-only leg that loads just the per-cell drc/extract caches from the
+// file so the warm per-stage cost stays an honest measurement rather
+// than a result-tier no-op. Emitted as the "persist" block in the JSON;
+// a preloaded (second-process) run must serve every job from the store
+// and cut the drc+extract stage totals at least 3x, or the bench exits
+// non-zero. The cells-warm drc cost also feeds a "drc.warm" budget row,
+// so a silent fall-back to cold recompute breaks the latency gate.
+// --artifacts=FILE writes one deterministic line per job (content hashes,
+// no wall clocks) for byte-identity diffs across processes.
 // Flags: --json=PATH (default BENCH_compile.json), --smoke (fewer batch
 // repetitions, skip the google-benchmark microbenches, report tracing
 // overhead without gating it — a 8-job smoke batch is inside the noise
 // floor), --trace=FILE, --budgets=FILE, --check-budgets=JSON,
-// --obs-overhead-limit=PCT.
+// --obs-overhead-limit=PCT, --cache-dir=DIR, --artifacts=FILE.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -46,7 +61,10 @@
 
 #include "core/compiler.hpp"
 #include "design_sources.hpp"
+#include "drc/drc.hpp"
+#include "extract/extract.hpp"
 #include "obs/obs.hpp"
+#include "store/store.hpp"
 #include "synth/synth.hpp"
 
 namespace {
@@ -288,6 +306,110 @@ int check_budgets_file(const std::string& json_path,
   return 0;
 }
 
+// -------------------------------------------------- persistent-store leg --
+
+double stage_total_ms(const silc::core::BatchResult& br, const char* stage) {
+  for (const silc::core::StageProfile& s : br.profile) {
+    if (s.stage == stage) return s.total_ms;
+  }
+  return 0.0;
+}
+
+double stage_per_run_ms(const silc::core::BatchResult& br, const char* stage) {
+  for (const silc::core::StageProfile& s : br.profile) {
+    if (s.stage == stage) return s.runs > 0 ? s.total_ms / s.runs : 0.0;
+  }
+  return 0.0;
+}
+
+/// The --cache-dir measurement: the batch against the on-disk store, plus
+/// a cells-only leg (per-cell caches loaded from the file, no result
+/// tier) so the warm drc/extract stage cost is measured on stages that
+/// actually run — the result tier skips them entirely.
+struct PersistReport {
+  bool active = false;
+  bool preloaded = false;  // a store file existed before this run
+  silc::core::BatchResult batch;
+  double warm_drc_extract_ms = 0;   // drc+extract totals under the store
+  double cold_drc_extract_ms = 0;   // same totals from the cache-less run
+  double cells_drc_ms_per_run = 0;  // cells-only leg: the drc.warm budget
+  double cells_extract_ms_per_run = 0;
+  double cells_drc_extract_ms = 0;
+  bool identical = true;  // every leg matched the cache-less results
+};
+
+PersistReport measure_persist(const std::vector<silc::core::BatchJob>& jobs,
+                              const std::string& cache_dir,
+                              const silc::core::BatchResult& cacheless) {
+  using silc::core::BatchJob;
+  using silc::core::BatchResult;
+  PersistReport p;
+  p.active = true;
+  const std::string store_path = cache_dir + "/silc.store";
+  p.preloaded = std::ifstream(store_path, std::ios::binary).good();
+
+  std::vector<BatchJob> cached = jobs;
+  cached[0].options.cache_dir = cache_dir;
+  p.batch = silc::core::compile_many(cached, 1);
+  p.warm_drc_extract_ms =
+      stage_total_ms(p.batch, "drc") + stage_total_ms(p.batch, "extract");
+  p.cold_drc_extract_ms =
+      stage_total_ms(cacheless, "drc") + stage_total_ms(cacheless, "extract");
+  p.identical = same_results(p.batch, cacheless);
+  for (const silc::core::Diag& d : p.batch.store_diags) {
+    std::printf("store warning: %s\n", d.message.c_str());
+  }
+
+  // Cells-only warm leg: load just the per-cell caches from the file the
+  // batch above saved, leave cache_dir empty so no result tier hides the
+  // stages, and measure what a warm drc/extract stage really costs.
+  silc::store::Store store;
+  (void)store.load(store_path);
+  silc::drc::VerdictCache verdicts;
+  silc::extract::NetlistCache netlists;
+  verdicts.load_from(store);
+  netlists.load_from(store);
+  std::vector<BatchJob> cells = jobs;
+  for (BatchJob& j : cells) {
+    j.options.drc_cache = &verdicts;
+    j.options.extract_cache = &netlists;
+  }
+  const BatchResult cells_run = silc::core::compile_many(cells, 1);
+  p.cells_drc_ms_per_run = stage_per_run_ms(cells_run, "drc");
+  p.cells_extract_ms_per_run = stage_per_run_ms(cells_run, "extract");
+  p.cells_drc_extract_ms =
+      stage_total_ms(cells_run, "drc") + stage_total_ms(cells_run, "extract");
+  p.identical = p.identical && same_results(cells_run, cacheless);
+  return p;
+}
+
+/// One deterministic line per job — content hashes and counts only, no
+/// wall clocks and no from_cache marker — so two processes compiling the
+/// same batch (one cold, one store-warm) must produce byte-identical
+/// files. The ci.sh persistence leg diffs them.
+bool write_artifacts(const std::string& path,
+                     const std::vector<silc::core::BatchJob>& jobs,
+                     const silc::core::BatchResult& br) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  for (std::size_t i = 0; i < br.results.size(); ++i) {
+    const silc::core::CompileResult& r = br.results[i];
+    std::fprintf(f,
+                 "%s ok=%d verified=%d transistors=%zu rects=%zu "
+                 "cif_bytes=%zu cif_fnv=%016llx verify_fnv=%016llx "
+                 "diags=%zu\n",
+                 jobs[i].options.name.c_str(), r.ok() ? 1 : 0,
+                 r.verified ? 1 : 0, r.transistors, r.rect_count,
+                 r.cif.size(),
+                 static_cast<unsigned long long>(silc::store::fnv1a(r.cif)),
+                 static_cast<unsigned long long>(
+                     silc::store::fnv1a(r.verify_detail)),
+                 r.diags.size());
+  }
+  std::fclose(f);
+  return true;
+}
+
 /// Measure the compile pipeline, print the table, emit JSON. Returns 0 on
 /// success, 1 when a design failed, thread counts disagreed, tracing cost
 /// more than its limit on the full batch, or a latency budget broke.
@@ -326,7 +448,8 @@ std::vector<PlaModeMs> measure_pla_modes(int reps) {
 
 int run_suite(const std::string& json_path, bool smoke,
               const std::string& trace_path, const std::string& budgets_path,
-              double overhead_limit) {
+              double overhead_limit, const std::string& cache_dir,
+              const std::string& artifacts_path) {
   using silc::core::BatchResult;
   using silc::core::compile_many;
 
@@ -382,6 +505,35 @@ int run_suite(const std::string& json_path, bool smoke,
 
   const bool identical = same_results(serial, parallel);
   const bool all_ok = serial.ok_count() == jobs.size();
+
+  PersistReport persist;
+  if (!cache_dir.empty()) {
+    persist = measure_persist(jobs, cache_dir, serial);
+    // A result-tier warm run skips the stages entirely (0 ms); clamp so
+    // the printed ratio stays finite.
+    const double speedup = persist.cold_drc_extract_ms /
+                           std::max(persist.warm_drc_extract_ms, 0.01);
+    std::printf(
+        "persist: %s store, %llu hits / %llu misses, drc+extract "
+        "%.2f ms cold vs %.2f ms warm (%.1fx), cells-only warm "
+        "%.2f ms, store %llu bytes, load %.1f ms, save %.1f ms\n",
+        persist.preloaded ? "preloaded" : "cold",
+        static_cast<unsigned long long>(persist.batch.store.hits),
+        static_cast<unsigned long long>(persist.batch.store.misses),
+        persist.cold_drc_extract_ms, persist.warm_drc_extract_ms, speedup,
+        persist.cells_drc_extract_ms,
+        static_cast<unsigned long long>(persist.batch.store.file_bytes),
+        persist.batch.store.load_ms, persist.batch.store.save_ms);
+  }
+  if (!artifacts_path.empty()) {
+    const silc::core::BatchResult& dump =
+        persist.active ? persist.batch : serial;
+    if (!write_artifacts(artifacts_path, jobs, dump)) {
+      std::printf("ERROR: cannot write %s\n", artifacts_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", artifacts_path.c_str());
+  }
 
   std::printf("%s", serial.profile_text().c_str());
   const std::vector<PlaModeMs> pla_modes =
@@ -462,6 +614,33 @@ int run_suite(const std::string& json_path, bool smoke,
                overhead_pct, overhead_limit,
                static_cast<unsigned long long>(trace_events),
                static_cast<unsigned long long>(trace_dropped));
+  if (persist.active) {
+    const double warm_dps = persist.batch.wall_ms > 0
+                                ? 1000.0 * static_cast<double>(jobs.size()) /
+                                      persist.batch.wall_ms
+                                : 0.0;
+    std::fprintf(
+        f,
+        "  \"persist\": {\"preloaded\": %s, \"store_hits\": %llu, "
+        "\"store_misses\": %llu, \"store_poisoned\": %llu, "
+        "\"loaded_records\": %llu, \"file_bytes\": %llu, "
+        "\"load_ms\": %.2f, \"save_ms\": %.2f, "
+        "\"cold_drc_extract_ms\": %.2f, \"warm_drc_extract_ms\": %.2f, "
+        "\"cells_warm_drc_ms_per_run\": %.3f, "
+        "\"cells_warm_extract_ms_per_run\": %.3f, "
+        "\"cold_designs_per_sec\": %.2f, \"warm_designs_per_sec\": %.2f, "
+        "\"identical_to_cacheless\": %s},\n",
+        persist.preloaded ? "true" : "false",
+        static_cast<unsigned long long>(persist.batch.store.hits),
+        static_cast<unsigned long long>(persist.batch.store.misses),
+        static_cast<unsigned long long>(persist.batch.store.poisoned),
+        static_cast<unsigned long long>(persist.batch.store.loaded_records),
+        static_cast<unsigned long long>(persist.batch.store.file_bytes),
+        persist.batch.store.load_ms, persist.batch.store.save_ms,
+        persist.cold_drc_extract_ms, persist.warm_drc_extract_ms,
+        persist.cells_drc_ms_per_run, persist.cells_extract_ms_per_run,
+        serial_dps, warm_dps, persist.identical ? "true" : "false");
+  }
   std::fprintf(f, "  \"ok\": %zu,\n", serial.ok_count());
   std::fprintf(f, "  \"identical_across_threads\": %s\n",
                identical ? "true" : "false");
@@ -487,6 +666,30 @@ int run_suite(const std::string& json_path, bool smoke,
                 overhead_pct, overhead_limit);
     rc = 1;
   }
+  if (persist.active) {
+    if (!persist.identical) {
+      std::printf("ERROR: store-served results differ from cache-less\n");
+      rc = 1;
+    }
+    if (persist.preloaded && persist.batch.store.poisoned == 0) {
+      // The second-process contract: a cleanly loaded store serves every
+      // job and cuts the drc+extract stage totals at least 3x. A poisoned
+      // store is exempt — its contract is the graceful cold start, which
+      // `identical` above already proved.
+      if (persist.batch.store.hits < jobs.size()) {
+        std::printf("ERROR: warm run served %llu/%zu jobs from the store\n",
+                    static_cast<unsigned long long>(persist.batch.store.hits),
+                    jobs.size());
+        rc = 1;
+      }
+      if (persist.warm_drc_extract_ms * 3.0 > persist.cold_drc_extract_ms) {
+        std::printf(
+            "ERROR: warm drc+extract %.2f ms is not 3x under cold %.2f ms\n",
+            persist.warm_drc_extract_ms, persist.cold_drc_extract_ms);
+        rc = 1;
+      }
+    }
+  }
   if (!budgets_path.empty()) {
     std::string err;
     const auto table = silc::obs::load_budgets(budgets_path, &err);
@@ -494,7 +697,14 @@ int run_suite(const std::string& json_path, bool smoke,
       std::printf("ERROR: %s\n", err.c_str());
       return 1;
     }
-    const auto verdicts = silc::obs::check_budgets(*table, profile_ms(serial));
+    std::vector<std::pair<std::string, double>> sm = profile_ms(serial);
+    // With a store in play, the warm drc path is budgeted too: a silent
+    // fall-back to cold recompute breaks the latency gate, not just the
+    // speedup check above.
+    if (persist.active) {
+      sm.emplace_back("drc.warm", persist.cells_drc_ms_per_run);
+    }
+    const auto verdicts = silc::obs::check_budgets(*table, sm);
     std::printf("=== latency budgets (%s) ===\n%s", budgets_path.c_str(),
                 silc::obs::budget_report(verdicts).c_str());
     if (!silc::obs::budgets_ok(verdicts)) {
@@ -532,6 +742,8 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string budgets_path;
   std::string check_budgets_path;
+  std::string cache_dir;
+  std::string artifacts_path;
   double overhead_limit = 2.0;
   bool smoke = false;
   std::vector<char*> passthrough{argv[0]};
@@ -544,6 +756,10 @@ int main(int argc, char** argv) {
       check_budgets_path = argv[i] + 16;
     else if (std::strncmp(argv[i], "--obs-overhead-limit=", 21) == 0)
       overhead_limit = std::strtod(argv[i] + 21, nullptr);
+    else if (std::strncmp(argv[i], "--cache-dir=", 12) == 0)
+      cache_dir = argv[i] + 12;
+    else if (std::strncmp(argv[i], "--artifacts=", 12) == 0)
+      artifacts_path = argv[i] + 12;
     else if (std::strncmp(argv[i], "--pla=", 6) == 0) {
       const std::string mode = argv[i] + 6;
       if (mode == "symbolic") g_pla_mode = silc::sim::PlaCheckMode::Symbolic;
@@ -570,7 +786,7 @@ int main(int argc, char** argv) {
   print_flow_table();
   print_encoding_table();
   const int rc = run_suite(json_path, smoke, trace_path, budgets_path,
-                           overhead_limit);
+                           overhead_limit, cache_dir, artifacts_path);
   if (!smoke) {
     int bench_argc = static_cast<int>(passthrough.size());
     benchmark::Initialize(&bench_argc, passthrough.data());

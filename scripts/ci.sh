@@ -23,6 +23,11 @@
 #   * a second flows smoke leg runs the whole batch on the compiled
 #     pla-check engine (--pla=compiled) so the symbolic prover's fallback
 #     path stays exercised end to end;
+#   * the persistent-store leg runs the smoke batch twice against one
+#     --cache-dir in separate processes: the warm run must be
+#     byte-identical to the cold run and record store hits; a store
+#     truncated mid-record must cold-start with a warning and a poisoned
+#     counter; the warm run also enforces the drc.warm latency budget;
 #   * a chaos smoke rerun pins one extra seeded fault schedule
 #     (SILC_CHAOS_SEED) beyond the 50 rounds baked into test_fault;
 #   * the library and every tier-1 test must also build and pass with the
@@ -121,6 +126,53 @@ elif [ -x "$BUILD_DIR/bench_flows" ]; then
     exit 1
   fi
   echo "empty/missing-budget self-test: checker correctly failed"
+
+  # --- persistent store: warm compiles across processes -----------------
+  # Two smoke batches against one --cache-dir, separate processes. The
+  # second must (a) produce byte-identical artifacts to the first and
+  # (b) serve warm store hits. Then the corruption self-test: a store
+  # truncated mid-record must cold-start with a warning diag and a
+  # non-zero poisoned counter — and still exit clean.
+  CACHE_DIR=$(mktemp -d)
+  "$BUILD_DIR/bench_flows" --smoke --cache-dir="$CACHE_DIR" \
+      --json="$BUILD_DIR/BENCH_compile_persist1.json" \
+      --artifacts="$BUILD_DIR/artifacts_cold.txt"
+  # --budgets on the warm run adds the drc.warm row to the latency gate:
+  # a silent fall-back to cold recompute breaks the budget, not just the
+  # hit-count check below.
+  "$BUILD_DIR/bench_flows" --smoke --cache-dir="$CACHE_DIR" \
+      --json="$BUILD_DIR/BENCH_compile_persist2.json" \
+      --artifacts="$BUILD_DIR/artifacts_warm.txt" \
+      --budgets=scripts/latency_budgets.txt \
+      | tee "$BUILD_DIR/persist_warm.log"
+  if ! diff "$BUILD_DIR/artifacts_cold.txt" "$BUILD_DIR/artifacts_warm.txt"; then
+    echo "ERROR: warm (second-process) artifacts differ from cold" >&2
+    rm -rf "$CACHE_DIR"
+    exit 1
+  fi
+  if ! grep -qE '"store_hits": [1-9]' "$BUILD_DIR/BENCH_compile_persist2.json"; then
+    echo "ERROR: second run against a warm store recorded no hits" >&2
+    rm -rf "$CACHE_DIR"
+    exit 1
+  fi
+  STORE_FILE="$CACHE_DIR/silc.store"
+  STORE_SIZE=$(stat -c%s "$STORE_FILE" 2>/dev/null || stat -f%z "$STORE_FILE")
+  truncate -s "$((STORE_SIZE - 7))" "$STORE_FILE"
+  "$BUILD_DIR/bench_flows" --smoke --cache-dir="$CACHE_DIR" \
+      --json="$BUILD_DIR/BENCH_compile_persist3.json" \
+      | tee "$BUILD_DIR/persist_poisoned.log"
+  if ! grep -q 'cold start' "$BUILD_DIR/persist_poisoned.log"; then
+    echo "ERROR: truncated store did not produce a cold-start warning" >&2
+    rm -rf "$CACHE_DIR"
+    exit 1
+  fi
+  if ! grep -qE '"store_poisoned": [1-9]' "$BUILD_DIR/BENCH_compile_persist3.json"; then
+    echo "ERROR: truncated store was not counted as poisoned" >&2
+    rm -rf "$CACHE_DIR"
+    exit 1
+  fi
+  rm -rf "$CACHE_DIR"
+  echo "persistent-store leg: warm hits byte-identical, corruption cold-starts"
 
   # --- one batch leg on the compiled pla-check engine -------------------
   # The symbolic prover is the default; this leg keeps the compiled

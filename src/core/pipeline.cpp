@@ -10,7 +10,9 @@
 
 #include "cif/cif.hpp"
 #include "core/compiler.hpp"
+#include "core/result_cache.hpp"
 #include "fault/fault.hpp"
+#include "store/store.hpp"
 
 namespace silc::core {
 
@@ -478,7 +480,10 @@ Pipeline Pipeline::structural() { return make_structural(); }
 // ---------------------------------------------------------------- results --
 
 bool CompileResult::ok() const {
-  return chip != nullptr && drc.ok() && !has_errors();
+  // A cached result never carries a chip pointer (the original Library is
+  // gone); from_cache stands in for it — only ok() results with a chip
+  // are memoized (ResultCache::eligible), so the flag is equivalent.
+  return (chip != nullptr || from_cache) && drc.ok() && !has_errors();
 }
 
 bool CompileResult::has_errors() const { return core::has_errors(diags); }
@@ -531,21 +536,81 @@ CompileResult finish(DesignDB& db) {
   return r;
 }
 
-CompileResult compile(layout::Library& lib, Flow flow,
-                      const std::string& source,
-                      const CompileOptions& options) {
-  DesignDB db(lib, flow, source, options);
-  const Pipeline p =
-      flow == Flow::Behavioral ? Pipeline::behavioral() : Pipeline::structural();
+namespace {
+
+/// One compile with the options as given: consult the result cache (when
+/// wired), run the pipeline on a miss, memoize eligible results.
+CompileResult compile_wired(layout::Library& lib, Flow flow,
+                            const std::string& source,
+                            const CompileOptions& options) {
 #if SILC_OBS_ENABLED
   const std::vector<obs::MetricSample> before = obs::Metrics::global().snapshot();
 #endif
+  std::uint64_t fp = 0;
+  if (options.result_cache != nullptr) {
+    fp = ResultCache::fingerprint(flow, source, options);
+    CompileResult cached;
+    if (options.result_cache->find(fp, &cached)) {
+#if SILC_OBS_ENABLED
+      cached.metrics = obs::delta(before, obs::Metrics::global().snapshot());
+#endif
+      return cached;
+    }
+  }
+  DesignDB db(lib, flow, source, options);
+  const Pipeline p =
+      flow == Flow::Behavioral ? Pipeline::behavioral() : Pipeline::structural();
   p.run(db);
   CompileResult r = finish(db);
 #if SILC_OBS_ENABLED
   r.metrics = obs::delta(before, obs::Metrics::global().snapshot());
 #endif
+  if (options.result_cache != nullptr) options.result_cache->store(fp, r);
   return r;
+}
+
+}  // namespace
+
+CompileResult compile(layout::Library& lib, Flow flow,
+                      const std::string& source,
+                      const CompileOptions& options) {
+  // Standalone persistent path: a caller that set cache_dir without
+  // wiring caches gets the full load→attach→run→save cycle locally.
+  // compile_many wires shared caches itself (and clears cache_dir from
+  // the per-job options), so batch jobs never take this branch.
+  if (!options.cache_dir.empty() && options.result_cache == nullptr &&
+      options.drc_cache == nullptr && options.extract_cache == nullptr) {
+    const std::string path = options.cache_dir + "/silc.store";
+    store::Store persist;
+    persist.load(path);
+    drc::VerdictCache drc_cache;
+    extract::NetlistCache extract_cache;
+    ResultCache result_cache;
+    drc_cache.load_from(persist);
+    extract_cache.load_from(persist);
+    result_cache.load_from(persist);
+    CompileOptions opt = options;
+    opt.drc_cache = &drc_cache;
+    opt.extract_cache = &extract_cache;
+    opt.result_cache = &result_cache;
+    CompileResult r = compile_wired(lib, flow, source, opt);
+    // Store-layer notices ride as warnings on this result (warnings never
+    // flip ok()); the batch path keeps them in BatchResult::store_diags
+    // instead, where byte-identity across runs is CI-gated.
+    if (!persist.load_error().empty()) {
+      r.diags.push_back({Severity::Warning, "store",
+                         persist.load_error() + " (cold start)"});
+    }
+    store::Store out(persist.schema());
+    drc_cache.save_to(out);
+    extract_cache.save_to(out);
+    result_cache.save_to(out);
+    if (!out.save(path)) {
+      r.diags.push_back({Severity::Warning, "store", out.save_error()});
+    }
+    return r;
+  }
+  return compile_wired(lib, flow, source, options);
 }
 
 // ------------------------------------------------------------------ batch --
@@ -595,6 +660,39 @@ BatchResult compile_many(const std::vector<BatchJob>& jobs, int threads) {
   drc::VerdictCache drc_cache;
   extract::NetlistCache extract_cache;
 
+  // Persistent store: the first job naming a cache_dir opens the batch's
+  // store — loaded ONCE here before the crew starts, saved ONCE after it
+  // joins (store::Store is not thread-safe by design; the in-memory
+  // caches above are the concurrent layer). With a warm store the batch
+  // caches start full and whole-result memoization kicks in, so repeated
+  // compiles become lookups; a corrupt or version-skewed file degrades to
+  // this very cold start, with the reason in store_diags.
+  std::string cache_dir;
+  for (const BatchJob& j : jobs) {
+    if (!j.options.cache_dir.empty()) {
+      cache_dir = j.options.cache_dir;
+      break;
+    }
+  }
+  store::Store persist;
+  ResultCache result_cache;
+  if (!cache_dir.empty()) {
+    const auto t_load = std::chrono::steady_clock::now();
+    persist.load(cache_dir + "/silc.store");
+    br.store.load_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t_load)
+                           .count();
+    if (!persist.load_error().empty()) {
+      br.store.poisoned += 1;
+      br.store_diags.push_back({Severity::Warning, "store",
+                                persist.load_error() + " (cold start)"});
+    }
+    br.store.loaded_records = persist.records();
+    drc_cache.load_from(persist);
+    extract_cache.load_from(persist);
+    result_cache.load_from(persist);
+  }
+
   // Same crew pattern as sim::TapePool, one job granularity: an atomic
   // cursor hands out the next design; every job owns a private Library so
   // workers never touch shared mutable state, and results land in
@@ -623,6 +721,13 @@ BatchResult compile_many(const std::vector<BatchJob>& jobs, int threads) {
         opt.drc_threads = 1;
         if (opt.drc_cache == nullptr) opt.drc_cache = &drc_cache;
         if (opt.extract_cache == nullptr) opt.extract_cache = &extract_cache;
+        // The batch owns the persistence cycle; jobs get the shared
+        // result cache (when a store is open) and never re-enter the
+        // standalone load/save path in compile().
+        opt.cache_dir.clear();
+        if (!cache_dir.empty() && opt.result_cache == nullptr) {
+          opt.result_cache = &result_cache;
+        }
         br.results[i] = compile(*lib, job.flow, job.source, opt);
         br.libraries[i] = std::move(lib);
       } catch (const std::exception& e) {
@@ -655,6 +760,26 @@ BatchResult compile_many(const std::vector<BatchJob>& jobs, int threads) {
   br.wall_ms = std::chrono::duration<double, std::milli>(
                    std::chrono::steady_clock::now() - t0)
                    .count();
+
+  // Save once after the crew joins: everything the batch learned — the
+  // union of what was loaded and what was computed — goes back in one
+  // atomic rename. A failed save is a warning, never a failed batch.
+  if (!cache_dir.empty()) {
+    store::Store out(persist.schema());
+    drc_cache.save_to(out);
+    extract_cache.save_to(out);
+    result_cache.save_to(out);
+    const auto t_save = std::chrono::steady_clock::now();
+    if (!out.save(cache_dir + "/silc.store")) {
+      br.store_diags.push_back({Severity::Warning, "store", out.save_error()});
+    }
+    br.store.save_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t_save)
+                           .count();
+    br.store.file_bytes = out.file_bytes();
+    br.store.hits = result_cache.hits();
+    br.store.misses = result_cache.misses();
+  }
 
   // Aggregate the per-stage profile in deterministic (job, stage) order.
   for (const CompileResult& r : br.results) {

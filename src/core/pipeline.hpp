@@ -60,6 +60,8 @@
 
 namespace silc::core {
 
+class ResultCache;  // core/result_cache.hpp: whole-result memoization
+
 // ------------------------------------------------------------ diagnostics --
 
 /// Cancelled marks a compile cut short by CompileOptions::deadline_ms or
@@ -178,6 +180,20 @@ struct CompileOptions {
   /// compile_many passes each job's token through, so a server can abort
   /// one job — or, by sharing a token, a whole batch.
   const CancelToken* cancel = nullptr;
+  /// Directory of the persistent compile store ("" = none). compile()
+  /// loads <cache_dir>/silc.store before running and saves it back after;
+  /// compile_many opens it once for the whole batch (the first job naming
+  /// a cache_dir wins) — load before the crew starts, save after it
+  /// joins, shared across every job. A missing file is a silent cold
+  /// start; a corrupt/version-skewed one cold-starts with a warning
+  /// diagnostic (see store/store.hpp). Never changes results — only how
+  /// fast they arrive.
+  std::string cache_dir;
+  /// Whole-result memoization (non-owning, thread-safe): compile()
+  /// consults it before building a DesignDB and memoizes eligible
+  /// results after. compile_many wires a batch-shared one when cache_dir
+  /// is set; null disables the tier. See core/result_cache.hpp.
+  ResultCache* result_cache = nullptr;
 };
 
 /// Wall-clock record of one stage slot in a run. Every stage of the flow
@@ -307,6 +323,12 @@ struct CompileResult {
   /// whichever overlapping compile observed it. Empty under SILC_OBS=OFF.
   /// Excluded from same_outcome(), like timings.
   std::vector<obs::MetricSample> metrics;
+  /// True when this result was materialized from a ResultCache instead of
+  /// a pipeline run. Cached results carry no chip pointer (the Library
+  /// that owned the original is gone), so ok() accepts from_cache in
+  /// place of chip != nullptr; everything same_outcome() compares is
+  /// byte-identical to the compile that was memoized.
+  bool from_cache = false;
 
   [[nodiscard]] bool ok() const;
   [[nodiscard]] bool has_errors() const;
@@ -348,6 +370,18 @@ struct StageProfile {
   double total_ms = 0;
 };
 
+/// Persistent-store counters of one batch (all zero when no job set
+/// cache_dir): whole-result memoization traffic plus store I/O.
+struct StoreCounters {
+  std::uint64_t hits = 0;      // ResultCache hits (memory or disk-warm)
+  std::uint64_t misses = 0;    // ResultCache misses (compiled fresh)
+  std::uint64_t poisoned = 0;  // corrupt/skewed store file cold starts
+  std::uint64_t loaded_records = 0;  // records read from the store file
+  std::uint64_t file_bytes = 0;      // bytes of the saved store file
+  double load_ms = 0;
+  double save_ms = 0;
+};
+
 struct BatchResult {
   /// Per-design results, index-parallel to the jobs, independent of the
   /// thread count the batch ran with.
@@ -359,6 +393,12 @@ struct BatchResult {
   std::vector<StageProfile> profile;
   double wall_ms = 0;
   int threads = 1;
+  /// Persistent-store traffic (zero unless a job set cache_dir).
+  StoreCounters store;
+  /// Store-layer diagnostics — a corrupt file's cold-start warning, a
+  /// failed save — kept OUT of the per-job diags so cached and fresh
+  /// results stay byte-identical (same_outcome) to a cache-less run.
+  std::vector<Diag> store_diags;
 
   [[nodiscard]] std::size_t ok_count() const;
   /// The profile as an aligned table, one stage per line.

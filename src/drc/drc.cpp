@@ -11,6 +11,7 @@
 #include "core/cancel.hpp"
 #include "drc/rules.hpp"
 #include "fault/fault.hpp"
+#include "store/store.hpp"
 
 namespace silc::drc {
 
@@ -198,6 +199,56 @@ std::uint64_t VerdictCache::misses() const {
 std::uint64_t VerdictCache::poisoned() const {
   const std::lock_guard<std::mutex> lk(m_);
   return poisoned_;
+}
+
+// Persistence: field-by-field serialization (never raw structs) into the
+// store's "drc" stream. Any encoding change here requires a
+// store::kSchemaVersion bump (see store/store.hpp).
+
+void VerdictCache::save_to(store::Store& s) const {
+  const std::lock_guard<std::mutex> lk(m_);
+  for (const auto& [k, e] : map_) {
+    store::Writer kw;
+    kw.u64(k.tech_sig);
+    kw.u64(k.hash);
+    kw.u64(k.shapes);
+    kw.rect(k.bbox);
+    store::Writer pw;
+    pw.u64(e.verdict->size());
+    for (const Violation& v : *e.verdict) {
+      pw.str(v.rule);
+      pw.rect(v.where);
+      pw.str(v.detail);
+      pw.point(v.anchor);
+    }
+    s.put("drc", kw.take(), pw.take());
+  }
+}
+
+void VerdictCache::load_from(const store::Store& s) {
+  s.for_each("drc", [this](const std::string& key, const std::string& payload) {
+    store::Reader kr(key);
+    Key k;
+    k.tech_sig = kr.u64();
+    k.hash = kr.u64();
+    k.shapes = kr.u64();
+    k.bbox = kr.rect();
+    store::Reader pr(payload);
+    const std::uint64_t n = pr.u64();
+    if (!kr.done() || !pr.ok() || n > pr.remaining()) return;
+    std::vector<Violation> vs;
+    vs.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Violation v;
+      v.rule = pr.str();
+      v.where = pr.rect();
+      v.detail = pr.str();
+      v.anchor = pr.point();
+      vs.push_back(std::move(v));
+    }
+    if (!pr.done()) return;  // malformed record: skip, never a wrong verdict
+    store(k, std::move(vs));
+  });
 }
 
 // ------------------------------------------------------------ entry points --

@@ -70,6 +70,10 @@
 #include "obs/obs.hpp"
 #include "tech/tech.hpp"
 
+namespace silc::store {
+class Store;
+}
+
 namespace silc::drc {
 
 struct Violation {
@@ -172,6 +176,16 @@ class VerdictCache {
   /// Entries whose stored checksum failed verification on hit (each was
   /// evicted and recomputed). Also mirrored as drc.cache.poisoned.
   [[nodiscard]] std::uint64_t poisoned() const;
+
+  /// Persistence (see store/store.hpp conventions): save_to serializes
+  /// every entry into the store's "drc" stream (key = the cache Key, so
+  /// the tech signature travels with the record); load_from re-inserts
+  /// every "drc" record through the normal store() path — checksums and
+  /// byte accounting are recomputed, so a record that lies about its
+  /// payload still degrades to a poisoned-entry miss, never a wrong
+  /// verdict. Malformed records are skipped, not fatal.
+  void save_to(store::Store& s) const;
+  void load_from(const store::Store& s);
 
  private:
   struct Entry {

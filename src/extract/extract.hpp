@@ -74,6 +74,10 @@
 #include "obs/obs.hpp"
 #include "tech/tech.hpp"
 
+namespace silc::store {
+class Store;
+}
+
 namespace silc::extract {
 
 enum class Device { Enhancement, Depletion };
@@ -212,6 +216,15 @@ class NetlistCache {
   /// Entries whose stored checksum failed verification on hit (each was
   /// evicted and re-extracted). Also mirrored as extract.cache.poisoned.
   [[nodiscard]] std::uint64_t poisoned() const;
+
+  /// Persistence (see store/store.hpp conventions): save_to serializes
+  /// every CellNet — pieces, proto-transistor candidate sets, junctions,
+  /// structured warnings, labels — into the store's "extract" stream;
+  /// load_from re-inserts every record through the normal store() path,
+  /// recomputing checksums and byte accounting. Malformed records are
+  /// skipped, not fatal. Implemented in hier.cpp, where CellNet lives.
+  void save_to(store::Store& s) const;
+  void load_from(const store::Store& s);
 
  private:
   struct Entry {

@@ -50,6 +50,7 @@
 #include "extract/connect.hpp"
 #include "extract/extract.hpp"
 #include "fault/fault.hpp"
+#include "store/store.hpp"
 
 namespace silc::extract {
 
@@ -256,6 +257,161 @@ std::uint64_t NetlistCache::misses() const {
 std::uint64_t NetlistCache::poisoned() const {
   const std::lock_guard<std::mutex> lock(m_);
   return poisoned_;
+}
+
+// Persistence: field-by-field serialization of the full CellNet (never
+// raw structs). Every field a parent stitch consumes must round-trip —
+// the per-side candidate vectors of the proto transistors included, or a
+// warm cell would finalize its devices differently than a cold one. Any
+// encoding change here requires a store::kSchemaVersion bump.
+
+namespace {
+
+std::string encode_cellnet(const CellNet& n) {
+  store::Writer w;
+  w.u64(n.pieces.size());
+  for (const CellNet::Piece& p : n.pieces) {
+    w.u8(p.cls);
+    w.rect(p.rect);
+    w.i32(p.node);
+  }
+  w.i32(n.node_count);
+  const auto candidates = [&w](const std::vector<int>& c) {
+    w.u64(c.size());
+    for (const int v : c) w.i32(v);
+  };
+  w.u64(n.transistors.size());
+  for (const detail::ProtoTransistor& t : n.transistors) {
+    w.rect(t.channel);
+    w.u8(static_cast<std::uint8_t>(t.type));
+    candidates(t.gate);
+    candidates(t.left);
+    candidates(t.right);
+    candidates(t.bottom);
+    candidates(t.top);
+  }
+  w.u64(n.junctions.size());
+  for (const detail::Junction& j : n.junctions) {
+    w.rect(j.bbox);
+    w.u8(j.buried ? 1 : 0);
+  }
+  w.u64(n.warnings.size());
+  for (const Warning& wn : n.warnings) {
+    w.u8(static_cast<std::uint8_t>(wn.kind));
+    w.rect(wn.where);
+    w.str(wn.text);
+    w.u8(static_cast<std::uint8_t>(wn.layer));
+  }
+  w.u64(n.labels.size());
+  for (const CellNet::Label& l : n.labels) {
+    w.str(l.text);
+    w.u8(static_cast<std::uint8_t>(l.layer));
+    w.point(l.at);
+    w.i32(l.node);
+  }
+  return w.take();
+}
+
+std::shared_ptr<const CellNet> decode_cellnet(const std::string& payload) {
+  store::Reader r(payload);
+  auto n = std::make_shared<CellNet>();
+  const std::uint64_t pieces = r.u64();
+  if (!r.ok() || pieces > r.remaining()) return nullptr;
+  n->pieces.reserve(pieces);
+  for (std::uint64_t i = 0; i < pieces; ++i) {
+    CellNet::Piece p;
+    p.cls = r.u8();
+    p.rect = r.rect();
+    p.node = r.i32();
+    n->pieces.push_back(p);
+  }
+  n->node_count = r.i32();
+  const auto candidates = [&r](std::vector<int>& c) {
+    const std::uint64_t k = r.u64();
+    if (!r.ok() || k > r.remaining()) return false;
+    c.reserve(k);
+    for (std::uint64_t i = 0; i < k; ++i) c.push_back(r.i32());
+    return true;
+  };
+  const std::uint64_t transistors = r.u64();
+  if (!r.ok() || transistors > r.remaining()) return nullptr;
+  n->transistors.reserve(transistors);
+  for (std::uint64_t i = 0; i < transistors; ++i) {
+    detail::ProtoTransistor t;
+    t.channel = r.rect();
+    t.type = static_cast<Device>(r.u8());
+    if (!candidates(t.gate) || !candidates(t.left) || !candidates(t.right) ||
+        !candidates(t.bottom) || !candidates(t.top)) {
+      return nullptr;
+    }
+    n->transistors.push_back(std::move(t));
+  }
+  const std::uint64_t junctions = r.u64();
+  if (!r.ok() || junctions > r.remaining()) return nullptr;
+  n->junctions.reserve(junctions);
+  for (std::uint64_t i = 0; i < junctions; ++i) {
+    detail::Junction j;
+    j.bbox = r.rect();
+    j.buried = r.u8() != 0;
+    n->junctions.push_back(j);
+  }
+  const std::uint64_t warnings = r.u64();
+  if (!r.ok() || warnings > r.remaining()) return nullptr;
+  n->warnings.reserve(warnings);
+  for (std::uint64_t i = 0; i < warnings; ++i) {
+    Warning wn;
+    wn.kind = static_cast<Warning::Kind>(r.u8());
+    wn.where = r.rect();
+    wn.text = r.str();
+    wn.layer = static_cast<tech::Layer>(r.u8());
+    n->warnings.push_back(std::move(wn));
+  }
+  const std::uint64_t labels = r.u64();
+  if (!r.ok() || labels > r.remaining()) return nullptr;
+  n->labels.reserve(labels);
+  for (std::uint64_t i = 0; i < labels; ++i) {
+    CellNet::Label l;
+    l.text = r.str();
+    l.layer = static_cast<tech::Layer>(r.u8());
+    l.at = r.point();
+    l.node = r.i32();
+    n->labels.push_back(std::move(l));
+  }
+  if (!r.done()) return nullptr;  // malformed record: skip it
+  return n;
+}
+
+}  // namespace
+
+void NetlistCache::save_to(store::Store& s) const {
+  const std::lock_guard<std::mutex> lock(m_);
+  for (const auto& [k, e] : map_) {
+    if (e.net == nullptr) continue;
+    store::Writer kw;
+    kw.u64(k.tech_sig);
+    kw.u64(k.geometry);
+    kw.u64(k.naming);
+    kw.u64(k.shapes);
+    kw.rect(k.bbox);
+    s.put("extract", kw.take(), encode_cellnet(*e.net));
+  }
+}
+
+void NetlistCache::load_from(const store::Store& s) {
+  s.for_each("extract",
+             [this](const std::string& key, const std::string& payload) {
+               store::Reader kr(key);
+               Key k;
+               k.tech_sig = kr.u64();
+               k.geometry = kr.u64();
+               k.naming = kr.u64();
+               k.shapes = kr.u64();
+               k.bbox = kr.rect();
+               if (!kr.done()) return;
+               std::shared_ptr<const CellNet> net = decode_cellnet(payload);
+               if (net == nullptr) return;
+               store(k, std::move(net));
+             });
 }
 
 // ------------------------------------------------------------ the engine --
