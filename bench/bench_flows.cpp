@@ -50,6 +50,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -60,6 +61,7 @@
 #include <vector>
 
 #include "core/compiler.hpp"
+#include "core/incremental_session.hpp"
 #include "design_sources.hpp"
 #include "drc/drc.hpp"
 #include "extract/extract.hpp"
@@ -446,6 +448,99 @@ std::vector<PlaModeMs> measure_pla_modes(int reps) {
   return out;
 }
 
+/// The incremental-recompilation measurement (PR 10): edit-to-verdict on
+/// the enable-gated 12-bit counter — the same design and contract
+/// bench_incremental owns, recorded here so BENCH_compile.json carries
+/// the `incr` block next to the batch/persist numbers CI tracks. Cold is
+/// a full batch recompile (what every edit costs without
+/// incrementality); the edit leg nudges the smallest leaf cell one step
+/// further each rep (cumulative, so no rep replays a cached window
+/// fingerprint) and re-verifies through a warm IncrementalSession. The
+/// per-stage times feed the drc.incr/extract.incr latency-budget rows.
+struct IncrMeasure {
+  bool active = false;
+  double cold_ms = 0;         // full batch recompile, best of samples
+  double drc_incr_ms = 0;     // avg per edited verify — drc.incr budget
+  double extract_incr_ms = 0; // avg — extract.incr budget
+  double noop_ms = 0;
+  std::size_t cells_reused = 0;
+  bool identical = true;    // every edited verdict == scratch flat
+  bool noop_reused = true;  // the no-op verify hit the verbatim path
+  [[nodiscard]] double edit_ms() const { return drc_incr_ms + extract_incr_ms; }
+  [[nodiscard]] double speedup() const {
+    return cold_ms / std::max(edit_ms(), 1e-6);
+  }
+};
+
+constexpr double kIncrSpeedupFloor = 10.0;
+
+IncrMeasure measure_incr(bool smoke) {
+  using Clock = std::chrono::steady_clock;
+  const auto ms_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+  };
+  IncrMeasure m;
+  const std::string source = silc_fixtures::counter_source(12);
+  const int cold_samples = smoke ? 1 : 2;
+  const int reps = smoke ? 3 : 6;
+
+  for (int i = 0; i < cold_samples; ++i) {
+    silc::layout::Library scratch_lib;
+    const auto t0 = Clock::now();
+    const auto cr = silc::core::compile(
+        scratch_lib, silc::core::Flow::Behavioral, source, {});
+    const double t = ms_since(t0);
+    if (cr.chip == nullptr) return m;  // inactive: design failed
+    if (i == 0 || t < m.cold_ms) m.cold_ms = t;
+  }
+
+  silc::layout::Library lib;
+  silc::core::CompileOptions o;
+  o.stop_after = "assemble";
+  const auto r =
+      silc::core::compile(lib, silc::core::Flow::Behavioral, source, o);
+  if (r.chip == nullptr) return m;
+  silc::layout::Cell& top = *lib.find(r.chip->name());
+  silc::layout::Cell* victim = nullptr;
+  for (const silc::layout::Cell* c : silc::layout::dependency_order(top)) {
+    if (c == &top || c->shapes().empty()) continue;
+    if (victim == nullptr || c->shapes().size() < victim->shapes().size()) {
+      victim = lib.find(c->name());
+    }
+  }
+  if (victim == nullptr) return m;
+  m.active = true;
+
+  silc::core::IncrementalSession sess;
+  (void)sess.verify(lib, top);  // baseline
+  for (int rep = 0; rep < reps; ++rep) {
+    const silc::layout::Shape s = victim->shapes()[0];
+    silc::layout::Shape moved = s;
+    moved.rect = {s.rect.x0 + 2, s.rect.y0, s.rect.x1 + 2, s.rect.y1};
+    victim->set_shape(0, moved);
+    const silc::core::IncrVerdict edited = sess.verify(lib, top);
+    m.drc_incr_ms += edited.drc_ms;
+    m.extract_incr_ms += edited.extract_ms;
+    m.cells_reused += edited.cells_reused();
+
+    const auto t0 = Clock::now();
+    const silc::core::IncrVerdict noop = sess.verify(lib, top);
+    m.noop_ms += ms_since(t0);
+    m.noop_reused = m.noop_reused && noop.drc_stats.verdict_reused &&
+                    noop.extract_stats.netlist_reused;
+
+    const silc::drc::Result scratch =
+        silc::drc::check_flat(silc::layout::flatten(top));
+    m.identical = m.identical && edited.drc.violations == scratch.violations &&
+                  edited.netlist == silc::extract::extract(top);
+  }
+  m.drc_incr_ms /= reps;
+  m.extract_incr_ms /= reps;
+  m.noop_ms /= reps;
+  return m;
+}
+
 int run_suite(const std::string& json_path, bool smoke,
               const std::string& trace_path, const std::string& budgets_path,
               double overhead_limit, const std::string& cache_dir,
@@ -533,6 +628,26 @@ int run_suite(const std::string& json_path, bool smoke,
       return 1;
     }
     std::printf("wrote %s\n", artifacts_path.c_str());
+  }
+
+  // The incremental edit-to-verdict leg: only on the primary
+  // configuration — the persist and pla-engine CI legs re-run this suite
+  // and would pay the counter12 cold compile again for numbers that
+  // cannot change with their flags.
+  IncrMeasure incr;
+  if (cache_dir.empty() && g_pla_mode == silc::sim::PlaCheckMode::Symbolic) {
+    incr = measure_incr(smoke);
+    if (!incr.active) {
+      std::printf("ERROR: incremental leg could not assemble counter12\n");
+      return 1;
+    }
+    std::printf(
+        "incr: counter12 cold compile %.1f ms vs one-cell edit %.2f ms "
+        "(drc %.2f + extract %.2f, %.1fx, floor %.0fx), no-op %.3f ms, "
+        "%zu cells reused, scratch %s\n",
+        incr.cold_ms, incr.edit_ms(), incr.drc_incr_ms, incr.extract_incr_ms,
+        incr.speedup(), kIncrSpeedupFloor, incr.noop_ms, incr.cells_reused,
+        incr.identical ? "identical" : "DIVERGED");
   }
 
   std::printf("%s", serial.profile_text().c_str());
@@ -641,6 +756,19 @@ int run_suite(const std::string& json_path, bool smoke,
         persist.cells_drc_ms_per_run, persist.cells_extract_ms_per_run,
         serial_dps, warm_dps, persist.identical ? "true" : "false");
   }
+  if (incr.active) {
+    std::fprintf(
+        f,
+        "  \"incr\": {\"design\": \"counter12\", \"cold_ms\": %.1f, "
+        "\"edit_ms\": %.3f, \"drc_incr_ms\": %.3f, "
+        "\"extract_incr_ms\": %.3f, \"noop_ms\": %.4f, "
+        "\"speedup\": %.1f, \"speedup_floor\": %.1f, "
+        "\"cells_reused\": %zu, \"identical\": %s, \"noop_reused\": %s},\n",
+        incr.cold_ms, incr.edit_ms(), incr.drc_incr_ms, incr.extract_incr_ms,
+        incr.noop_ms, incr.speedup(), kIncrSpeedupFloor, incr.cells_reused,
+        incr.identical ? "true" : "false",
+        incr.noop_reused ? "true" : "false");
+  }
   std::fprintf(f, "  \"ok\": %zu,\n", serial.ok_count());
   std::fprintf(f, "  \"identical_across_threads\": %s\n",
                identical ? "true" : "false");
@@ -690,6 +818,27 @@ int run_suite(const std::string& json_path, bool smoke,
       }
     }
   }
+  if (incr.active) {
+    if (!incr.identical) {
+      std::printf("ERROR: incremental verdicts diverged from scratch\n");
+      rc = 1;
+    }
+    if (!incr.noop_reused) {
+      std::printf("ERROR: the no-op verify did not reuse its baseline\n");
+      rc = 1;
+    }
+    if (incr.cells_reused == 0) {
+      std::printf("ERROR: the edited verify reused no cells\n");
+      rc = 1;
+    }
+    if (incr.speedup() < kIncrSpeedupFloor) {
+      std::printf("ERROR: one-cell edit %.2f ms is not %.0fx under cold "
+                  "compile %.1f ms (%.1fx)\n",
+                  incr.edit_ms(), kIncrSpeedupFloor, incr.cold_ms,
+                  incr.speedup());
+      rc = 1;
+    }
+  }
   if (!budgets_path.empty()) {
     std::string err;
     const auto table = silc::obs::load_budgets(budgets_path, &err);
@@ -703,6 +852,13 @@ int run_suite(const std::string& json_path, bool smoke,
     // speedup check above.
     if (persist.active) {
       sm.emplace_back("drc.warm", persist.cells_drc_ms_per_run);
+    }
+    // The incremental edit path is budgeted like any pipeline stage: a
+    // regression that makes an "incremental" verify quietly re-prove the
+    // chip breaks the latency gate, not just the speedup floor.
+    if (incr.active) {
+      sm.emplace_back("drc.incr", incr.drc_incr_ms);
+      sm.emplace_back("extract.incr", incr.extract_incr_ms);
     }
     const auto verdicts = silc::obs::check_budgets(*table, sm);
     std::printf("=== latency budgets (%s) ===\n%s", budgets_path.c_str(),

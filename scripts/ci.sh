@@ -28,6 +28,13 @@
 #     byte-identical to the cold run and record store hits; a store
 #     truncated mid-record must cold-start with a warning and a poisoned
 #     counter; the warm run also enforces the drc.warm latency budget;
+#   * the incremental leg runs bench_incremental (which itself enforces
+#     edit == scratch byte-identity and the 10x edit-vs-cold-compile
+#     floor), diffs the incremental-vs-scratch artifact dumps externally,
+#     and requires the edited verifies to have reused warm cells;
+#   * setting SILC_FUZZ_TRIALS adds a nightly-depth long-fuzz leg that
+#     re-runs the randomized differential harnesses at that trial count
+#     (failures print their seed and a one-line repro command);
 #   * a chaos smoke rerun pins one extra seeded fault schedule
 #     (SILC_CHAOS_SEED) beyond the 50 rounds baked into test_fault;
 #   * the library and every tier-1 test must also build and pass with the
@@ -203,6 +210,48 @@ cat "$BUILD_DIR/BENCH_drc.json"
 "$BUILD_DIR/bench_extract" --smoke --json="$BUILD_DIR/BENCH_extract.json"
 echo "--- BENCH_extract.json (smoke) ---"
 cat "$BUILD_DIR/BENCH_extract.json"
+
+# --- incremental recompilation: edit == scratch, cells reused -----------
+# bench_incremental needs only libsilc, so it always runs: a smoke batch
+# applies scripted one-cell edits to the counter12 chip and re-verifies
+# through a warm IncrementalSession. The bench itself enforces
+# byte-identity and the 10x edit-vs-cold-compile floor; CI additionally
+# diffs the dumped incremental-vs-scratch artifacts (so a rendering bug in
+# the bench's own equality check cannot hide a divergence) and requires
+# the edited verifies to have reused warm cells.
+INCR_DIR=$(mktemp -d)
+"$BUILD_DIR/bench_incremental" --smoke \
+    --json="$BUILD_DIR/BENCH_incremental.json" --artifacts="$INCR_DIR"
+if ! diff "$INCR_DIR/incremental_drc.txt" "$INCR_DIR/scratch_drc.txt"; then
+  echo "ERROR: incremental drc artifacts differ from scratch" >&2
+  rm -rf "$INCR_DIR"
+  exit 1
+fi
+if ! diff "$INCR_DIR/incremental_netlist.txt" "$INCR_DIR/scratch_netlist.txt"; then
+  echo "ERROR: incremental netlist artifacts differ from scratch" >&2
+  rm -rf "$INCR_DIR"
+  exit 1
+fi
+rm -rf "$INCR_DIR"
+if ! grep -qE '"cells_reused": [1-9]' "$BUILD_DIR/BENCH_incremental.json"; then
+  echo "ERROR: incremental edits reused no warm cells" >&2
+  exit 1
+fi
+echo "--- BENCH_incremental.json (smoke) ---"
+cat "$BUILD_DIR/BENCH_incremental.json"
+
+# --- nightly-style long fuzz: SILC_FUZZ_TRIALS scales the harnesses -----
+# Every differential/fuzz harness honors SILC_FUZZ_TRIALS (fixtures/
+# fuzz_env.hpp); CI normally runs the defaults baked into ctest above.
+# Set SILC_FUZZ_TRIALS to re-run the randomized suites at nightly depth —
+# each failure prints its seed and a one-line repro command.
+if [ -n "${SILC_FUZZ_TRIALS:-}" ]; then
+  echo "SILC_FUZZ_TRIALS=$SILC_FUZZ_TRIALS: long-fuzz leg"
+  "$BUILD_DIR/test_incremental" --gtest_filter='Incremental.Randomized*'
+  "$BUILD_DIR/test_extract_equiv" --gtest_filter='*Random*:*Fuzz*'
+  "$BUILD_DIR/test_drc" --gtest_filter='*Fuzz*'
+  echo "long-fuzz leg (SILC_FUZZ_TRIALS=$SILC_FUZZ_TRIALS): ok"
+fi
 
 # --- chaos smoke: one extra seeded round beyond the 50 baked-in ---------
 # The chaos differential harness (tests/test_fault.cpp) already ran under

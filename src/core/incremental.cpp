@@ -1,0 +1,97 @@
+#include "core/incremental.hpp"
+
+#include <sstream>
+
+namespace silc::core {
+
+LibrarySnapshot snapshot(const layout::Library& lib, const tech::Tech& tech) {
+  LibrarySnapshot snap;
+  snap.drc_signature = tech.drc_signature();
+  snap.extract_signature = tech.extract_signature();
+  for (const layout::Cell* c : lib.cells()) {
+    CellFingerprint fp;
+    fp.geometry = layout::geometry_hash(*c);
+    fp.naming = layout::naming_hash(*c);
+    fp.flat_shapes = c->flat_shape_count();
+    fp.bbox = c->bbox();
+    snap.cells.emplace(c->name(), fp);
+  }
+  return snap;
+}
+
+bool EditSet::naming_only() const {
+  if (empty()) return false;
+  if (tech_drc_changed || tech_extract_changed) return false;
+  for (const CellEdit& e : cells) {
+    if (e.added || e.removed || e.geometry_changed) return false;
+  }
+  return true;
+}
+
+bool EditSet::geometry_touched() const {
+  if (tech_drc_changed || tech_extract_changed) return true;
+  for (const CellEdit& e : cells) {
+    if (e.added || e.removed || e.geometry_changed) return true;
+  }
+  return false;
+}
+
+std::string EditSet::summary() const {
+  if (empty()) return "no edits";
+  std::ostringstream os;
+  std::size_t geo = 0;
+  std::size_t naming = 0;
+  std::size_t added = 0;
+  std::size_t removed = 0;
+  for (const CellEdit& e : cells) {
+    if (e.added) ++added;
+    if (e.removed) ++removed;
+    if (e.geometry_changed) ++geo;
+    if (e.naming_changed) ++naming;
+  }
+  os << cells.size() << " cell(s) edited";
+  if (geo != 0) os << ", " << geo << " geometry";
+  if (naming != 0) os << ", " << naming << " naming";
+  if (added != 0) os << ", " << added << " added";
+  if (removed != 0) os << ", " << removed << " removed";
+  if (tech_drc_changed) os << ", drc rules changed";
+  if (tech_extract_changed) os << ", extract rules changed";
+  return os.str();
+}
+
+EditSet diff(const LibrarySnapshot& before, const LibrarySnapshot& after) {
+  EditSet edits;
+  edits.tech_drc_changed = before.drc_signature != after.drc_signature;
+  edits.tech_extract_changed =
+      before.extract_signature != after.extract_signature;
+
+  auto b = before.cells.begin();
+  auto a = after.cells.begin();
+  while (b != before.cells.end() || a != after.cells.end()) {
+    if (a == after.cells.end() ||
+        (b != before.cells.end() && b->first < a->first)) {
+      edits.cells.push_back({b->first, /*added=*/false, /*removed=*/true,
+                             /*geometry_changed=*/true,
+                             /*naming_changed=*/true});
+      ++b;
+    } else if (b == before.cells.end() || a->first < b->first) {
+      edits.cells.push_back({a->first, /*added=*/true, /*removed=*/false,
+                             /*geometry_changed=*/true,
+                             /*naming_changed=*/true});
+      ++a;
+    } else {
+      CellEdit e;
+      e.cell = a->first;
+      e.geometry_changed = b->second.geometry != a->second.geometry ||
+                           b->second.flat_shapes != a->second.flat_shapes ||
+                           !(b->second.bbox == a->second.bbox);
+      e.naming_changed = b->second.naming != a->second.naming;
+      if (e.geometry_changed || e.naming_changed) edits.cells.push_back(e);
+      ++b;
+      ++a;
+    }
+  }
+  return edits;
+}
+
+}  // namespace silc::core

@@ -1,0 +1,68 @@
+#include "core/incremental_session.hpp"
+
+#include <chrono>
+
+#include "obs/obs.hpp"
+#include "store/store.hpp"
+
+namespace silc::core {
+
+IncrementalSession::IncrementalSession(const tech::Tech& technology)
+    : tech_(technology),
+      drc_cache_(std::make_unique<drc::VerdictCache>()),
+      extract_cache_(std::make_unique<extract::NetlistCache>()) {}
+
+void IncrementalSession::set_tech(const tech::Tech& technology) {
+  tech_ = technology;
+}
+
+IncrVerdict IncrementalSession::verify(const layout::Library& lib,
+                                       const layout::Cell& top) {
+  SILC_OBS_SPAN("incr.verify", "incr");
+  IncrVerdict v;
+  const LibrarySnapshot after = snapshot(lib, tech_);
+  const bool warm = has_baseline_ && top_name_ == top.name();
+  if (warm) {
+    v.edits = diff(snap_, after);
+  } else {
+    v.cold = true;
+  }
+
+  const drc::Result* drc_base = warm ? &base_drc_ : nullptr;
+  const extract::Netlist* net_base = warm ? &base_net_ : nullptr;
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  v.drc = drc::check_incremental(top, tech_, *drc_cache_, v.edits, drc_base,
+                                 &v.drc_stats);
+  const auto t1 = Clock::now();
+  v.netlist = extract::extract_incremental(top, tech_, *extract_cache_,
+                                           v.edits, net_base,
+                                           &v.extract_stats);
+  const auto t2 = Clock::now();
+  v.drc_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  v.extract_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
+
+  snap_ = after;
+  top_name_ = top.name();
+  base_drc_ = v.drc;
+  base_net_ = v.netlist;
+  has_baseline_ = true;
+  return v;
+}
+
+bool IncrementalSession::load_store(const std::string& cache_dir) {
+  store::Store persist;
+  if (!persist.load(cache_dir + "/silc.store")) return false;
+  drc_cache_->load_from(persist);
+  extract_cache_->load_from(persist);
+  return true;
+}
+
+bool IncrementalSession::save_store(const std::string& cache_dir) const {
+  store::Store out;
+  drc_cache_->save_to(out);
+  extract_cache_->save_to(out);
+  return out.save(cache_dir + "/silc.store");
+}
+
+}  // namespace silc::core

@@ -127,6 +127,10 @@ const extract::Netlist& DesignDB::netlist() {
   return *netlist_;
 }
 
+LibrarySnapshot DesignDB::snapshot() const {
+  return core::snapshot(*lib, tech::nmos());
+}
+
 // --------------------------------------------------------------- pipeline --
 
 Pipeline& Pipeline::stage(std::string name, StageFn fn) {

@@ -259,6 +259,11 @@ struct DesignDB {
   [[nodiscard]] const extract::Netlist& netlist();
   [[nodiscard]] bool has_netlist() const { return netlist_.has_value(); }
 
+  /// Per-cell fingerprint snapshot of the library under the NMOS rule set
+  /// — the baseline an IncrementalSession (or any diff against a later
+  /// compile) keys on. Cheap: a hash walk, not a compile.
+  [[nodiscard]] LibrarySnapshot snapshot() const;
+
  private:
   std::optional<layout::Flattened> flat_;
   std::optional<extract::Netlist> netlist_;

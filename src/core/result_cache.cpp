@@ -151,7 +151,7 @@ bool ResultCache::find(std::uint64_t fp, CompileResult* out) const {
     SILC_OBS_COUNT("store.misses", 1);
     return false;
   }
-  if (!decode_result(it->second, out)) {
+  if (!decode_result(it->second.payload, out)) {
     // Cannot happen through the normal put path (the store checksums
     // records and encode/decode are inverses), but a decode failure must
     // still degrade to a recompile, never a wrong result.
@@ -160,6 +160,7 @@ bool ResultCache::find(std::uint64_t fp, CompileResult* out) const {
     SILC_OBS_COUNT("store.misses", 1);
     return false;
   }
+  it->second.last_use = ++clock_;
   ++hits_;
   SILC_OBS_COUNT("store.hits", 1);
   return true;
@@ -172,15 +173,36 @@ void ResultCache::store(std::uint64_t fp, const CompileResult& r) {
   const auto it = map_.find(fp);
   if (it != map_.end()) return;  // first writer wins
   bytes_ += payload.size();
-  map_.emplace(fp, std::move(payload));
+  map_.emplace(fp, Entry{std::move(payload), ++clock_});
+  evict_overflow_locked();
+}
+
+void ResultCache::set_capacity(std::size_t max_entries) {
+  const std::lock_guard<std::mutex> lk(m_);
+  capacity_ = max_entries;
+  evict_overflow_locked();
+}
+
+void ResultCache::evict_overflow_locked() {
+  if (capacity_ == 0) return;
+  while (map_.size() > capacity_) {
+    auto victim = map_.begin();
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    }
+    bytes_ -= victim->second.payload.size();
+    map_.erase(victim);
+    ++evictions_;
+    SILC_OBS_COUNT("store.evictions", 1);
+  }
 }
 
 void ResultCache::save_to(store::Store& s) const {
   const std::lock_guard<std::mutex> lk(m_);
-  for (const auto& [fp, payload] : map_) {
+  for (const auto& [fp, entry] : map_) {
     store::Writer kw;
     kw.u64(fp);
-    s.put("result", kw.take(), payload);
+    s.put("result", kw.take(), entry.payload);
   }
 }
 
@@ -195,8 +217,11 @@ void ResultCache::load_from(const store::Store& s) {
                // not discovered as a poisoned hit later.
                CompileResult probe;
                if (!decode_result(payload, &probe)) return;
-               if (map_.emplace(fp, payload).second) bytes_ += payload.size();
+               if (map_.emplace(fp, Entry{payload, ++clock_}).second) {
+                 bytes_ += payload.size();
+               }
              });
+  evict_overflow_locked();
 }
 
 std::size_t ResultCache::size() const {
@@ -216,7 +241,7 @@ std::uint64_t ResultCache::misses() const {
 
 obs::CacheStats ResultCache::stats() const {
   const std::lock_guard<std::mutex> lk(m_);
-  return {hits_, misses_, 0, map_.size(), bytes_};
+  return {hits_, misses_, evictions_, map_.size(), bytes_};
 }
 
 }  // namespace silc::core

@@ -69,17 +69,35 @@ class ResultCache {
   void save_to(store::Store& s) const;
   void load_from(const store::Store& s);
 
+  /// Bound the cache to `max_entries` results (0 = unbounded, the
+  /// default): on overflow the least-recently-used entry is evicted and
+  /// counted, same policy as the per-cell caches (drc::VerdictCache,
+  /// extract::NetlistCache). Evicted results are merely recompiled on
+  /// next demand — correctness never depends on residency.
+  void set_capacity(std::size_t max_entries);
+
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t misses() const;
+  /// Lifetime hit/miss/eviction totals plus current entry count and
+  /// payload bytes (obs::CacheStats, mirroring the per-cell caches).
   [[nodiscard]] obs::CacheStats stats() const;
 
  private:
+  struct Entry {
+    // Serialized payload; decoded on every hit so memory and disk tiers
+    // cannot drift.
+    std::string payload;
+    std::uint64_t last_use = 0;  // LRU stamp
+  };
+  void evict_overflow_locked();
+
   mutable std::mutex m_;
-  // fingerprint -> serialized payload; decoded on every hit so memory
-  // and disk tiers cannot drift.
-  std::map<std::uint64_t, std::string> map_;
+  mutable std::map<std::uint64_t, Entry> map_;  // find() refreshes LRU stamp
+  std::size_t capacity_ = 0;                    // 0 = unbounded
   std::uint64_t bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+  mutable std::uint64_t clock_ = 0;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
 };

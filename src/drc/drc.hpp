@@ -65,6 +65,7 @@
 #include <tuple>
 #include <vector>
 
+#include "core/incremental.hpp"
 #include "geom/rectset.hpp"
 #include "layout/layout.hpp"
 #include "obs/obs.hpp"
@@ -260,5 +261,36 @@ struct CheckOptions {
 [[nodiscard]] Result check_hier(const layout::Cell& top,
                                 const tech::Tech& technology = tech::nmos(),
                                 VerdictCache* cache = nullptr);
+
+/// What the incremental entry point did with one edit: how much of the
+/// baseline survived. Mirrored as incr.* counters.
+struct IncrStats {
+  std::size_t cells_total = 0;    ///< unique cells under top
+  std::size_t cells_reused = 0;   ///< verdicts served from the warm cache
+  std::size_t cells_reproved = 0; ///< verdicts recomputed (edited cells)
+  bool verdict_reused = false;    ///< baseline Result returned verbatim
+  bool fell_back_flat = false;    ///< degraded to a flat recompute
+};
+
+/// Invalidation footprint (see src/core/incremental.hpp conventions): DRC
+/// reads GEOMETRY and the DRC RULE SIGNATURE only — check_flat never sees
+/// a label — so a naming-only EditSet (and an empty one) returns
+/// `baseline` verbatim. Any geometry or rule-table movement re-proves
+/// through check_hier against the warm per-cell `cache`: unchanged cells
+/// hit (their content hash didn't move), edited cells and the interaction
+/// windows touching them are re-proved. Byte-identity with a cold
+/// check_hier/check_flat is inherited from the proven all-modes-agree
+/// contract; the randomized differential harness in
+/// tests/test_incremental.cpp re-proves it end to end.
+///
+/// Fallback matrix: same as check_hier's, applied locally — any
+/// std::exception (incl. fault::InjectedFault at site "incr.drc") degrades
+/// to a flat recompute of the same verdict; core::Cancelled is rethrown.
+[[nodiscard]] Result check_incremental(const layout::Cell& top,
+                                       const tech::Tech& technology,
+                                       VerdictCache& cache,
+                                       const core::EditSet& edits,
+                                       const Result* baseline,
+                                       IncrStats* stats = nullptr);
 
 }  // namespace silc::drc

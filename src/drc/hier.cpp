@@ -111,10 +111,23 @@ class HierChecker {
     // The parent's own wiring, checked as one pool (wiring-to-wiring
     // interactions never span a seam the pool cannot see: any wiring
     // within rule-reach of an instance is in a seam and re-checked there).
+    // The pool verdict depends only on the cell's own shapes, so it is
+    // cached by their content hash: a child edit re-enters check_cell
+    // (the cell's whole-content key changed) but skips the pool engine
+    // run when the parent's wiring itself is untouched.
     Result pool;
     {
-      LayerTable t(cell.shapes(), tech_);
-      engine_.run(t, pool);
+      Rect ob;
+      for (const Shape& s : cell.shapes()) ob = ob.bound(s.rect);
+      const VerdictCache::Key pkey{tech_.drc_signature(), own_shapes_hash(cell),
+                                   cell.shapes().size(), ob};
+      auto pv = cache_->find(pkey);
+      if (pv == nullptr) {
+        LayerTable t(cell.shapes(), tech_);
+        engine_.run(t, pool);
+        pv = cache_->store(pkey, std::move(pool.violations));
+      }
+      pool.violations = *pv;
     }
 
     const auto in_seams = [&seams](const Violation& v) {
@@ -130,23 +143,105 @@ class HierChecker {
     SILC_OBS_COUNT("drc.windows", seams.rects().size());
     SILC_OBS_COUNT("drc.window_area", seams.area());
 
-    // Re-verify the seams against the full local geometry.
+    // Re-verify the seams against the full local geometry. Each window's
+    // raw verdict is cached by content fingerprint, so re-checking a cell
+    // after a small edit re-runs the engine only over the windows whose
+    // geometry (or the connectivity running through them) actually
+    // changed — the incremental-recompilation hot path. The keep-filter
+    // runs on retrieval: the cached verdict is the engine's raw output
+    // for that soup, valid under any seam layout that reproduces it.
     if (!seams.empty()) {
       SILC_OBS_SPAN("drc.seams:" + cell.name(), "drc");
       LayerTable full(layout::flatten(cell), tech_);
-      for (const auto& comp : seams.dilated(h).components()) {
+      const RectSet dilated = seams.dilated(h);
+      for (const auto& comp : dilated.components()) {
         core::check_cancel("drc.hier.seam");
         SILC_FAULT_POINT("drc.hier.seam");
-        LayerTable soup = full.window(RectSet(comp), h);
-        Result sr;
-        engine_.run(soup, sr);
-        for (Violation& v : sr.violations) {
-          if (in_seams(v)) out.violations.push_back(std::move(v));
+        LayerTable soup = [&] {
+          SILC_OBS_SPAN("drc.window.soup", "drc");
+          return full.window(RectSet(comp), h);
+        }();
+        Rect cb;
+        for (const Rect& r : comp) cb = cb.bound(r);
+        const auto [whash, wrects] = [&] {
+          SILC_OBS_SPAN("drc.window.fp", "drc");
+          return window_fingerprint(soup);
+        }();
+        const VerdictCache::Key wkey{tech_.drc_signature(), whash, wrects, cb};
+        auto wv = cache_->find(wkey);
+        if (wv == nullptr) {
+          SILC_OBS_COUNT("drc.window.reproved", 1);
+          Result sr;
+          engine_.run(soup, sr);
+          wv = cache_->store(wkey, std::move(sr.violations));
+        } else {
+          SILC_OBS_COUNT("drc.window.reused", 1);
+        }
+        for (const Violation& v : *wv) {
+          if (in_seams(v)) out.violations.push_back(v);
         }
       }
     }
     out.canonicalize();
     return out;
+  }
+
+  /// Content hash of the cell's own shapes (layer + rect, stored order),
+  /// ignoring instances. Salted so a pool key can never collide with a
+  /// whole-cell or window key in the shared VerdictCache.
+  static std::uint64_t own_shapes_hash(const Cell& cell) {
+    std::uint64_t x = 0x9001f00d5a17ed00ULL;  // pool-domain salt
+    const auto mix = [&x](std::uint64_t v) {
+      x ^= v;
+      x *= 1099511628211ULL;
+    };
+    for (const Shape& s : cell.shapes()) {
+      mix(static_cast<std::uint64_t>(tech::index(s.layer)) + 1);
+      mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.rect.x0)));
+      mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.rect.y0)));
+      mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.rect.x1)));
+      mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.rect.y1)));
+    }
+    return x;
+  }
+
+  /// Content fingerprint of one seam-window soup: per layer, the canonical
+  /// rects and their full-layout connectivity partition, the latter
+  /// renumbered in first-appearance order so only the grouping structure
+  /// (which rects are the same net) enters the hash. Geometry alone would
+  /// be unsound: the spacing rules' same-net exemption consults the
+  /// full-layout component labels, so a distant edit that splits or joins
+  /// a net running through the window must change the fingerprint and
+  /// force a re-check. Salted so a window key can never collide with a
+  /// whole-cell key in the shared (and persisted) VerdictCache.
+  static std::pair<std::uint64_t, std::uint64_t> window_fingerprint(
+      LayerTable& soup) {
+    std::uint64_t x = 0x57ea6f1d0a7ab10cULL;  // window-domain salt
+    const auto mix = [&x](std::uint64_t v) {
+      x ^= v;
+      x *= 1099511628211ULL;
+    };
+    std::uint64_t count = 0;
+    for (int i = 0; i < tech::kNumLayers; ++i) {
+      const auto l = static_cast<tech::Layer>(i);
+      const std::vector<Rect>& rects = soup.mask(l).rects();
+      if (rects.empty()) continue;
+      mix(0x10001u + static_cast<std::uint64_t>(i));
+      const std::vector<int>& labels = soup.labels(l);
+      std::map<int, int> renum;
+      for (std::size_t j = 0; j < rects.size(); ++j) {
+        const Rect& r = rects[j];
+        mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(r.x0)));
+        mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(r.y0)));
+        mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(r.x1)));
+        mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(r.y1)));
+        const auto part =
+            renum.emplace(labels[j], static_cast<int>(renum.size()));
+        mix(static_cast<std::uint64_t>(part.first->second) + 0x9e3779b9u);
+      }
+      count += rects.size();
+    }
+    return {x, count};
   }
 
   const Tech& tech_;

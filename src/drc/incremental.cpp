@@ -1,0 +1,56 @@
+// Incremental DRC: the EditSet is the coarse gate, the warm VerdictCache
+// is the fine one. A clean footprint returns the baseline verbatim;
+// anything else re-proves through check_hier, where unchanged cells hit
+// their cached verdicts and only edited cells plus the interaction
+// windows touching them pay for geometry again.
+#include <exception>
+
+#include "core/cancel.hpp"
+#include "drc/drc.hpp"
+#include "fault/fault.hpp"
+#include "obs/obs.hpp"
+
+namespace silc::drc {
+
+Result check_incremental(const layout::Cell& top, const tech::Tech& technology,
+                         VerdictCache& cache, const core::EditSet& edits,
+                         const Result* baseline, IncrStats* stats) {
+  SILC_OBS_SPAN("incr.drc", "drc");
+  IncrStats local;
+  IncrStats& st = stats != nullptr ? *stats : local;
+  st = IncrStats{};
+  st.cells_total = layout::dependency_order(top).size();
+
+  // DRC's footprint is geometry + rule signature only, so a naming-only
+  // edit (or none at all) cannot move the verdict: hand the baseline back
+  // without touching geometry. This is the microseconds path.
+  if (baseline != nullptr && (edits.empty() || edits.naming_only())) {
+    st.cells_reused = st.cells_total;
+    st.verdict_reused = true;
+    SILC_OBS_COUNT("incr.cells_reused", static_cast<std::int64_t>(st.cells_reused));
+    return *baseline;
+  }
+
+  const obs::CacheStats before = cache.stats();
+  try {
+    SILC_FAULT_POINT("incr.drc");
+    Result r = check_hier(top, technology, &cache);
+    const obs::CacheStats after = cache.stats();
+    st.cells_reused = static_cast<std::size_t>(after.hits - before.hits);
+    st.cells_reproved = static_cast<std::size_t>(after.misses - before.misses);
+    SILC_OBS_COUNT("incr.cells_reused", static_cast<std::int64_t>(st.cells_reused));
+    SILC_OBS_COUNT("incr.cells_reproved",
+                   static_cast<std::int64_t>(st.cells_reproved));
+    return r;
+  } catch (const core::Cancelled&) {
+    throw;  // deadlines win; retrying on the slower flat path would be worse
+  } catch (const std::exception&) {
+    st.fell_back_flat = true;
+    st.cells_reproved = st.cells_total;
+    SILC_OBS_COUNT("incr.fallback_flat", 1);
+    Result r = check_flat(layout::flatten(top), technology);
+    return r;
+  }
+}
+
+}  // namespace silc::drc

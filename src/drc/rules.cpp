@@ -127,10 +127,13 @@ LayerTable LayerTable::window(const geom::RectSet& win, Coord halo) {
   std::array<bool, tech::kNumLayers> is_comp_mask{};
   const auto pull = [this, halo](const RectSet& full, const geom::RectSet& w,
                                  std::vector<Rect>& picked) {
+    const Rect wb = w.bbox();
     for (const auto& comp : full.components()) {
       Rect bb;
       for (const Rect& r : comp) bb = bb.bound(r);
-      if (w.intersects(bb.inflated(1 + tech_->lambda))) {
+      bb = bb.inflated(1 + tech_->lambda);
+      if (!wb.empty() && !wb.touches(bb)) continue;  // cheap bbox reject
+      if (w.intersects(bb)) {
         picked.insert(picked.end(), comp.begin(), comp.end());
       }
     }
@@ -162,12 +165,14 @@ LayerTable LayerTable::window(const geom::RectSet& win, Coord halo) {
   }
   if (!pulled.empty()) win2 = win.unite(pulled.dilated(halo));
 
+  const Rect wb2 = win2.bbox().inflated(1);
   for (int i = 0; i < tech::kNumLayers; ++i) {
     if (is_comp_mask[static_cast<std::size_t>(i)]) continue;
     const std::vector<Rect>& full = masks_[static_cast<std::size_t>(i)].rects();
     std::vector<char> in(full.size(), 0);
     std::vector<Rect> picked;
     for (std::size_t j = 0; j < full.size(); ++j) {
+      if (!wb2.touches(full[j])) continue;  // cheap bbox reject
       if (win2.intersects(full[j].inflated(1))) {
         in[j] = 1;
         picked.push_back(full[j]);
@@ -176,8 +181,10 @@ LayerTable LayerTable::window(const geom::RectSet& win, Coord halo) {
     if (picked.empty()) continue;
     if (picked.size() < full.size()) {
       const RectSet base(picked);
+      const Rect bb = base.bbox().inflated(1);
       for (std::size_t j = 0; j < full.size(); ++j) {
-        if (in[j] == 0 && base.intersects(full[j].inflated(1))) {
+        if (in[j] != 0 || !bb.touches(full[j])) continue;
+        if (base.intersects(full[j].inflated(1))) {
           picked.push_back(full[j]);
         }
       }

@@ -69,6 +69,7 @@
 #include <string>
 #include <vector>
 
+#include "core/incremental.hpp"
 #include "geom/geom.hpp"
 #include "layout/layout.hpp"
 #include "obs/obs.hpp"
@@ -279,5 +280,36 @@ enum class Mode : std::uint8_t { Flat, Hier };
 [[nodiscard]] Netlist extract_hier(const layout::Cell& top,
                                    const tech::Tech& technology = tech::nmos(),
                                    NetlistCache* cache = nullptr);
+
+/// What the incremental entry point did with one edit: how much of the
+/// baseline survived. Mirrored as incr.* counters.
+struct IncrStats {
+  std::size_t cells_total = 0;    ///< unique cells under top
+  std::size_t cells_reused = 0;   ///< partial netlists served from cache
+  std::size_t cells_reproved = 0; ///< partial netlists re-extracted
+  bool netlist_reused = false;    ///< baseline Netlist returned verbatim
+  bool fell_back_flat = false;    ///< degraded to a flat re-extract
+};
+
+/// Invalidation footprint (see src/core/incremental.hpp conventions):
+/// extraction reads GEOMETRY, NAMING (labels / port names / instance
+/// names, which become node names), and the EXTRACT RULE SIGNATURE — so
+/// only a truly empty EditSet returns `baseline` verbatim. A naming-only
+/// edit re-runs (unlike DRC), but the warm per-cell `cache` keys on
+/// naming_hash, so unrenamed cells still hit and only the edited cells
+/// plus the stitch windows pay again. Byte-identity with a cold
+/// extract_hier/extract_flat is inherited from the proven modes-agree
+/// contract; tests/test_incremental.cpp re-proves it end to end.
+///
+/// Fallback matrix: same as extract_hier's, applied locally — any
+/// std::exception (incl. fault::InjectedFault at site "incr.extract")
+/// degrades to a flat re-extract of the same netlist; core::Cancelled is
+/// rethrown.
+[[nodiscard]] Netlist extract_incremental(const layout::Cell& top,
+                                          const tech::Tech& technology,
+                                          NetlistCache& cache,
+                                          const core::EditSet& edits,
+                                          const Netlist* baseline,
+                                          IncrStats* stats = nullptr);
 
 }  // namespace silc::extract

@@ -531,7 +531,10 @@ class HierExtractor {
   CellNet stitch(const Cell& c) {
     // Contributors: the parent's own wiring as one pool, plus each
     // instance's cached subtree.
-    const CellNet pool = own_net(c);
+    const CellNet pool = [&] {
+      SILC_OBS_SPAN("extract.stitch.pool:" + c.name(), "extract");
+      return own_net(c);
+    }();
     std::vector<std::shared_ptr<const CellNet>> owned;
     std::vector<Contrib> contribs;
     contribs.push_back({&pool, Transform{}, ""});
@@ -561,42 +564,59 @@ class HierExtractor {
     if (wx.empty()) return concat(contribs);
 
     // Fixpoint: pull whole semantic components into the window region
-    // until everything near it is wholly inside it.
+    // until everything near it is wholly inside it. Soup collection and
+    // component labeling are the expensive part, so the loop is split:
+    // the outer level refreshes the soup, the inner level re-tests the
+    // (unchanging) candidate bboxes against the growing windows until no
+    // pull fires, and only then is the soup refreshed to verify — the
+    // same least fixpoint as recollecting every round, reached with the
+    // minimum number of collections.
     RawLayers raw;
+    {
+    SILC_OBS_SPAN("extract.stitch.fixpoint:" + c.name(), "extract");
+    std::vector<Rect> candidates;
+    for (const Contrib& k : contribs) {
+      for (const detail::ProtoTransistor& t : k.net->transistors) {
+        candidates.push_back(k.t.apply(t.channel));
+      }
+      for (const detail::Junction& j : k.net->junctions) {
+        candidates.push_back(k.t.apply(j.bbox));
+      }
+    }
+    const std::size_t fixed_candidates = candidates.size();
     for (;;) {
       core::check_cancel("extract.hier.window");
       SILC_FAULT_POINT("extract.hier.window");
       std::vector<layout::Shape> soup;
       layout::collect_shapes_near(c, Transform{}, wx.dilated(h_), soup);
       raw = RawLayers::from_shapes(soup);
-      RegionIndex wix(wx);
-      RectSet added;
-      bool grew = false;
-      const auto pull = [&](const Rect& bb) {
-        const Rect grown = bb.inflated(h_);
-        if (!wix.touches(grown)) return;
-        if (wx.covers(grown)) return;
-        added.add(grown);
-        grew = true;
-      };
+      candidates.resize(fixed_candidates);
       const RectSet pullable[] = {raw.channels(), raw.contact, raw.buried};
       for (const RectSet& set : pullable) {
         for (const auto& comp : set.components()) {
           Rect bb;
           for (const Rect& r : comp) bb = bb.bound(r);
-          pull(bb);
+          candidates.push_back(bb);
         }
       }
-      for (const Contrib& k : contribs) {
-        for (const detail::ProtoTransistor& t : k.net->transistors) {
-          pull(k.t.apply(t.channel));
+      bool outer_grew = false;
+      for (;;) {
+        RegionIndex wix(wx);
+        RectSet added;
+        bool grew = false;
+        for (const Rect& bb : candidates) {
+          const Rect grown = bb.inflated(h_);
+          if (!wix.touches(grown)) continue;
+          if (wx.covers(grown)) continue;
+          added.add(grown);
+          grew = true;
         }
-        for (const detail::Junction& j : k.net->junctions) {
-          pull(k.t.apply(j.bbox));
-        }
+        if (!grew) break;
+        outer_grew = true;
+        wx = wx.unite(added);
       }
-      if (!grew) break;
-      wx = wx.unite(added);
+      if (!outer_grew) break;
+    }
     }
 
     SILC_OBS_COUNT("extract.windows", wx.rects().size());
@@ -605,7 +625,10 @@ class HierExtractor {
 
     // Inside the windows: a fresh connectivity solve over the true
     // combined geometry, clipped to the window region.
-    const Connectivity wc = connect(raw.clipped(wx));
+    const Connectivity wc = [&] {
+      SILC_OBS_SPAN("extract.stitch.connect:" + c.name(), "extract");
+      return connect(raw.clipped(wx));
+    }();
     RegionIndex wix(wx);
 
     detail::UnionFind dsu;  // window nodes first, then fragments
@@ -624,6 +647,13 @@ class HierExtractor {
     std::vector<ContribFrags> frags(contribs.size());
     CellNet out;
 
+    {
+    SILC_OBS_SPAN("extract.stitch.frags:" + c.name(), "extract");
+    // Window rects indexed once: each split group below subtracts only the
+    // windows that can actually reach it (subtracting a rect that touches
+    // nothing is a no-op, and the narrowed operand turns the per-node
+    // subtraction from O(all windows) into O(nearby windows)).
+    RectGrid wgrid(wx.rects());
     for (std::size_t k = 0; k < contribs.size(); ++k) {
       const CellNet& cn = *contribs[k].net;
       const Transform& tr = contribs[k].t;
@@ -663,7 +693,19 @@ class HierExtractor {
             if (pc == cls) rs.push_back(r);
           }
           if (rs.empty()) continue;
-          const std::vector<Rect> rem = RectSet(std::move(rs)).subtract(wx).rects();
+          std::vector<int> near;
+          for (const Rect& r : rs) {
+            wgrid.for_touching(r, [&](int wi) { near.push_back(wi); });
+          }
+          std::sort(near.begin(), near.end());
+          near.erase(std::unique(near.begin(), near.end()), near.end());
+          std::vector<Rect> nwx;
+          nwx.reserve(near.size());
+          for (const int wi : near) {
+            nwx.push_back(wx.rects()[static_cast<std::size_t>(wi)]);
+          }
+          const std::vector<Rect> rem =
+              RectSet(std::move(rs)).subtract(RectSet(std::move(nwx))).rects();
           const std::vector<int> labels = geom::label_components(rem);
           int max_label = -1;
           for (const int l : labels) max_label = std::max(max_label, l);
@@ -712,6 +754,7 @@ class HierExtractor {
         }
       }
     }
+    }
 
     // Window pieces into the result, and boundary stitching: a window
     // piece and a fragment that share a cut edge on the same layer are one
@@ -746,6 +789,7 @@ class HierExtractor {
       }
     }
 
+    SILC_OBS_SPAN("extract.stitch.tail:" + c.name(), "extract");
     // Transistors: contributor protos whose channel the windows never
     // reach are carried over (side candidates re-bound to fragments); the
     // window solve re-derives every channel the windows touch. All stay

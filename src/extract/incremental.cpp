@@ -1,0 +1,53 @@
+// Incremental extraction: the EditSet is the coarse gate, the warm
+// NetlistCache is the fine one. Unlike DRC, naming edits DO invalidate —
+// labels become node names — so only a truly empty EditSet hands the
+// baseline back; everything else re-stitches through extract_hier, where
+// unedited cells hit their cached partial netlists.
+#include <exception>
+
+#include "core/cancel.hpp"
+#include "extract/extract.hpp"
+#include "fault/fault.hpp"
+#include "obs/obs.hpp"
+
+namespace silc::extract {
+
+Netlist extract_incremental(const layout::Cell& top,
+                            const tech::Tech& technology, NetlistCache& cache,
+                            const core::EditSet& edits, const Netlist* baseline,
+                            IncrStats* stats) {
+  SILC_OBS_SPAN("incr.extract", "extract");
+  IncrStats local;
+  IncrStats& st = stats != nullptr ? *stats : local;
+  st = IncrStats{};
+  st.cells_total = layout::dependency_order(top).size();
+
+  if (baseline != nullptr && edits.empty()) {
+    st.cells_reused = st.cells_total;
+    st.netlist_reused = true;
+    SILC_OBS_COUNT("incr.cells_reused", static_cast<std::int64_t>(st.cells_reused));
+    return *baseline;
+  }
+
+  const obs::CacheStats before = cache.stats();
+  try {
+    SILC_FAULT_POINT("incr.extract");
+    Netlist nl = extract_hier(top, technology, &cache);
+    const obs::CacheStats after = cache.stats();
+    st.cells_reused = static_cast<std::size_t>(after.hits - before.hits);
+    st.cells_reproved = static_cast<std::size_t>(after.misses - before.misses);
+    SILC_OBS_COUNT("incr.cells_reused", static_cast<std::int64_t>(st.cells_reused));
+    SILC_OBS_COUNT("incr.cells_reproved",
+                   static_cast<std::int64_t>(st.cells_reproved));
+    return nl;
+  } catch (const core::Cancelled&) {
+    throw;  // deadlines win; retrying on the slower flat path would be worse
+  } catch (const std::exception&) {
+    st.fell_back_flat = true;
+    st.cells_reproved = st.cells_total;
+    SILC_OBS_COUNT("incr.fallback_flat", 1);
+    return extract_flat(layout::flatten_with_labels(top), technology);
+  }
+}
+
+}  // namespace silc::extract

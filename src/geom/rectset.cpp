@@ -181,6 +181,8 @@ void RectSet::add(const Rect& r) {
   if (r.empty()) return;
   rects_.push_back(r);
   dirty_ = true;
+  comps_done_ = false;
+  comps_.clear();
 }
 
 void RectSet::normalize() const {
@@ -328,7 +330,8 @@ RectSet RectSet::scaled(Coord k) const {
   return out;  // scaling preserves canonical form
 }
 
-std::vector<std::vector<Rect>> RectSet::components() const {
+const std::vector<std::vector<Rect>>& RectSet::components() const {
+  if (comps_done_) return comps_;
   const std::vector<int> labels = label_components(rects());
   int n = 0;
   for (int l : labels) n = std::max(n, l + 1);
@@ -336,7 +339,9 @@ std::vector<std::vector<Rect>> RectSet::components() const {
   for (std::size_t i = 0; i < rects().size(); ++i) {
     out[static_cast<std::size_t>(labels[i])].push_back(rects()[i]);
   }
-  return out;
+  comps_ = std::move(out);
+  comps_done_ = true;
+  return comps_;
 }
 
 std::vector<int> label_components(const std::vector<Rect>& rects) {

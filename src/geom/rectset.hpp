@@ -61,8 +61,10 @@ class RectSet {
   [[nodiscard]] RectSet scaled(Coord k) const;
 
   /// Groups of edge-connected rectangles (electrical connectivity on one
-  /// layer). Corner-only contact does not connect.
-  [[nodiscard]] std::vector<std::vector<Rect>> components() const;
+  /// layer). Corner-only contact does not connect. Memoized (like the
+  /// lazy normalization, not thread-safe): the hierarchical engines query
+  /// the same full-layout masks once per interaction window.
+  [[nodiscard]] const std::vector<std::vector<Rect>>& components() const;
 
   friend bool operator==(const RectSet& a, const RectSet& b) {
     return a.rects() == b.rects();
@@ -73,6 +75,8 @@ class RectSet {
 
   mutable std::vector<Rect> rects_;
   mutable bool dirty_ = false;
+  mutable std::vector<std::vector<Rect>> comps_;
+  mutable bool comps_done_ = false;
 };
 
 /// Union-find connectivity labelling over arbitrary rect lists: returns a

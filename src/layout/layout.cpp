@@ -60,6 +60,48 @@ void Cell::add_label(std::string text, Layer layer, Point at) {
   labels_.push_back({std::move(text), layer, at});
 }
 
+namespace {
+
+void check_index(std::size_t i, std::size_t n, const char* what) {
+  if (i >= n) {
+    throw std::out_of_range(std::string(what) + " index " + std::to_string(i) +
+                            " out of range (size " + std::to_string(n) + ")");
+  }
+}
+
+}  // namespace
+
+void Cell::set_shape(std::size_t i, const Shape& s) {
+  check_index(i, shapes_.size(), "shape");
+  if (s.rect.empty()) {
+    throw std::invalid_argument("set_shape: empty rect (use remove_shape)");
+  }
+  shapes_[i] = s;
+  bbox_valid_ = false;
+}
+
+void Cell::remove_shape(std::size_t i) {
+  check_index(i, shapes_.size(), "shape");
+  shapes_.erase(shapes_.begin() + static_cast<std::ptrdiff_t>(i));
+  bbox_valid_ = false;
+}
+
+void Cell::remove_instance(std::size_t i) {
+  check_index(i, instances_.size(), "instance");
+  instances_.erase(instances_.begin() + static_cast<std::ptrdiff_t>(i));
+  bbox_valid_ = false;
+}
+
+void Cell::set_instance_name(std::size_t i, std::string inst_name) {
+  check_index(i, instances_.size(), "instance");
+  instances_[i].name = std::move(inst_name);
+}
+
+void Cell::set_label_text(std::size_t i, std::string text) {
+  check_index(i, labels_.size(), "label");
+  labels_[i].text = std::move(text);
+}
+
 const Port* Cell::find_port(const std::string& name) const {
   for (const Port& p : ports_) {
     if (p.name == name) return &p;

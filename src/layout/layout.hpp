@@ -73,6 +73,17 @@ class Cell {
   void add_port(std::string name, Layer layer, const Rect& r);
   void add_label(std::string text, Layer layer, Point at);
 
+  // Edit mutators (incremental recompilation, PR 10). Indices address the
+  // vectors returned by shapes()/instances()/labels(); out-of-range indices
+  // throw std::out_of_range so a bad editing script fails loudly instead of
+  // silently editing nothing. Geometry edits invalidate the bbox cache;
+  // naming edits deliberately do not.
+  void set_shape(std::size_t i, const Shape& s);
+  void remove_shape(std::size_t i);
+  void remove_instance(std::size_t i);
+  void set_instance_name(std::size_t i, std::string inst_name);
+  void set_label_text(std::size_t i, std::string text);
+
   [[nodiscard]] const std::vector<Shape>& shapes() const { return shapes_; }
   [[nodiscard]] const std::vector<Instance>& instances() const { return instances_; }
   [[nodiscard]] const std::vector<Port>& ports() const { return ports_; }

@@ -13,6 +13,7 @@
 #include "core/compiler.hpp"
 #include "design_sources.hpp"
 #include "drc/drc.hpp"
+#include "fuzz_env.hpp"
 #include "layout/layout.hpp"
 
 namespace silc::drc {
@@ -267,58 +268,64 @@ TEST(DrcModes, FuzzedSoupsAndHierarchiesAgree) {
   const tech::Layer layers[] = {Layer::Diff,    Layer::Poly,
                                 Layer::Contact, Layer::Metal,
                                 Layer::Implant, Layer::Buried};
-  for (unsigned seed = 0; seed < 4; ++seed) {
-    std::mt19937 rng(seed);
-    std::uniform_int_distribution<int> c(0, 400), w(1, 50), li(0, 5);
-    std::vector<layout::Shape> shapes;
-    for (int i = 0; i < 500; ++i) {
-      const int x = c(rng), y = c(rng);
-      shapes.push_back({layers[li(rng)], Rect{x, y, x + w(rng), y + w(rng)}});
-    }
-    const Result flat = check_flat(shapes);
-    EXPECT_FALSE(flat.ok());  // dense soup: the sweep must exercise rules
-    for (const int threads : {1, 3}) {
-      EXPECT_EQ(flat.violations,
-                check_tiled(shapes, tech::nmos(), threads).violations)
-          << "soup seed " << seed << " threads " << threads;
-    }
-  }
+  silc_fixtures::fuzz_seeds(
+      "test_drc", "DrcModes.FuzzedSoupsAndHierarchiesAgree", 0, 4,
+      [&](unsigned seed) {
+        std::mt19937 rng(seed);
+        std::uniform_int_distribution<int> c(0, 400), w(1, 50), li(0, 5);
+        std::vector<layout::Shape> shapes;
+        for (int i = 0; i < 500; ++i) {
+          const int x = c(rng), y = c(rng);
+          shapes.push_back(
+              {layers[li(rng)], Rect{x, y, x + w(rng), y + w(rng)}});
+        }
+        const Result flat = check_flat(shapes);
+        EXPECT_FALSE(flat.ok());  // dense soup: the sweep must exercise rules
+        for (const int threads : {1, 3}) {
+          EXPECT_EQ(flat.violations,
+                    check_tiled(shapes, tech::nmos(), threads).violations)
+              << "soup seed " << seed << " threads " << threads;
+        }
+      });
   const geom::Orient plain[] = {geom::Orient::R0, geom::Orient::R180,
                                 geom::Orient::MX, geom::Orient::MY};
-  for (const bool transposing : {false, true}) {
-    for (unsigned seed = 0; seed < 6; ++seed) {
-      std::mt19937 rng(100 + seed);
-      std::uniform_int_distribution<int> c(0, 120), w(1, 30), li(0, 5),
-          off(0, 200), ori(0, transposing ? 7 : 3);
-      layout::Library lib;
-      layout::Cell& leaf = lib.create("leaf");
-      for (int i = 0; i < 25; ++i) {
-        const int x = c(rng), y = c(rng);
-        leaf.add_rect(layers[li(rng)], {x, y, x + w(rng), y + w(rng)});
-      }
-      layout::Cell& top = lib.create("top");
-      for (int i = 0; i < 5; ++i) {
-        const geom::Orient o = transposing
-                                   ? static_cast<geom::Orient>(ori(rng))
-                                   : plain[ori(rng)];
-        top.add_instance(leaf, {o, {off(rng), off(rng)}});
-      }
-      for (int i = 0; i < 8; ++i) {
-        const int x = off(rng), y = off(rng);
-        top.add_rect(layers[li(rng)], {x, y, x + w(rng), y + w(rng)});
-      }
-      const Result flat = check(top);
-      const Result hier = check_hier(top);
-      if (!transposing) {
-        EXPECT_EQ(flat.violations, hier.violations) << "hier seed " << seed;
-      }
-      std::set<std::string> fr, hr;
-      for (const Violation& v : flat.violations) fr.insert(v.rule);
-      for (const Violation& v : hier.violations) hr.insert(v.rule);
-      EXPECT_EQ(fr, hr) << "offence presence, transposing=" << transposing
-                        << " seed " << seed;
-    }
-  }
+  silc_fixtures::fuzz_seeds(
+      "test_drc", "DrcModes.FuzzedSoupsAndHierarchiesAgree", 0, 6,
+      [&](unsigned hseed) {
+        for (const bool transposing : {false, true}) {
+          std::mt19937 rng(100 + hseed);
+          std::uniform_int_distribution<int> c(0, 120), w(1, 30), li(0, 5),
+              off(0, 200), ori(0, transposing ? 7 : 3);
+          layout::Library lib;
+          layout::Cell& leaf = lib.create("leaf");
+          for (int i = 0; i < 25; ++i) {
+            const int x = c(rng), y = c(rng);
+            leaf.add_rect(layers[li(rng)], {x, y, x + w(rng), y + w(rng)});
+          }
+          layout::Cell& top = lib.create("top");
+          for (int i = 0; i < 5; ++i) {
+            const geom::Orient o = transposing
+                                       ? static_cast<geom::Orient>(ori(rng))
+                                       : plain[ori(rng)];
+            top.add_instance(leaf, {o, {off(rng), off(rng)}});
+          }
+          for (int i = 0; i < 8; ++i) {
+            const int x = off(rng), y = off(rng);
+            top.add_rect(layers[li(rng)], {x, y, x + w(rng), y + w(rng)});
+          }
+          const Result flat = check(top);
+          const Result hier = check_hier(top);
+          if (!transposing) {
+            EXPECT_EQ(flat.violations, hier.violations)
+                << "hier seed " << hseed;
+          }
+          std::set<std::string> fr, hr;
+          for (const Violation& v : flat.violations) fr.insert(v.rule);
+          for (const Violation& v : hier.violations) hr.insert(v.rule);
+          EXPECT_EQ(fr, hr) << "offence presence, transposing=" << transposing
+                            << " seed " << hseed;
+        }
+      });
 }
 
 TEST(DrcModes, VerdictCacheHitsAcrossLibraries) {

@@ -15,6 +15,7 @@
 #include "core/compiler.hpp"
 #include "design_sources.hpp"
 #include "extract/extract.hpp"
+#include "fuzz_env.hpp"
 #include "layout/layout.hpp"
 #include "random_layout.hpp"
 
@@ -139,44 +140,50 @@ TEST(ExtractEquiv, ParentMetalCuresChildFloatingContact) {
 }
 
 TEST(ExtractEquiv, RandomSoupLeaves) {
-  for (unsigned seed = 0; seed < 6; ++seed) {
-    Library lib;
-    Cell& top = lib.create("soup");
-    for (const layout::Shape& s : silc_fixtures::random_soup(seed, 300)) {
-      top.add_shape(s);
-    }
-    top.add_label("a", Layer::Metal, {50, 50});
-    top.add_label("b", Layer::Diff, {100, 100});
-    expect_identical(top, "soup seed " + std::to_string(seed));
-  }
+  silc_fixtures::fuzz_seeds(
+      "test_extract_equiv", "ExtractEquiv.RandomSoupLeaves", 0, 6,
+      [](unsigned seed) {
+        Library lib;
+        Cell& top = lib.create("soup");
+        for (const layout::Shape& s : silc_fixtures::random_soup(seed, 300)) {
+          top.add_shape(s);
+        }
+        top.add_label("a", Layer::Metal, {50, 50});
+        top.add_label("b", Layer::Diff, {100, 100});
+        expect_identical(top, "soup seed " + std::to_string(seed));
+      });
 }
 
 TEST(ExtractEquiv, RandomHierarchiesAllOrientations) {
-  for (const bool transposing : {false, true}) {
-    for (unsigned seed = 0; seed < 8; ++seed) {
-      Library lib;
-      silc_fixtures::RandomHierarchyOptions o;
-      o.transposing = transposing;
-      const Cell& top = silc_fixtures::random_hierarchy(lib, seed, o);
-      expect_identical(top, "hierarchy transposing=" +
-                                std::to_string(transposing) + " seed " +
-                                std::to_string(seed));
-    }
-  }
+  silc_fixtures::fuzz_seeds(
+      "test_extract_equiv", "ExtractEquiv.RandomHierarchiesAllOrientations",
+      0, 8, [](unsigned seed) {
+        for (const bool transposing : {false, true}) {
+          Library lib;
+          silc_fixtures::RandomHierarchyOptions o;
+          o.transposing = transposing;
+          const Cell& top = silc_fixtures::random_hierarchy(lib, seed, o);
+          expect_identical(top, "hierarchy transposing=" +
+                                    std::to_string(transposing) + " seed " +
+                                    std::to_string(seed));
+        }
+      });
 }
 
 TEST(ExtractEquiv, DeepAndDenseHierarchies) {
   // Larger, heavily overlapping instances; and a two-level hierarchy
   // (a mid cell instantiating leaves, itself instantiated under rotation).
-  for (unsigned seed = 100; seed < 104; ++seed) {
-    Library lib;
-    silc_fixtures::RandomHierarchyOptions o;
-    o.instances = 10;
-    o.spread = 100;  // denser: more interaction area
-    o.parent_wires = 10;
-    const Cell& top = silc_fixtures::random_hierarchy(lib, seed, o);
-    expect_identical(top, "dense seed " + std::to_string(seed));
-  }
+  silc_fixtures::fuzz_seeds(
+      "test_extract_equiv", "ExtractEquiv.DeepAndDenseHierarchies", 100, 4,
+      [](unsigned seed) {
+        Library lib;
+        silc_fixtures::RandomHierarchyOptions o;
+        o.instances = 10;
+        o.spread = 100;  // denser: more interaction area
+        o.parent_wires = 10;
+        const Cell& top = silc_fixtures::random_hierarchy(lib, seed, o);
+        expect_identical(top, "dense seed " + std::to_string(seed));
+      });
   for (unsigned seed = 200; seed < 203; ++seed) {
     Library lib;
     std::mt19937 rng(seed);

@@ -36,6 +36,7 @@
 #include "drc/drc.hpp"
 #include "extract/extract.hpp"
 #include "fault/fault.hpp"
+#include "fuzz_env.hpp"
 #include "layout/layout.hpp"
 #include "rtl/rtl.hpp"
 #include "sim/sim.hpp"
@@ -605,17 +606,24 @@ TEST(Chaos, DifferentialOverSeededSchedules) {
   ASSERT_EQ(base.ok_count(), jobs.size())
       << "baseline batch must be fault-free";
 
-  // 50 deterministic rounds sweep every site plan × a rotating victim;
-  // SILC_CHAOS_SEED (ci.sh sets it) adds an extra seeded round on top.
+  // 50 deterministic rounds (SILC_FUZZ_TRIALS scales the sweep) cover
+  // every site plan × a rotating victim; SILC_CHAOS_SEED (ci.sh sets it)
+  // adds an extra seeded round on top, and is also the env var a failing
+  // round's repro line names.
+  const silc_fixtures::FuzzEnv fuzz = silc_fixtures::fuzz_env(50);
   std::uint64_t seed = 0x5113c0de2026ULL;
-  for (int round = 0; round < 50; ++round) {
+  for (int round = 0; round < fuzz.trials; ++round) {
     seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    SCOPED_TRACE(silc_fixtures::fuzz_repro("test_fault", "Chaos.*", seed,
+                                           "SILC_CHAOS_SEED"));
     run_chaos_round(jobs, base, seed, round);
     if (HasFatalFailure()) return;
   }
   if (const char* env = std::getenv("SILC_CHAOS_SEED")) {
-    run_chaos_round(jobs, base,
-                    std::strtoull(env, nullptr, 10) | 1ULL, 50);
+    const std::uint64_t pinned = std::strtoull(env, nullptr, 10) | 1ULL;
+    SCOPED_TRACE(silc_fixtures::fuzz_repro("test_fault", "Chaos.*", pinned,
+                                           "SILC_CHAOS_SEED"));
+    run_chaos_round(jobs, base, pinned, fuzz.trials);
   }
 }
 
